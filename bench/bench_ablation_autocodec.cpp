@@ -1,0 +1,50 @@
+// Ablation: per-file compressor selection ("auto" mode of fanstore-prep)
+// vs a single dataset-wide codec. The Table-I format stores a 2-byte codec
+// id per file, so mixing codecs is free on the read path — this bench
+// quantifies what that buys on a mixed-content dataset.
+#include "bench/bench_util.hpp"
+#include "dlsim/datagen.hpp"
+#include "posixfs/mem_vfs.hpp"
+#include "prep/prepare.hpp"
+
+using namespace fanstore;
+
+namespace {
+
+double packed_ratio(posixfs::MemVfs& src, const std::string& compressor) {
+  posixfs::MemVfs dst;
+  prep::PrepOptions opt;
+  opt.num_partitions = 2;
+  opt.compressor = compressor;
+  opt.threads = 4;
+  return prep::prepare_dataset(src, "mixed", dst, "o", opt).ratio();
+}
+
+}  // namespace
+
+int main() {
+  bench::section("Ablation: per-file auto codec vs one dataset-wide codec");
+  // A mixed-content dataset: compressible volumes + text + incompressible
+  // JPEGs — the situation a multi-tenant burst buffer actually sees.
+  posixfs::MemVfs src;
+  int idx = 0;
+  for (const auto kind : {dlsim::DatasetKind::kLungNii, dlsim::DatasetKind::kLanguageTxt,
+                          dlsim::DatasetKind::kImagenetJpg, dlsim::DatasetKind::kEmTif}) {
+    for (int i = 0; i < 3; ++i) {
+      posixfs::write_file(src, "mixed/f" + std::to_string(idx++),
+                          as_view(dlsim::generate_file_sized(kind, i, 128 * 1024)));
+    }
+  }
+  bench::Table table({"compressor policy", "dataset ratio"});
+  for (const char* policy : {"lzsse8", "lz4hc", "zstd", "lzma"}) {
+    table.row({policy, bench::fmt("%.2fx", packed_ratio(src, policy))});
+  }
+  const double auto_ratio = packed_ratio(src, "auto-store,lzsse8,lz4hc,zstd,lzma");
+  table.row({"auto (per-file best of 5)", bench::fmt("%.2fx", auto_ratio)});
+  table.print();
+  std::printf(
+      "\nThe per-file codec field (Table I) makes mixed placement free to\n"
+      "read; auto mode matches or beats every single-codec policy and never\n"
+      "expands incompressible files (store fallback).\n");
+  return 0;
+}

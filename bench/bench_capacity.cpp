@@ -1,0 +1,84 @@
+// The abstract's headline claim: "the same storage hardware can host
+// 2-13x more data ... without significant runtime overhead".
+//
+// For each dataset: pick the highest-ratio codec whose predicted slowdown
+// stays within 1% for a representative training profile, then report the
+// capacity multiplier (dataset-level ratio, which exceeds the per-file
+// ratio for tiny files because packing eliminates filesystem block waste —
+// the paper's §VII-E2 observation: 6.5x dataset vs 2.6x per-file on the
+// reactor data).
+#include "bench/bench_util.hpp"
+#include "dlsim/apps.hpp"
+#include "dlsim/datagen.hpp"
+#include "select/selection.hpp"
+#include "simnet/models.hpp"
+
+using namespace fanstore;
+
+namespace {
+
+constexpr std::size_t kFsBlock = 4096;  // local filesystem allocation unit
+
+double block_padded(std::size_t bytes) {
+  return static_cast<double>((bytes + kFsBlock - 1) / kFsBlock * kFsBlock);
+}
+
+}  // namespace
+
+int main() {
+  bench::section("Capacity multiplier per dataset (abstract: 2-13x)");
+  const auto cluster = simnet::gtx_cluster();
+  const auto read_path = simnet::fanstore_read_path(cluster);
+  const std::vector<std::string> names = {"lzsse8", "lzf", "lz4hc", "zstd",
+                                          "deflate", "bzip2", "brotli", "lzma"};
+
+  bench::Table table({"dataset", "best feasible codec", "per-file ratio",
+                      "dataset capacity gain", "pred. slowdown"});
+  for (const auto& spec : dlsim::all_dataset_specs()) {
+    std::vector<Bytes> samples;
+    const int n = spec.kind == dlsim::DatasetKind::kTokamakNpz ? 64 : 4;
+    for (int i = 0; i < n; ++i) {
+      samples.push_back(dlsim::generate_file(spec.kind, static_cast<std::uint64_t>(i)));
+    }
+    const auto candidates = select::profile_candidates(samples, names);
+
+    // Representative async training profile at this dataset's file size.
+    select::AppProfile app;
+    app.name = spec.name;
+    app.async_io = true;
+    app.t_iter_s = 0.5;
+    app.c_batch_files = 64;
+    app.s_batch_raw_mb = 64.0 * static_cast<double>(spec.file_bytes) / 1e6;
+    const double t_file = read_path.file_read_time(spec.file_bytes);
+    const select::IoProfile io{1.0 / t_file,
+                               static_cast<double>(spec.file_bytes) / t_file / 1e6};
+    const auto result = select::select_compressor(app, io, candidates, 1.0, 0.01);
+    if (!result.best) {
+      table.row({spec.name, "(none)", "-", "1.0x", "-"});
+      continue;
+    }
+    // Dataset-level gain: raw files pay per-file block padding on the local
+    // FS; the packed partition stream does not (§VII-E2).
+    const auto* codec = compress::Registry::instance().by_name(result.best->name);
+    std::size_t packed = 0;
+    double padded_raw = 0;
+    for (const auto& s : samples) {
+      packed += codec->compress(as_view(s)).size();
+      padded_raw += block_padded(s.size());
+    }
+    const double capacity_gain = padded_raw / static_cast<double>(packed);
+    double slowdown = 0;
+    for (const auto& e : result.evaluated) {
+      if (e.stats.name == result.best->name) slowdown = e.slowdown;
+    }
+    table.row({spec.name, result.best->name, bench::fmt("%.1fx", result.best->ratio),
+               bench::fmt("%.1fx", capacity_gain),
+               bench::fmt("%.2f%%", slowdown * 100)});
+  }
+  table.print();
+  std::printf(
+      "\npaper: EM 2.3x (lzsse8), Tokamak 6.5x dataset-level (tiny files stop\n"
+      "wasting FS blocks once concatenated), Lung up to 10.8x, ImageNet 1.0x\n"
+      "(no gain possible) — the \"2-13x\" range of the abstract.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 1 (+ the §I worked example): hardware efficiency vs node count
+// under the three constraints — B <= B_max for convergence, B/N >= b for
+// GPU utilisation, and N*M >= |T| for burst-buffer capacity. Compression
+// relaxes the third constraint, moving the minimum feasible scale left.
+#include <algorithm>
+
+#include "bench/bench_util.hpp"
+
+using namespace fanstore;
+
+namespace {
+
+struct Config {
+  double b_max = 256;        // max global batch before convergence suffers
+  double b_min_per_gpu = 128;  // paper: batch 256 saturates <= 2 GPUs
+  int gpus_per_node = 4;
+  double node_storage_gb = 60;
+  double dataset_gb = 140;   // ImageNet
+};
+
+// Utilisation achievable on N nodes (0 if the dataset does not fit).
+double efficiency(const Config& c, int nodes, double compression_ratio) {
+  if (nodes * c.node_storage_gb < c.dataset_gb / compression_ratio) return 0.0;
+  const double gpus = static_cast<double>(nodes * c.gpus_per_node);
+  const double per_gpu_batch = c.b_max / gpus;
+  return std::min(1.0, per_gpu_batch / c.b_min_per_gpu);
+}
+
+}  // namespace
+
+int main() {
+  bench::section(
+      "Figure 1: efficiency vs node count (ResNet-50/ImageNet example of §I)");
+  const Config c;
+  bench::Table table({"nodes", "GPUs", "fits raw?", "eff (raw)", "fits 2.1x?",
+                      "eff (compressed 2.1x)"});
+  int min_raw = 0, min_comp = 0;
+  for (int n = 1; n <= 16; ++n) {
+    const double raw = efficiency(c, n, 1.0);
+    const double comp = efficiency(c, n, 2.1);
+    if (raw > 0 && min_raw == 0) min_raw = n;
+    if (comp > 0 && min_comp == 0) min_comp = n;
+    table.row({std::to_string(n), std::to_string(n * c.gpus_per_node),
+               raw > 0 ? "yes" : "no", bench::fmt("%.0f%%", raw * 100),
+               comp > 0 ? "yes" : "no", bench::fmt("%.0f%%", comp * 100)});
+  }
+  table.print();
+  std::printf(
+      "\nminimum feasible scale: %d nodes raw -> %d nodes with 2.1x compression\n"
+      "paper's worked example: 3 nodes (12 GPUs) to host 140 GB raw on 60 GB\n"
+      "nodes, but batch 256 keeps <= 2 GPUs busy => ~17%% efficiency; hosting\n"
+      "on fewer nodes via compression raises efficiency at the minimum scale\n"
+      "from %.0f%% to %.0f%%.\n",
+      min_raw, min_comp, efficiency(c, min_raw, 1.0) * 100,
+      efficiency(c, min_comp, 2.1) * 100);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 6: FanStore vs TFRecord read throughput on ImageNet, EM, and RS
+// (reactor status / Tokamak) data, on two "processors".
+//
+// Both paths are priced on the same cluster hardware so the comparison is
+// apples-to-apples:
+//   FanStore  = the calibrated user-space read path (Table VI model),
+//               validated against the real stack in bench_table3_posix.
+//   TFRecord  = sequential device streaming of the shard + the *measured*
+//               CPU cost of the record scan (length+CRC+copy, real code)
+//               + the modeled framework per-record deserialization cost
+//               (the TF/Python input stack is out of scope, DESIGN.md §1).
+// The POWER9 column applies the paper's observed per-core slowdown factor.
+#include "bench/bench_util.hpp"
+#include "dlsim/datagen.hpp"
+#include "dlsim/tfrecord.hpp"
+#include "simnet/models.hpp"
+#include "util/timer.hpp"
+
+using namespace fanstore;
+
+namespace {
+
+constexpr double kPower9Factor = 0.8;  // POWER9 per-core vs SKX (paper Fig. 6)
+
+// Real CPU cost of scanning one record through the TFRecord reader.
+double measured_scan_s_per_record(dlsim::DatasetKind kind, int nfiles,
+                                  std::size_t file_bytes) {
+  std::vector<Bytes> items;
+  for (int i = 0; i < nfiles; ++i) {
+    items.push_back(dlsim::generate_file_sized(kind, static_cast<std::uint64_t>(i),
+                                               file_bytes));
+  }
+  const Bytes shard = dlsim::build_tfrecord_shard(items);
+  {
+    dlsim::TfRecordReader warm(as_view(shard));
+    while (warm.next()) {
+    }
+  }
+  WallTimer t;
+  dlsim::TfRecordReader reader(as_view(shard));
+  std::size_t checksum = 0;
+  while (auto rec = reader.next()) checksum += (*rec)[0];
+  (void)checksum;
+  return t.elapsed_sec() / nfiles;
+}
+
+}  // namespace
+
+int main() {
+  bench::section("Figure 6: FanStore vs TFRecord read throughput (files/sec)");
+  const auto cluster = simnet::cpu_cluster();
+  const auto fan = simnet::fanstore_read_path(cluster);
+  const auto device = cluster.local_storage;  // both serve from local SSD
+
+  bench::Table table({"dataset", "cpu", "FanStore", "TFRecord", "speedup"});
+  struct Case {
+    const char* name;
+    dlsim::DatasetKind kind;
+    int nfiles;
+    std::size_t bytes;
+  };
+  const Case cases[] = {
+      {"ImageNet", dlsim::DatasetKind::kImagenetJpg, 512, 100 * 1024},
+      {"EM", dlsim::DatasetKind::kEmTif, 128, 256 * 1024},
+      {"RS", dlsim::DatasetKind::kTokamakNpz, 4096, 1228},
+  };
+  for (const auto& c : cases) {
+    const double fan_t = fan.file_read_time(c.bytes);
+    const double scan = measured_scan_s_per_record(c.kind, c.nfiles, c.bytes);
+    const double tf_t = static_cast<double>(c.bytes) / device.bandwidth_bps + scan +
+                        dlsim::kTfFrameworkPerRecordS;
+    for (const auto& [cpu, factor] :
+         std::vector<std::pair<const char*, double>>{{"SKX", 1.0},
+                                                     {"POWER9", kPower9Factor}}) {
+      table.row({c.name, cpu, bench::fmt_int(factor / fan_t),
+                 bench::fmt_int(factor / tf_t), bench::fmt("%.1fx", tf_t / fan_t)});
+    }
+  }
+  table.print();
+  std::printf("\npaper claim: FanStore reads 5-10x faster than TFRecord on both\n"
+              "Xeon 8160 (SKX) and POWER9 across the three datasets.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 7: the full compressor-configuration sweep (the paper's "180
+// compressor and option combinations" via lzbench) on the EM/TIF and
+// Tokamak/NPZ datasets — compression ratio vs per-file decompression time.
+//
+// Prints every configuration as one row (the figure's scatter points) plus
+// the two frontier markers the paper highlights: fastest decompression
+// (green cross) and highest ratio (red plus).
+#include <algorithm>
+
+#include "bench/bench_util.hpp"
+#include "compress/registry.hpp"
+#include "dlsim/datagen.hpp"
+#include "util/timer.hpp"
+
+using namespace fanstore;
+
+namespace {
+
+struct Point {
+  std::string name;
+  double ratio;
+  double decomp_us_per_file;
+};
+
+std::vector<Point> sweep(dlsim::DatasetKind kind, int nfiles) {
+  std::vector<Bytes> samples;
+  for (int i = 0; i < nfiles; ++i) {
+    samples.push_back(dlsim::generate_file(kind, static_cast<std::uint64_t>(i)));
+  }
+  std::vector<Point> points;
+  for (const auto& entry : compress::Registry::instance().all()) {
+    std::size_t raw = 0, packed_total = 0;
+    std::vector<Bytes> packed;
+    for (const auto& s : samples) {
+      packed.push_back(entry.codec->compress(as_view(s)));
+      raw += s.size();
+      packed_total += packed.back().size();
+    }
+    // Warm + best-of-3 decompression timing over all samples.
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      (void)entry.codec->decompress(as_view(packed[i]), samples[i].size());
+    }
+    double best = 1e99;
+    for (int pass = 0; pass < 3; ++pass) {
+      WallTimer t;
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        (void)entry.codec->decompress(as_view(packed[i]), samples[i].size());
+      }
+      best = std::min(best, t.elapsed_sec());
+    }
+    points.push_back(Point{entry.codec->name(),
+                           static_cast<double>(raw) / static_cast<double>(packed_total),
+                           best / static_cast<double>(samples.size()) * 1e6});
+  }
+  std::sort(points.begin(), points.end(), [](const Point& a, const Point& b) {
+    return a.decomp_us_per_file < b.decomp_us_per_file;
+  });
+  return points;
+}
+
+void report(const char* title, dlsim::DatasetKind kind, int nfiles) {
+  bench::section(title);
+  const auto points = sweep(kind, nfiles);
+  std::printf("%zu compressor configurations swept\n\n", points.size());
+  bench::Table table({"configuration", "ratio", "decomp us/file"});
+  for (const auto& p : points) {
+    table.row({p.name, bench::fmt("%.2f", p.ratio), bench::fmt("%.1f", p.decomp_us_per_file)});
+  }
+  table.print();
+  // The paper's "fastest" marker means fastest *compressing* config, not
+  // the store/memcpy baseline.
+  Point fastest = points.front();
+  for (const auto& p : points) {
+    if (p.ratio > 1.1) {
+      fastest = p;
+      break;
+    }
+  }
+  const auto best_ratio = *std::max_element(
+      points.begin(), points.end(),
+      [](const Point& a, const Point& b) { return a.ratio < b.ratio; });
+  std::printf("\n[green cross] fastest decompression: %s (%.1f us/file, ratio %.2f)\n",
+              fastest.name.c_str(), fastest.decomp_us_per_file, fastest.ratio);
+  std::printf("[red plus]    highest ratio: %s (ratio %.2f, %.1f us/file)\n",
+              best_ratio.name.c_str(), best_ratio.ratio, best_ratio.decomp_us_per_file);
+  std::printf(
+      "paper shape: fast-LZ configs sit at ratio 1-3 within ~10x of memcpy;\n"
+      "highest-ratio configs (lzma/xz class) cost 2-3 orders of magnitude more.\n");
+}
+
+}  // namespace
+
+int main() {
+  report("Figure 7(a): EM / TIF sweep (host CPU standing in for SKX/POWER9)",
+         dlsim::DatasetKind::kEmTif, 2);
+  report("Figure 7(b): Tokamak / NPZ sweep", dlsim::DatasetKind::kTokamakNpz, 64);
+  return 0;
+}

@@ -1,0 +1,178 @@
+// Table VII + Figure 8: the three compressor-selection case studies —
+// SRGAN/GTX (sync), FRNN/CPU (async), SRGAN/V100 (sync, tighter budget).
+//
+// For each case: (1) profile real candidate codecs on dataset samples,
+// (2) run the selection algorithm (Equations 1-3) against the cluster's
+// measured I/O profile, and (3) run the actual training loop through the
+// real FanStore stack with each codec and report throughput relative to
+// the uncompressed baseline (Fig. 8's bars).
+//
+// Scaling note: generated files are smaller than the paper's (256 KB vs
+// 1.6 MB EM), so T_iter is scaled by the same factor, preserving the
+// data-rate-to-compute ratio that the selection trade-off depends on.
+// Relative *ordering* (baseline ~ fast-LZ > brotli > zling > lzma on sync
+// cases; everything ~ 1.0 on the async case) is the reproduced claim;
+// magnitudes differ because our from-scratch lzma-lite decodes faster
+// relative to this host than 2019-era lzma did on those Xeons.
+#include "bench/bench_util.hpp"
+#include "core/instance.hpp"
+#include "dlsim/apps.hpp"
+#include "dlsim/datagen.hpp"
+#include "dlsim/trainer.hpp"
+#include "select/selection.hpp"
+#include "simnet/models.hpp"
+
+using namespace fanstore;
+
+namespace {
+
+struct CaseSetup {
+  dlsim::AppCase app;
+  simnet::ClusterSpec cluster;
+  double required_ratio;
+  double tolerance;  // acceptable fractional performance loss
+};
+
+double run_app_with_codec(const CaseSetup& setup, const std::string& codec_name,
+                          double* items_per_s) {
+  const auto spec = dlsim::dataset_spec(setup.app.dataset);
+  const double scale = static_cast<double>(spec.file_bytes) / spec.paper_avg_file_bytes;
+  const double t_iter = setup.app.profile.t_iter_s * scale;
+  const std::size_t batch_per_rank =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   setup.app.profile.c_batch_files / 4));
+  const int files_total = static_cast<int>(batch_per_rank) * 8;
+
+  std::vector<double> rank_tput(4, 0.0);
+  mpi::run_world(4, [&](mpi::Comm& comm) {
+    simnet::VirtualClock clock;
+    core::Instance::Options opt;
+    opt.fs.cost.enabled = true;
+    opt.fs.cost.read_path = simnet::fanstore_read_path(setup.cluster);
+    opt.fs.cost.network = setup.cluster.network;
+    opt.fs.clock = &clock;
+    // Minimal cache (the paper's design principle): force decompression on
+    // every open, as on a dataset far larger than RAM.
+    opt.fs.cache_bytes = 2 * spec.file_bytes;
+    core::Instance inst(comm, opt);
+
+    // Scatter files round-robin (each rank owns 1/4).
+    std::vector<std::pair<std::string, Bytes>> mine;
+    std::vector<std::string> all_paths;
+    for (int i = 0; i < files_total; ++i) {
+      const std::string path = "ds/f" + std::to_string(i);
+      all_paths.push_back(path);
+      if (i % 4 == comm.rank()) {
+        mine.emplace_back(path, dlsim::generate_file(setup.app.dataset,
+                                                     static_cast<std::uint64_t>(i)));
+      }
+    }
+    inst.load_partition_blob(as_view(bench::make_partition(mine, codec_name)),
+                             static_cast<std::uint32_t>(comm.rank()));
+    inst.exchange_metadata();
+    inst.start_daemon();
+    comm.barrier();
+
+    dlsim::TrainerOptions topt;
+    topt.t_iter_s = t_iter;
+    topt.batch_per_rank = batch_per_rank;
+    topt.epochs = 1;
+    topt.max_iterations = 4;
+    topt.async_io = setup.app.profile.async_io;
+    topt.io_parallelism = setup.app.profile.io_parallelism;
+    topt.io_clock = &clock;
+    topt.comm = &comm;
+    const auto result = dlsim::run_training(inst.fs(), all_paths, topt);
+    rank_tput[static_cast<std::size_t>(comm.rank())] = result.items_per_s;
+    comm.barrier();
+    inst.stop();
+  });
+  double total = 0;
+  for (double t : rank_tput) total += t;
+  *items_per_s = total;
+  return total;
+}
+
+void run_case(const CaseSetup& setup) {
+  bench::section(setup.app.app + " on " + setup.app.cluster);
+
+  // --- Step 1: sample-based candidate profiling (the lzbench step) ---
+  std::vector<Bytes> samples;
+  const int nsamples = setup.app.dataset == dlsim::DatasetKind::kTokamakNpz ? 64 : 4;
+  for (int i = 0; i < nsamples; ++i) {
+    samples.push_back(dlsim::generate_file(setup.app.dataset,
+                                           static_cast<std::uint64_t>(i)));
+  }
+  std::vector<std::string> names = setup.app.selected;
+  names.insert(names.end(), setup.app.comparison.begin(), setup.app.comparison.end());
+  const auto candidates = select::profile_candidates(samples, names);
+
+  // --- Step 2: selection against the cluster's I/O profile ---
+  const auto read_path = simnet::fanstore_read_path(setup.cluster);
+  const auto spec = dlsim::dataset_spec(setup.app.dataset);
+  const double mean_ratio = [&] {
+    double s = 0;
+    for (const auto& c : candidates) s += c.ratio;
+    return s / static_cast<double>(candidates.size());
+  }();
+  const double compressed_bytes = static_cast<double>(spec.file_bytes) / mean_ratio;
+  const double t_file = read_path.file_read_time(
+      static_cast<std::size_t>(compressed_bytes));
+  const select::IoProfile io{1.0 / t_file, compressed_bytes / t_file / 1e6};
+
+  // The selection operates on the *scaled* app (same data-rate ratio).
+  select::AppProfile profile = setup.app.profile;
+  const double scale = static_cast<double>(spec.file_bytes) / spec.paper_avg_file_bytes;
+  profile.t_iter_s *= scale;
+  profile.s_batch_raw_mb *= scale;
+
+  const auto result = select::select_compressor(profile, io, candidates,
+                                                setup.required_ratio, setup.tolerance);
+
+  bench::Table table({"compressor", "decomp_cost/file", "com_ratio",
+                      "strict Eq.1/2", "pred. slowdown", "feasible", "selected"});
+  for (const auto& e : result.evaluated) {
+    const bool feasible =
+        std::any_of(result.feasible.begin(), result.feasible.end(),
+                    [&](const auto& f) { return f.name == e.stats.name; });
+    const bool chosen = result.best && result.best->name == e.stats.name;
+    table.row({e.stats.name, bench::fmt("%.0f us", e.stats.decompress_s_per_file * 1e6),
+               bench::fmt("%.2f", e.stats.ratio), e.strict_feasible ? "yes" : "no",
+               bench::fmt("%.1f%%", e.slowdown * 100), feasible ? "yes" : "no",
+               chosen ? "<== best" : ""});
+  }
+  table.print();
+  std::printf("required capacity ratio: %.2f (%s); tolerance %.0f%%\n",
+              setup.required_ratio,
+              result.meets_required_ratio ? "met" : "NOT met by best candidate",
+              setup.tolerance * 100);
+
+  // --- Step 3: actual application performance per codec (Fig. 8 bars) ---
+  double baseline = 0;
+  run_app_with_codec(setup, "store", &baseline);
+  bench::Table perf({"codec", "items/s (4 nodes)", "relative to baseline"});
+  perf.row({"baseline (raw)", bench::fmt("%.2f", baseline), "1.000"});
+  for (const auto& name : names) {
+    double tput = 0;
+    run_app_with_codec(setup, name, &tput);
+    perf.row({name, bench::fmt("%.2f", tput), bench::fmt("%.3f", tput / baseline)});
+  }
+  perf.print();
+}
+
+}  // namespace
+
+int main() {
+  // GTX: strict "no performance loss" (1%); V100: the paper accepts lz4hc's
+  // 4.7% loss for 2x capacity, so selection runs at a 5% tolerance there.
+  run_case({dlsim::srgan_gtx(), simnet::gtx_cluster(), 500.0 / 240.0, 0.01});
+  run_case({dlsim::frnn_cpu(), simnet::cpu_cluster(), 2.0, 0.01});
+  run_case({dlsim::srgan_v100(), simnet::v100_cluster(), 1.0, 0.05});
+
+  std::printf(
+      "\npaper Fig. 8: (a) SRGAN/GTX — lzsse8/lz4hc match baseline, brotli/\n"
+      "zling/lzma cost 1.1-2.3x; (b) FRNN/CPU — all candidates match baseline\n"
+      "(async prefetch hides decompression); (c) SRGAN/V100 — lz4hc 95.3%%,\n"
+      "brotli 24.6%%, lzma 72.8%% of baseline.\n");
+  return 0;
+}

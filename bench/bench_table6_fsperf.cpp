@@ -1,0 +1,87 @@
+// Table VI: FanStore read performance (Tpt_read files/s, Bdw_read MB/s) by
+// file size on four nodes of each cluster. Runs the real four-rank FanStore
+// stack with each cluster's calibrated cost model and measures the
+// per-rank virtual clock.
+#include "bench/bench_util.hpp"
+#include "core/instance.hpp"
+#include "dlsim/datagen.hpp"
+#include "simnet/models.hpp"
+
+using namespace fanstore;
+
+namespace {
+
+struct Perf {
+  double tpt_files_per_s;
+  double bdw_mb_per_s;
+};
+
+Perf measure(const simnet::ClusterSpec& cluster, std::size_t file_bytes, int nfiles) {
+  // All data local (the Table VI benchmark reads node-local files).
+  std::vector<double> per_rank(4, 0.0);
+  mpi::run_world(4, [&](mpi::Comm& comm) {
+    simnet::VirtualClock clock;
+    core::Instance::Options opt;
+    opt.fs.cost.enabled = true;
+    opt.fs.cost.read_path = simnet::fanstore_read_path(cluster);
+    opt.fs.cost.network = cluster.network;
+    opt.fs.clock = &clock;
+    core::Instance inst(comm, opt);
+    std::vector<std::pair<std::string, Bytes>> files;
+    for (int i = 0; i < nfiles; ++i) {
+      files.emplace_back(
+          "r" + std::to_string(comm.rank()) + "/f" + std::to_string(i),
+          dlsim::generate_file_sized(dlsim::DatasetKind::kImagenetJpg,
+                                     static_cast<std::uint64_t>(i), file_bytes));
+    }
+    inst.load_partition_blob(as_view(bench::make_partition(files, "store")), 0);
+    inst.exchange_metadata();
+    Bytes buf(1 << 20);
+    clock.reset();
+    for (const auto& [path, data] : files) {
+      const int fd = inst.fs().open(path, posixfs::OpenMode::kRead);
+      while (inst.fs().read(fd, MutByteView{buf.data(), buf.size()}) > 0) {
+      }
+      inst.fs().close(fd);
+    }
+    per_rank[static_cast<std::size_t>(comm.rank())] = clock.now_sec();
+  });
+  double total = 0;
+  for (double t : per_rank) total += t;
+  const double avg = total / 4.0;
+  return Perf{nfiles / avg,
+              static_cast<double>(nfiles) * static_cast<double>(file_bytes) / avg / 1e6};
+}
+
+}  // namespace
+
+int main() {
+  bench::section("Table VI: FanStore performance by file size, four nodes per cluster");
+  bench::Table table({"Cluster", "file_size", "Tpt_read (file/s)", "Bdw_read (MB/s)"});
+
+  struct Row {
+    simnet::ClusterSpec cluster;
+    std::string label;
+    std::size_t bytes;
+    int nfiles;
+    const char* paper_tpt;
+    const char* paper_bdw;
+  };
+  const std::vector<Row> rows = {
+      {simnet::gtx_cluster(), "512 KB", 512 * 1024, 32, "9469", "4969"},
+      {simnet::gtx_cluster(), "2 MB", 2 * 1024 * 1024, 16, "3158", "6663"},
+      {simnet::v100_cluster(), "512 KB", 512 * 1024, 32, "8654", "4540"},
+      {simnet::v100_cluster(), "2 MB", 2 * 1024 * 1024, 16, "5026", "10546"},
+      {simnet::cpu_cluster(), "1 KB", 1024, 256, "29103", "30"},
+  };
+  for (const auto& r : rows) {
+    const Perf p = measure(r.cluster, r.bytes, r.nfiles);
+    table.row({r.cluster.name, r.label, bench::fmt_int(p.tpt_files_per_s),
+               bench::fmt_int(p.bdw_mb_per_s)});
+    table.row({"  (paper)", r.label, r.paper_tpt, r.paper_bdw});
+  }
+  table.print();
+  std::printf("\nThese Tpt_read/Bdw_read values feed the compressor-selection\n"
+              "algorithm (Equations 1-3); see bench_fig8_selection.\n");
+  return 0;
+}

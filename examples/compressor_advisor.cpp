@@ -1,0 +1,123 @@
+// Compressor advisor: the §VI workflow as a user-facing tool.
+//
+// Given a dataset (a real directory, or a built-in synthetic dataset) and
+// application parameters, it profiles candidate codecs on samples, measures
+// the decompression/ratio trade-off, runs the selection algorithm against
+// the target cluster's I/O profile, and prints a recommendation.
+//
+// Run: ./compressor_advisor [--dataset=em|tokamak|lung|astro|imagenet|text]
+//                          [--dir=/path/to/real/files]
+//                          [--t-iter-ms=9689] [--batch=256] [--sync]
+//                          [--cluster=gtx|v100|cpu] [--required-ratio=2.0]
+//                          [--tolerance=0.01]
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "dlsim/datagen.hpp"
+#include "posixfs/local_vfs.hpp"
+#include "prep/prepare.hpp"
+#include "select/selection.hpp"
+#include "simnet/models.hpp"
+#include "util/cli.hpp"
+
+using namespace fanstore;
+
+namespace {
+
+dlsim::DatasetKind kind_of(const std::string& name) {
+  if (name == "em") return dlsim::DatasetKind::kEmTif;
+  if (name == "tokamak") return dlsim::DatasetKind::kTokamakNpz;
+  if (name == "lung") return dlsim::DatasetKind::kLungNii;
+  if (name == "astro") return dlsim::DatasetKind::kAstroFits;
+  if (name == "imagenet") return dlsim::DatasetKind::kImagenetJpg;
+  return dlsim::DatasetKind::kLanguageTxt;
+}
+
+simnet::ClusterSpec cluster_of(const std::string& name) {
+  if (name == "v100") return simnet::v100_cluster();
+  if (name == "cpu") return simnet::cpu_cluster();
+  return simnet::gtx_cluster();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+
+  // --- Collect samples ---
+  std::vector<Bytes> samples;
+  if (args.has("dir")) {
+    posixfs::LocalVfs fs{args.get("dir", ".")};
+    const auto files = prep::list_files_recursive(fs, "");
+    for (std::size_t i = 0; i < files.size() && samples.size() < 8;
+         i += std::max<std::size_t>(1, files.size() / 8)) {
+      if (auto data = posixfs::read_file(fs, files[i])) samples.push_back(*data);
+    }
+    std::printf("sampled %zu of %zu files from %s\n", samples.size(), files.size(),
+                args.get("dir", ".").c_str());
+  } else {
+    const auto kind = kind_of(args.get("dataset", "em"));
+    for (int i = 0; i < 6; ++i) {
+      samples.push_back(dlsim::generate_file(kind, static_cast<std::uint64_t>(i)));
+    }
+    std::printf("using 6 synthetic '%s' samples\n", args.get("dataset", "em").c_str());
+  }
+  if (samples.empty()) {
+    std::fprintf(stderr, "no samples found\n");
+    return 1;
+  }
+  std::size_t sample_bytes = 0;
+  for (const auto& s : samples) sample_bytes += s.size();
+  const double avg_bytes =
+      static_cast<double>(sample_bytes) / static_cast<double>(samples.size());
+
+  // --- Application profile ---
+  select::AppProfile app;
+  app.name = "user-app";
+  app.async_io = !args.get_bool("sync", false);
+  app.t_iter_s = args.get_double("t-iter-ms", 655) / 1000.0;
+  app.c_batch_files = static_cast<double>(args.get_int("batch", 256));
+  app.s_batch_raw_mb = app.c_batch_files * avg_bytes / 1e6;
+  app.io_parallelism = static_cast<int>(args.get_int("io-threads", 4));
+
+  // --- Cluster I/O profile (Table VI style) ---
+  const auto cluster = cluster_of(args.get("cluster", "gtx"));
+  const auto read_path = simnet::fanstore_read_path(cluster);
+  const double t_file = read_path.file_read_time(static_cast<std::size_t>(avg_bytes));
+  const select::IoProfile io{1.0 / t_file, avg_bytes / t_file / 1e6};
+
+  // --- Profile candidates and select ---
+  const std::vector<std::string> names = {"lzsse8", "lzf",  "lz4",    "lz4hc",
+                                          "deflate", "zling", "brotli", "lzma", "xz"};
+  std::printf("profiling %zu candidate codecs on %.1f KB of samples...\n\n",
+              names.size(), sample_bytes / 1e3);
+  const auto candidates = select::profile_candidates(samples, names);
+  const auto result = select::select_compressor(
+      app, io, candidates, args.get_double("required-ratio", 1.0),
+      args.get_double("tolerance", 0.01));
+
+  bench::Table table({"codec", "ratio", "decomp us/file", "strict Eq.1/2",
+                      "pred. slowdown", "verdict"});
+  for (const auto& e : result.evaluated) {
+    const bool ok = std::any_of(result.feasible.begin(), result.feasible.end(),
+                                [&](const auto& f) { return f.name == e.stats.name; });
+    table.row({e.stats.name, bench::fmt("%.2f", e.stats.ratio),
+               bench::fmt("%.0f", e.stats.decompress_s_per_file * 1e6),
+               e.strict_feasible ? "pass" : "fail",
+               bench::fmt("%.2f%%", e.slowdown * 100), ok ? "feasible" : "rejected"});
+  }
+  table.print();
+
+  if (result.best) {
+    std::printf("\nrecommendation: %s (ratio %.2fx%s)\n", result.best->name.c_str(),
+                result.best->ratio,
+                result.meets_required_ratio ? ", meets required capacity"
+                                            : ", BELOW required capacity");
+    std::printf("prepare with:  fanstore-prep --src=<data> --dst=<out> "
+                "--compressor=%s\n", result.best->name.c_str());
+  } else {
+    std::printf("\nno codec preserves performance; host raw data (store)\n");
+  }
+  return 0;
+}

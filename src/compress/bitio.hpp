@@ -1,0 +1,80 @@
+// MSB-first bit-level I/O used by the entropy coders (Huffman, LZSS, LZW).
+#pragma once
+
+#include <cstdint>
+
+#include "compress/compressor.hpp"
+#include "util/bytes.hpp"
+
+namespace fanstore::compress {
+
+/// Writes bit fields MSB-first into a growing byte buffer.
+class BitWriter {
+ public:
+  explicit BitWriter(Bytes& out) : out_(out) {}
+
+  /// Appends the low `bits` bits of `value` (bits in [0, 32]).
+  void put(std::uint32_t value, int bits) {
+    acc_ = (acc_ << bits) | (static_cast<std::uint64_t>(value) & mask(bits));
+    nbits_ += bits;
+    while (nbits_ >= 8) {
+      nbits_ -= 8;
+      out_.push_back(static_cast<std::uint8_t>(acc_ >> nbits_));
+    }
+  }
+
+  /// Pads with zero bits to the next byte boundary.
+  void align() {
+    if (nbits_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ << (8 - nbits_)));
+      nbits_ = 0;
+    }
+    acc_ = 0;
+  }
+
+ private:
+  static std::uint64_t mask(int bits) {
+    return bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+  }
+  Bytes& out_;
+  std::uint64_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+/// Reads bit fields MSB-first; throws CorruptDataError when the stream is
+/// exhausted before a requested field completes.
+class BitReader {
+ public:
+  explicit BitReader(ByteView in) : p_(in.data()), end_(in.data() + in.size()) {}
+
+  std::uint32_t get(int bits) {
+    while (nbits_ < bits) {
+      if (p_ == end_) throw CorruptDataError("bit stream truncated");
+      acc_ = (acc_ << 8) | *p_++;
+      nbits_ += 8;
+    }
+    nbits_ -= bits;
+    return static_cast<std::uint32_t>((acc_ >> nbits_) & mask(bits));
+  }
+
+  std::uint32_t get1() { return get(1); }
+
+  /// Discards buffered bits up to the next byte boundary.
+  void align() { nbits_ -= nbits_ % 8; }
+
+  /// Bytes consumed so far, rounded up to whole bytes.
+  std::size_t consumed(ByteView in) const {
+    return static_cast<std::size_t>(p_ - in.data());
+  }
+
+ private:
+  static std::uint64_t mask(int bits) {
+    return bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+  }
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+  std::uint64_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+}  // namespace fanstore::compress

@@ -1,0 +1,162 @@
+// Burrows-Wheeler + move-to-front transform codec stage (bzip2-lite's
+// core). Size-preserving apart from an 8-byte header per block; composed
+// with RLE + Huffman in the registry to form the "bzip2-N" family.
+//
+// The forward transform builds a suffix array by prefix doubling
+// (O(n log^2 n)); the inverse is the standard LF-mapping walk (O(n)), so
+// decompression sits in the mid-speed band where real bzip2 lives.
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "compress/codecs.hpp"
+#include "compress/suffix_array.hpp"
+
+namespace fanstore::compress {
+namespace {
+
+// BWT from the suffix array of s + virtual sentinel (smallest, unique).
+// Row 0 of the sorted matrix is the sentinel rotation; we omit it and
+// record `primary` = position of the original string among the rows.
+void bwt_forward(ByteView s, Bytes* out, std::uint32_t* primary) {
+  const std::size_t n = s.size();
+  const auto sa = suffix_array_sais(s);
+  out->clear();
+  out->reserve(n);
+  // Sorted suffixes of s+sentinel = [sentinel suffix] + suffixes by sa.
+  // BWT column: char preceding each suffix (cyclically, sentinel dropped).
+  *primary = 0;
+  out->push_back(s[n - 1]);  // the sentinel row's preceding char
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sa[i] == 0) {
+      *primary = static_cast<std::uint32_t>(i + 1);
+      continue;  // preceding char is the sentinel: skip it
+    }
+    out->push_back(s[sa[i] - 1]);
+  }
+}
+
+Bytes bwt_inverse(ByteView bwt, std::uint32_t primary, std::size_t n) {
+  if (bwt.size() != n || primary > n) throw CorruptDataError("bwt: bad block header");
+  // Positions: the sorted column has the sentinel first (row `primary` had
+  // its char dropped). Reconstruct LF mapping over n+1 rows where row
+  // `primary` holds the sentinel in the BWT column.
+  auto sym_at = [&](std::size_t row) -> int {
+    // Rows before `primary` take bwt[row]; row `primary` is the sentinel;
+    // rows after take bwt[row-1].
+    if (row == primary) return 256;  // sentinel marker (smallest? no: row idx)
+    return bwt[row < primary ? row : row - 1];
+  };
+  const std::size_t rows = n + 1;
+  // Counting sort of the BWT column (sentinel = symbol -1, smallest).
+  std::vector<std::uint32_t> occ(rows);  // occurrence rank within symbol
+  std::vector<std::uint32_t> totals(258, 0);
+  for (std::size_t row = 0; row < rows; ++row) {
+    const int sym = sym_at(row);
+    const std::size_t bucket = sym == 256 ? 0 : static_cast<std::size_t>(sym) + 1;
+    occ[row] = totals[bucket]++;
+  }
+  // first[sym] = starting row of `sym` in the sorted first column.
+  std::vector<std::uint32_t> first(258, 0);
+  std::uint32_t acc = 0;
+  for (std::size_t b = 0; b < 258; ++b) {
+    first[b] = acc;
+    acc += totals[b];
+  }
+  // Walk LF from the row whose first-column char is the sentinel (row 0 in
+  // sorted order) backwards, emitting characters in reverse.
+  Bytes out(n);
+  std::size_t row = 0;  // sorted row 0 = sentinel row; its BWT char is s[n-1]
+  for (std::size_t i = n; i-- > 0;) {
+    const int sym = sym_at(row);
+    if (sym == 256) throw CorruptDataError("bwt: sentinel cycle");
+    out[i] = static_cast<std::uint8_t>(sym);
+    row = first[static_cast<std::size_t>(sym) + 1] + occ[row];
+  }
+  return out;
+}
+
+// Move-to-front transform (in place semantics on a copy).
+void mtf_forward(MutByteView data) {
+  std::uint8_t table[256];
+  for (int i = 0; i < 256; ++i) table[i] = static_cast<std::uint8_t>(i);
+  for (auto& b : data) {
+    const std::uint8_t sym = b;
+    std::uint8_t idx = 0;
+    while (table[idx] != sym) ++idx;
+    b = idx;
+    std::memmove(table + 1, table, idx);
+    table[0] = sym;
+  }
+}
+
+void mtf_inverse(MutByteView data) {
+  std::uint8_t table[256];
+  for (int i = 0; i < 256; ++i) table[i] = static_cast<std::uint8_t>(i);
+  for (auto& b : data) {
+    const std::uint8_t idx = b;
+    const std::uint8_t sym = table[idx];
+    b = sym;
+    std::memmove(table + 1, table, idx);
+    table[0] = sym;
+  }
+}
+
+class BwtMtfCompressor final : public Compressor {
+ public:
+  explicit BwtMtfCompressor(std::size_t block) : block_(block) {}
+
+  std::string name() const override {
+    return "bwtmtf-" + std::to_string(block_ / 1024) + "k";
+  }
+
+  Bytes compress(ByteView src) const override {
+    Bytes out;
+    out.reserve(src.size() + src.size() / block_ * 8 + 16);
+    for (std::size_t off = 0; off < src.size(); off += block_) {
+      const std::size_t len = std::min(block_, src.size() - off);
+      append_le<std::uint32_t>(out, static_cast<std::uint32_t>(len));
+      Bytes column;
+      std::uint32_t primary = 0;
+      bwt_forward(src.subspan(off, len), &column, &primary);
+      append_le<std::uint32_t>(out, primary);
+      mtf_forward(MutByteView{column.data(), column.size()});
+      out.insert(out.end(), column.begin(), column.end());
+    }
+    return out;
+  }
+
+  Bytes decompress(ByteView src, std::size_t original_size) const override {
+    Bytes out;
+    out.reserve(original_size);
+    std::size_t pos = 0;
+    while (out.size() < original_size) {
+      if (pos + 8 > src.size()) throw CorruptDataError("bwtmtf: truncated header");
+      const std::uint32_t len = load_le<std::uint32_t>(src.data() + pos);
+      const std::uint32_t primary = load_le<std::uint32_t>(src.data() + pos + 4);
+      pos += 8;
+      if (len == 0 || out.size() + len > original_size) {
+        throw CorruptDataError("bwtmtf: bad block length");
+      }
+      if (pos + len > src.size()) throw CorruptDataError("bwtmtf: truncated block");
+      Bytes column(src.begin() + static_cast<std::ptrdiff_t>(pos),
+                   src.begin() + static_cast<std::ptrdiff_t>(pos + len));
+      pos += len;
+      mtf_inverse(MutByteView{column.data(), column.size()});
+      const Bytes plain = bwt_inverse(as_view(column), primary, len);
+      out.insert(out.end(), plain.begin(), plain.end());
+    }
+    return out;
+  }
+
+ private:
+  std::size_t block_;
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_bwtmtf(std::size_t block) {
+  return std::make_unique<BwtMtfCompressor>(block);
+}
+
+}  // namespace fanstore::compress

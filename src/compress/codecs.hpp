@@ -1,0 +1,82 @@
+// Factory functions for every codec family in the suite.
+//
+// The Registry composes these into the full set of named, id-stable
+// configurations; tests and tools may also instantiate codecs directly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.hpp"
+
+namespace fanstore::compress {
+
+/// Identity codec ("store") — the no-compression baseline.
+std::unique_ptr<Compressor> make_store();
+
+/// PackBits-style run-length encoding.
+std::unique_ptr<Compressor> make_rle();
+
+/// LZF-like byte LZ: 8 KiB window, single-probe hash. level in [1,3]
+/// selects hash-table size (13/15/17 bits).
+std::unique_ptr<Compressor> make_lzf(int level);
+
+/// LZ4-like fast mode with step acceleration; accel in [1,16].
+std::unique_ptr<Compressor> make_lz4fast(int accel);
+
+/// LZ4-like greedy mode (single hash probe at every position).
+std::unique_ptr<Compressor> make_lz4();
+
+/// LZ4-like high-compression mode; level in [1,16] scales chain depth.
+std::unique_ptr<Compressor> make_lz4hc(int level);
+
+/// Bit-packed LZSS; window_bits in [10,16], len_bits in [4,8],
+/// depth bounds the hash-chain search.
+std::unique_ptr<Compressor> make_lzss(int window_bits, int len_bits, int depth);
+
+/// LZW with variable-width codes up to max_bits in [10,16].
+std::unique_ptr<Compressor> make_lzw(int max_bits);
+
+/// Block-based canonical Huffman; `block` is the block size in bytes.
+std::unique_ptr<Compressor> make_huffman(std::size_t block);
+
+/// Deflate-like LZ + dual canonical Huffman; level in [1,9],
+/// window_bits in [12,26].
+std::unique_ptr<Compressor> make_deflate(int level, int window_bits);
+
+/// Brotli-like: deflate-lite with a 4 MiB window and deeper parse;
+/// level in [1,11].
+std::unique_ptr<Compressor> make_brotli(int level);
+
+/// Zling-like: two-stage fast-LZ + Huffman; level in [1,4].
+std::unique_ptr<Compressor> make_zling(int level);
+
+/// LZMA-like LZ + adaptive binary range coder; level in [1,9].
+std::unique_ptr<Compressor> make_lzma(int level);
+
+/// XZ-like: lzma-lite stream in a checksummed container; level in [1,9].
+std::unique_ptr<Compressor> make_xz(int level);
+
+/// LZSSE8-like: 8-byte-granular literals for very fast decode;
+/// depth bounds the match search.
+std::unique_ptr<Compressor> make_lzsse8(int depth);
+
+/// Burrows-Wheeler + move-to-front transform stage (size-preserving plus
+/// an 8-byte per-block header); compose with RLE/entropy stages to build
+/// the "bzip2" family.
+std::unique_ptr<Compressor> make_bwtmtf(std::size_t block);
+
+/// Order-0 rANS entropy codec (the zstd/FSE-class entropy stage).
+std::unique_ptr<Compressor> make_rans(std::size_t block);
+
+/// Byte-delta filter with the given stride (1 = plain delta, 4 = float32
+/// channel delta, 8 = float64). A size-preserving transform, not a codec;
+/// compose with make_pipeline.
+std::unique_ptr<Compressor> make_delta(int stride);
+
+/// Sequential composition of stages (applied left-to-right on compress).
+std::unique_ptr<Compressor> make_pipeline(std::string name,
+                                          std::vector<std::unique_ptr<Compressor>> stages);
+
+}  // namespace fanstore::compress

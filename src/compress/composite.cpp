@@ -1,0 +1,106 @@
+// Composition codecs: stride-delta filtering and sequential pipelines.
+// zling-lite (fast-LZ + Huffman) and the delta+LZ float-array codecs are
+// built from these in the registry.
+#include <utility>
+
+#include "compress/codecs.hpp"
+#include "util/bytes.hpp"
+
+namespace fanstore::compress {
+namespace {
+
+// Size-preserving byte-delta transform with a fixed stride. Stride 4 aligns
+// with float32 arrays (Tokamak/FRNN-style data), stride 8 with float64.
+class DeltaFilter final : public Compressor {
+ public:
+  explicit DeltaFilter(int stride) : stride_(static_cast<std::size_t>(stride)) {}
+
+  std::string name() const override { return "delta" + std::to_string(stride_); }
+
+  Bytes compress(ByteView src) const override {
+    Bytes out(src.begin(), src.end());
+    for (std::size_t i = out.size(); i-- > stride_;) {
+      out[i] = static_cast<std::uint8_t>(out[i] - out[i - stride_]);
+    }
+    return out;
+  }
+
+  Bytes decompress(ByteView src, std::size_t original_size) const override {
+    if (src.size() != original_size) throw CorruptDataError("delta: size mismatch");
+    Bytes out(src.begin(), src.end());
+    for (std::size_t i = stride_; i < out.size(); ++i) {
+      out[i] = static_cast<std::uint8_t>(out[i] + out[i - stride_]);
+    }
+    return out;
+  }
+
+ private:
+  std::size_t stride_;
+};
+
+// Applies stages left-to-right on compress; the header records each
+// intermediate size so decompress can unwind right-to-left.
+class PipelineCompressor final : public Compressor {
+ public:
+  PipelineCompressor(std::string name, std::vector<std::unique_ptr<Compressor>> stages)
+      : name_(std::move(name)), stages_(std::move(stages)) {}
+
+  std::string name() const override { return name_; }
+
+  Bytes compress(ByteView src) const override {
+    Bytes current(src.begin(), src.end());
+    Bytes header;
+    for (const auto& stage : stages_) {
+      append_le<std::uint32_t>(header, static_cast<std::uint32_t>(current.size()));
+      current = stage->compress(as_view(current));
+    }
+    Bytes out;
+    out.reserve(header.size() + current.size());
+    out.insert(out.end(), header.begin(), header.end());
+    out.insert(out.end(), current.begin(), current.end());
+    return out;
+  }
+
+  Bytes decompress(ByteView src, std::size_t original_size) const override {
+    const std::size_t header_size = 4 * stages_.size();
+    if (src.size() < header_size) throw CorruptDataError("pipeline: truncated header");
+    std::vector<std::size_t> sizes(stages_.size());
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+      sizes[s] = load_le<std::uint32_t>(src.data() + 4 * s);
+    }
+    if (sizes[0] != original_size) throw CorruptDataError("pipeline: size mismatch");
+    Bytes current(src.begin() + static_cast<std::ptrdiff_t>(header_size), src.end());
+    for (std::size_t s = stages_.size(); s-- > 0;) {
+      current = stages_[s]->decompress(as_view(current), sizes[s]);
+    }
+    return current;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Compressor>> stages_;
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_delta(int stride) {
+  return std::make_unique<DeltaFilter>(stride);
+}
+
+std::unique_ptr<Compressor> make_pipeline(
+    std::string name, std::vector<std::unique_ptr<Compressor>> stages) {
+  return std::make_unique<PipelineCompressor>(std::move(name), std::move(stages));
+}
+
+std::unique_ptr<Compressor> make_zling(int level) {
+  std::vector<std::unique_ptr<Compressor>> stages;
+  if (level >= 4) {
+    stages.push_back(make_lz4());
+  } else {
+    stages.push_back(make_lzf(level));
+  }
+  stages.push_back(make_huffman(64 * 1024));
+  return make_pipeline("zling-" + std::to_string(level), std::move(stages));
+}
+
+}  // namespace fanstore::compress

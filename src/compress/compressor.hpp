@@ -1,0 +1,51 @@
+// Compressor interface for FanStore's lossless codec suite.
+//
+// The paper evaluates ~180 compressor configurations from lzbench and stores
+// a 2-byte compressor identifier per file in the partition format (Table I).
+// Every codec here implements this interface; the Registry (registry.hpp)
+// assigns the stable identifiers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace fanstore::compress {
+
+/// Stable 2-byte codec-configuration identifier, persisted in partitions.
+using CompressorId = std::uint16_t;
+
+/// Thrown by decompress() when the input stream is malformed or truncated.
+class CorruptDataError : public std::runtime_error {
+ public:
+  explicit CorruptDataError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A lossless codec configuration. Implementations are stateless and
+/// thread-safe: one instance may serve concurrent compress/decompress calls.
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  /// Human-readable configuration name, e.g. "lz4hc-9".
+  virtual std::string name() const = 0;
+
+  /// Compresses `src`; the result is self-contained given `src.size()`.
+  virtual Bytes compress(ByteView src) const = 0;
+
+  /// Reverses compress(). `original_size` is the exact uncompressed size
+  /// (FanStore stores it in the per-file stat record). Throws
+  /// CorruptDataError on malformed input.
+  virtual Bytes decompress(ByteView src, std::size_t original_size) const = 0;
+};
+
+/// Convenience: compression ratio (original / compressed); >= 1 is a win.
+inline double ratio(std::size_t original, std::size_t compressed) {
+  return compressed == 0 ? 1.0
+                         : static_cast<double>(original) / static_cast<double>(compressed);
+}
+
+}  // namespace fanstore::compress

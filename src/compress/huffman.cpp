@@ -1,0 +1,163 @@
+#include "compress/huffman.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "compress/compressor.hpp"
+
+namespace fanstore::compress {
+namespace {
+
+struct Node {
+  std::uint64_t freq;
+  int index;  // < 0: internal node id, >= 0: symbol
+  int left = -1, right = -1;
+};
+
+// Computes tree depths for the current frequency vector; returns max depth.
+int huffman_depths(const std::vector<std::uint64_t>& freqs,
+                   std::vector<std::uint8_t>& depths) {
+  const std::size_t n = freqs.size();
+  depths.assign(n, 0);
+  struct HeapItem {
+    std::uint64_t freq;
+    int node;
+  };
+  auto cmp = [](const HeapItem& a, const HeapItem& b) { return a.freq > b.freq; };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, decltype(cmp)> heap(cmp);
+
+  std::vector<Node> nodes;
+  nodes.reserve(2 * n);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (freqs[s] == 0) continue;
+    nodes.push_back(Node{freqs[s], static_cast<int>(s)});
+    heap.push(HeapItem{freqs[s], static_cast<int>(nodes.size()) - 1});
+  }
+  if (nodes.empty()) return 0;
+  if (nodes.size() == 1) {
+    depths[static_cast<std::size_t>(nodes[0].index)] = 1;
+    return 1;
+  }
+  while (heap.size() > 1) {
+    const HeapItem a = heap.top();
+    heap.pop();
+    const HeapItem b = heap.top();
+    heap.pop();
+    nodes.push_back(Node{a.freq + b.freq, -1, a.node, b.node});
+    heap.push(HeapItem{a.freq + b.freq, static_cast<int>(nodes.size()) - 1});
+  }
+  // Iterative DFS assigning depths.
+  int max_depth = 0;
+  std::vector<std::pair<int, int>> stack{{heap.top().node, 0}};
+  while (!stack.empty()) {
+    auto [id, depth] = stack.back();
+    stack.pop_back();
+    const Node& nd = nodes[static_cast<std::size_t>(id)];
+    if (nd.index >= 0) {
+      depths[static_cast<std::size_t>(nd.index)] = static_cast<std::uint8_t>(depth);
+      max_depth = std::max(max_depth, depth);
+    } else {
+      stack.emplace_back(nd.left, depth + 1);
+      stack.emplace_back(nd.right, depth + 1);
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> build_code_lengths(const std::vector<std::uint64_t>& freqs,
+                                             int max_len) {
+  std::vector<std::uint64_t> f = freqs;
+  std::vector<std::uint8_t> depths;
+  for (;;) {
+    const int d = huffman_depths(f, depths);
+    if (d <= max_len) return depths;
+    // Flatten the distribution and retry; converges to uniform (depth ~log2 n).
+    for (auto& x : f) {
+      if (x > 0) x = (x + 1) / 2;
+    }
+  }
+}
+
+CanonicalEncoder::CanonicalEncoder(const std::vector<std::uint8_t>& lengths)
+    : lengths_(lengths), codes_(lengths.size(), 0) {
+  // Canonical assignment: symbols sorted by (length, symbol index).
+  int max_len = 0;
+  for (auto l : lengths_) max_len = std::max(max_len, static_cast<int>(l));
+  std::vector<std::uint32_t> count(static_cast<std::size_t>(max_len) + 1, 0);
+  for (auto l : lengths_) {
+    if (l > 0) count[l]++;
+  }
+  // first_code[1] = 0; first_code[l] = (first_code[l-1] + count[l-1]) << 1
+  std::vector<std::uint32_t> next(static_cast<std::size_t>(max_len) + 1, 0);
+  std::uint32_t fc = 0;
+  for (int len = 1; len <= max_len; ++len) {
+    if (len > 1) fc = (fc + count[static_cast<std::size_t>(len) - 1]) << 1;
+    next[static_cast<std::size_t>(len)] = fc;
+  }
+  for (std::size_t s = 0; s < lengths_.size(); ++s) {
+    if (lengths_[s] > 0) codes_[s] = next[lengths_[s]]++;
+  }
+}
+
+void CanonicalEncoder::encode(BitWriter& bw, std::uint32_t symbol) const {
+  bw.put(codes_[symbol], lengths_[symbol]);
+}
+
+CanonicalDecoder::CanonicalDecoder(const std::vector<std::uint8_t>& lengths) {
+  for (auto l : lengths) max_len_ = std::max(max_len_, static_cast<int>(l));
+  count_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
+  for (auto l : lengths) {
+    if (l > 0) count_[l]++;
+  }
+  first_code_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
+  first_index_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
+  std::uint32_t fc = 0, fi = 0;
+  for (int len = 1; len <= max_len_; ++len) {
+    if (len > 1) fc = (fc + count_[static_cast<std::size_t>(len) - 1]) << 1;
+    first_code_[static_cast<std::size_t>(len)] = fc;
+    first_index_[static_cast<std::size_t>(len)] = fi;
+    fi += count_[static_cast<std::size_t>(len)];
+  }
+  sorted_.reserve(fi);
+  for (int len = 1; len <= max_len_; ++len) {
+    for (std::size_t s = 0; s < lengths.size(); ++s) {
+      if (lengths[s] == len) sorted_.push_back(static_cast<std::uint32_t>(s));
+    }
+  }
+}
+
+std::uint32_t CanonicalDecoder::decode(BitReader& br) const {
+  std::uint32_t code = 0;
+  for (int len = 1; len <= max_len_; ++len) {
+    code = (code << 1) | br.get1();
+    const std::uint32_t fc = first_code_[static_cast<std::size_t>(len)];
+    if (code >= fc && code - fc < count_[static_cast<std::size_t>(len)]) {
+      return sorted_[first_index_[static_cast<std::size_t>(len)] + (code - fc)];
+    }
+  }
+  throw CorruptDataError("huffman: invalid code");
+}
+
+void write_lengths(Bytes& out, const std::vector<std::uint8_t>& lengths) {
+  for (std::size_t i = 0; i < lengths.size(); i += 2) {
+    const std::uint8_t hi = lengths[i];
+    const std::uint8_t lo = i + 1 < lengths.size() ? lengths[i + 1] : 0;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | (lo & 0x0F)));
+  }
+}
+
+std::vector<std::uint8_t> read_lengths(ByteView src, std::size_t& pos, std::size_t n) {
+  const std::size_t nbytes = (n + 1) / 2;
+  if (pos + nbytes > src.size()) throw CorruptDataError("huffman: truncated lengths");
+  std::vector<std::uint8_t> lengths(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t b = src[pos + i / 2];
+    lengths[i] = (i % 2 == 0) ? (b >> 4) : (b & 0x0F);
+  }
+  pos += nbytes;
+  return lengths;
+}
+
+}  // namespace fanstore::compress

@@ -1,0 +1,51 @@
+// Canonical Huffman coding over an arbitrary alphabet, shared by the
+// standalone Huffman codec and the deflate/brotli-lite entropy stage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/bitio.hpp"
+#include "util/bytes.hpp"
+
+namespace fanstore::compress {
+
+/// Builds Huffman code lengths for `freqs`, each length <= max_len.
+/// Symbols with zero frequency get length 0 (no code). If the unrestricted
+/// tree exceeds max_len, frequencies are scaled down and rebuilt.
+std::vector<std::uint8_t> build_code_lengths(const std::vector<std::uint64_t>& freqs,
+                                             int max_len);
+
+/// Canonical code assignment from lengths; encodes symbols MSB-first.
+class CanonicalEncoder {
+ public:
+  explicit CanonicalEncoder(const std::vector<std::uint8_t>& lengths);
+  void encode(BitWriter& bw, std::uint32_t symbol) const;
+  int length_of(std::uint32_t symbol) const { return lengths_[symbol]; }
+
+ private:
+  std::vector<std::uint8_t> lengths_;
+  std::vector<std::uint32_t> codes_;
+};
+
+/// Bit-serial canonical decoder (first-code/offset tables per length).
+class CanonicalDecoder {
+ public:
+  explicit CanonicalDecoder(const std::vector<std::uint8_t>& lengths);
+  std::uint32_t decode(BitReader& br) const;
+
+ private:
+  int max_len_ = 0;
+  std::vector<std::uint32_t> first_code_;   // per length
+  std::vector<std::uint32_t> first_index_;  // per length, into sorted_
+  std::vector<std::uint32_t> count_;        // per length
+  std::vector<std::uint32_t> sorted_;       // symbols ordered by (len, sym)
+};
+
+/// Serializes code lengths as packed nibbles (lengths <= 15).
+void write_lengths(Bytes& out, const std::vector<std::uint8_t>& lengths);
+
+/// Reads `n` packed nibble lengths starting at src[pos]; advances pos.
+std::vector<std::uint8_t> read_lengths(ByteView src, std::size_t& pos, std::size_t n);
+
+}  // namespace fanstore::compress

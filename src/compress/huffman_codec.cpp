@@ -1,0 +1,66 @@
+// Standalone block-based canonical Huffman codec (order-0 entropy coding).
+#include <algorithm>
+
+#include "compress/codecs.hpp"
+#include "compress/huffman.hpp"
+
+namespace fanstore::compress {
+namespace {
+
+constexpr int kMaxCodeLen = 15;
+
+class HuffmanCompressor final : public Compressor {
+ public:
+  explicit HuffmanCompressor(std::size_t block) : block_(block) {}
+
+  std::string name() const override {
+    return "huff-" + std::to_string(block_ / 1024) + "k";
+  }
+
+  Bytes compress(ByteView src) const override {
+    Bytes out;
+    BitWriter bw(out);
+    for (std::size_t off = 0; off < src.size(); off += block_) {
+      const std::size_t len = std::min(block_, src.size() - off);
+      std::vector<std::uint64_t> freqs(256, 0);
+      for (std::size_t i = 0; i < len; ++i) freqs[src[off + i]]++;
+      const auto lengths = build_code_lengths(freqs, kMaxCodeLen);
+      bw.put(static_cast<std::uint32_t>(len), 32);
+      for (int s = 0; s < 256; ++s) bw.put(lengths[static_cast<std::size_t>(s)], 4);
+      CanonicalEncoder enc(lengths);
+      for (std::size_t i = 0; i < len; ++i) enc.encode(bw, src[off + i]);
+    }
+    bw.align();
+    return out;
+  }
+
+  Bytes decompress(ByteView src, std::size_t original_size) const override {
+    Bytes out;
+    out.reserve(original_size);
+    BitReader br(src);
+    while (out.size() < original_size) {
+      const std::size_t len = br.get(32);
+      if (len == 0 || out.size() + len > original_size) {
+        throw CorruptDataError("huff: bad block length");
+      }
+      std::vector<std::uint8_t> lengths(256);
+      for (auto& l : lengths) l = static_cast<std::uint8_t>(br.get(4));
+      CanonicalDecoder dec(lengths);
+      for (std::size_t i = 0; i < len; ++i) {
+        out.push_back(static_cast<std::uint8_t>(dec.decode(br)));
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::size_t block_;
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_huffman(std::size_t block) {
+  return std::make_unique<HuffmanCompressor>(block);
+}
+
+}  // namespace fanstore::compress

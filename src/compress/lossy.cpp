@@ -1,0 +1,113 @@
+#include "compress/lossy.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "compress/codecs.hpp"
+
+namespace fanstore::compress {
+
+namespace {
+// Quantization codes are zig-zagged into u16; this code marks "outlier,
+// stored verbatim in the literal stream".
+constexpr std::uint16_t kOutlier = 0xFFFF;
+
+std::uint16_t zigzag16(std::int32_t v) {
+  return static_cast<std::uint16_t>((v << 1) ^ (v >> 31));
+}
+
+std::int32_t unzigzag16(std::uint16_t z) {
+  return static_cast<std::int32_t>(z >> 1) ^ -static_cast<std::int32_t>(z & 1);
+}
+}  // namespace
+
+LossyFloatCompressor::LossyFloatCompressor(double abs_error) : abs_error_(abs_error) {
+  if (!(abs_error > 0)) {
+    throw std::invalid_argument("LossyFloatCompressor: abs_error must be > 0");
+  }
+}
+
+Bytes LossyFloatCompressor::compress(std::span<const float> values) const {
+  // Stream 1: u16 codes (zig-zag quantized prediction errors / outlier
+  // marker). Stream 2: verbatim outlier floats.
+  Bytes codes;
+  codes.reserve(values.size() * 2);
+  Bytes literals;
+  const double step = 2.0 * abs_error_;
+  double prev = 0.0;  // predictor state: last *reconstructed* value
+  for (const float v : values) {
+    const double err = static_cast<double>(v) - prev;
+    const double qd = std::nearbyint(err / step);
+    const bool in_range = std::abs(qd) < 32000.0;
+    if (in_range) {
+      const auto q = static_cast<std::int32_t>(qd);
+      // Validate against the float-rounded value the decoder will emit;
+      // near large magnitudes a float ulp can exceed the bound, in which
+      // case the value must go to the literal stream.
+      const float recon = static_cast<float>(prev + q * step);
+      if (std::abs(static_cast<double>(recon) - static_cast<double>(v)) <=
+          abs_error_) {
+        append_le<std::uint16_t>(codes, zigzag16(q));
+        prev = static_cast<double>(recon);
+        continue;
+      }
+    }
+    append_le<std::uint16_t>(codes, kOutlier);
+    const auto bits = std::bit_cast<std::uint32_t>(v);
+    append_le<std::uint32_t>(literals, bits);
+    prev = static_cast<double>(v);
+  }
+  // Entropy-pack the code stream (rANS); literals stay raw.
+  static const auto entropy = make_rans(256 * 1024);
+  const Bytes packed_codes = entropy->compress(as_view(codes));
+  Bytes out;
+  append_le<std::uint32_t>(out, static_cast<std::uint32_t>(codes.size()));
+  append_le<std::uint32_t>(out, static_cast<std::uint32_t>(packed_codes.size()));
+  append_le<std::uint32_t>(out, static_cast<std::uint32_t>(literals.size()));
+  out.insert(out.end(), packed_codes.begin(), packed_codes.end());
+  out.insert(out.end(), literals.begin(), literals.end());
+  return out;
+}
+
+std::vector<float> LossyFloatCompressor::decompress(ByteView packed,
+                                                    std::size_t count) const {
+  if (packed.size() < 12) throw CorruptDataError("lossy: truncated header");
+  const std::uint32_t codes_len = load_le<std::uint32_t>(packed.data());
+  const std::uint32_t packed_len = load_le<std::uint32_t>(packed.data() + 4);
+  const std::uint32_t lit_len = load_le<std::uint32_t>(packed.data() + 8);
+  if (codes_len != count * 2) throw CorruptDataError("lossy: count mismatch");
+  if (12 + std::size_t{packed_len} + lit_len != packed.size()) {
+    throw CorruptDataError("lossy: size mismatch");
+  }
+  static const auto entropy = make_rans(256 * 1024);
+  const Bytes codes = entropy->decompress(packed.subspan(12, packed_len), codes_len);
+  const ByteView literals = packed.subspan(12 + packed_len, lit_len);
+
+  std::vector<float> out;
+  out.reserve(count);
+  const double step = 2.0 * abs_error_;
+  double prev = 0.0;
+  std::size_t lit_pos = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint16_t code = load_le<std::uint16_t>(codes.data() + 2 * i);
+    if (code == kOutlier) {
+      if (lit_pos + 4 > literals.size()) throw CorruptDataError("lossy: missing literal");
+      const auto bits = load_le<std::uint32_t>(literals.data() + lit_pos);
+      lit_pos += 4;
+      const float v = std::bit_cast<float>(bits);
+      out.push_back(v);
+      prev = static_cast<double>(v);
+    } else {
+      // Mirror the encoder exactly: round through float, then continue
+      // predicting from the rounded value.
+      const float recon = static_cast<float>(prev + unzigzag16(code) * step);
+      out.push_back(recon);
+      prev = static_cast<double>(recon);
+    }
+  }
+  return out;
+}
+
+}  // namespace fanstore::compress

@@ -1,0 +1,36 @@
+// Error-bounded lossy float compression (SZ-lite) — the paper's stated
+// future work ("including lossy compressors such as SZ and ZFP as examined
+// in the CODAR project", §VIII).
+//
+// SZ-style scheme: a 1-D Lorenzo predictor (previous value) plus linear
+// quantization of the prediction error with a user-supplied absolute error
+// bound; codes that fit 16 bits are entropy-packed with the lossless rANS
+// stage, outliers are stored verbatim. The reconstruction error of every
+// value is guaranteed to be <= abs_error.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "compress/compressor.hpp"
+
+namespace fanstore::compress {
+
+class LossyFloatCompressor {
+ public:
+  /// `abs_error` is the guaranteed maximum absolute reconstruction error
+  /// per value; must be > 0.
+  explicit LossyFloatCompressor(double abs_error);
+
+  Bytes compress(std::span<const float> values) const;
+
+  /// `count` is the number of floats originally compressed.
+  std::vector<float> decompress(ByteView packed, std::size_t count) const;
+
+  double abs_error() const { return abs_error_; }
+
+ private:
+  double abs_error_;
+};
+
+}  // namespace fanstore::compress

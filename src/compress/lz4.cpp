@@ -1,0 +1,207 @@
+// LZ4-like codec: token = (litlen nibble | matchlen nibble), 0xF nibbles are
+// extended with 255-terminated byte runs; offsets are 16-bit little-endian.
+//
+// Three encoder strategies share the format:
+//   - fast  : single-probe hash with step acceleration (lz4 "fast" mode)
+//   - greedy: single probe at every position (default lz4 level)
+//   - hc    : hash-chain search with level-scaled depth and lazy matching
+#include <algorithm>
+#include <vector>
+
+#include "compress/codecs.hpp"
+#include "compress/lz_common.hpp"
+#include "util/bytes.hpp"
+
+namespace fanstore::compress {
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kWindow = 65535;
+
+void write_varlen(Bytes& out, std::size_t v) {
+  while (v >= 255) {
+    out.push_back(255);
+    v -= 255;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void emit_sequence(Bytes& out, ByteView src, std::size_t lit_start,
+                   std::size_t lit_len, std::size_t match_len,
+                   std::size_t distance) {
+  const std::uint8_t lit_nib =
+      static_cast<std::uint8_t>(std::min<std::size_t>(lit_len, 15));
+  std::uint8_t match_nib = 0;
+  if (match_len > 0) {
+    match_nib = static_cast<std::uint8_t>(std::min<std::size_t>(match_len - kMinMatch, 15));
+  }
+  out.push_back(static_cast<std::uint8_t>((lit_nib << 4) | match_nib));
+  if (lit_nib == 15) write_varlen(out, lit_len - 15);
+  out.insert(out.end(), src.begin() + static_cast<std::ptrdiff_t>(lit_start),
+             src.begin() + static_cast<std::ptrdiff_t>(lit_start + lit_len));
+  if (match_len > 0) {
+    append_le<std::uint16_t>(out, static_cast<std::uint16_t>(distance));
+    if (match_nib == 15) write_varlen(out, match_len - kMinMatch - 15);
+  }
+}
+
+enum class Mode { kFast, kGreedy, kHc };
+
+class Lz4Compressor final : public Compressor {
+ public:
+  Lz4Compressor(Mode mode, int param) : mode_(mode), param_(param) {}
+
+  std::string name() const override {
+    switch (mode_) {
+      case Mode::kFast: return "lz4fast-" + std::to_string(param_);
+      case Mode::kGreedy: return "lz4";
+      case Mode::kHc: return "lz4hc-" + std::to_string(param_);
+    }
+    return "lz4?";
+  }
+
+  Bytes compress(ByteView src) const override {
+    return mode_ == Mode::kHc ? compress_hc(src) : compress_fast(src);
+  }
+
+  Bytes decompress(ByteView src, std::size_t original_size) const override {
+    // Over-allocate by 8 so the match copier can use unconditional 8-byte
+    // strides (trimmed before returning).
+    Bytes out(original_size + 8);
+    std::size_t o = 0;
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+    auto read_varlen = [&](std::size_t base) {
+      std::size_t v = base;
+      for (;;) {
+        if (i >= n) throw CorruptDataError("lz4: truncated varlen");
+        const std::uint8_t b = src[i++];
+        v += b;
+        if (b != 255) return v;
+      }
+    };
+    while (o < original_size) {
+      if (i >= n) throw CorruptDataError("lz4: truncated token");
+      const std::uint8_t token = src[i++];
+      std::size_t lit_len = token >> 4;
+      if (lit_len == 15) lit_len = read_varlen(15);
+      if (i + lit_len > n) throw CorruptDataError("lz4: truncated literals");
+      if (o + lit_len > original_size) throw CorruptDataError("lz4: overlong literals");
+      std::memcpy(out.data() + o, src.data() + i, lit_len);
+      o += lit_len;
+      i += lit_len;
+      if (o == original_size) break;  // stream ends with literals
+      if (i + 2 > n) throw CorruptDataError("lz4: truncated offset");
+      const std::size_t distance = load_le<std::uint16_t>(src.data() + i);
+      i += 2;
+      if (distance == 0 || distance > o) {
+        throw CorruptDataError("lz4: bad match distance");
+      }
+      std::size_t match_len = (token & 0x0F) + kMinMatch;
+      if ((token & 0x0F) == 15) match_len = read_varlen(15 + kMinMatch);
+      if (o + match_len > original_size) {
+        throw CorruptDataError("lz4: overlong match");
+      }
+      std::uint8_t* dst = out.data() + o;
+      const std::uint8_t* from = dst - distance;
+      if (distance >= 8) {
+        for (std::size_t k = 0; k < match_len; k += 8) {
+          std::memcpy(dst + k, from + k, 8);
+        }
+      } else {
+        for (std::size_t k = 0; k < match_len; ++k) dst[k] = from[k];
+      }
+      o += match_len;
+    }
+    out.resize(original_size);
+    return out;
+  }
+
+ private:
+  Bytes compress_fast(ByteView src) const {
+    Bytes out;
+    out.reserve(src.size() / 2 + 16);
+    const std::size_t n = src.size();
+    const int hash_bits = 16;
+    std::vector<std::uint32_t> table(std::size_t{1} << hash_bits, 0xFFFFFFFFu);
+    std::size_t lit_start = 0;
+    std::size_t i = 0;
+    // Step acceleration: after `64 << accel_shift` consecutive misses the
+    // scan starts skipping bytes, trading ratio for speed (lz4 "fast" mode).
+    const int accel = mode_ == Mode::kFast ? param_ : 1;
+    std::size_t search_count = static_cast<std::size_t>(accel) << 6;
+    while (i + kMinMatch <= n) {
+      const std::uint32_t h = hash4(src.data() + i, hash_bits);
+      const std::uint32_t cand = table[h];
+      table[h] = static_cast<std::uint32_t>(i);
+      if (cand != 0xFFFFFFFFu && i > cand && i - cand <= kWindow &&
+          read_u32(src.data() + cand) == read_u32(src.data() + i)) {
+        const std::size_t len =
+            match_length(src.data() + i, src.data() + cand, src.data() + n);
+        emit_sequence(out, src, lit_start, i - lit_start, len, i - cand);
+        i += len;
+        lit_start = i;
+        search_count = static_cast<std::size_t>(accel) << 6;
+      } else {
+        const std::size_t step = mode_ == Mode::kFast ? (search_count++ >> 6) - static_cast<std::size_t>(accel) + 1 : 1;
+        i += std::max<std::size_t>(1, step);
+      }
+    }
+    if (lit_start < n) emit_sequence(out, src, lit_start, n - lit_start, 0, 0);
+    return out;
+  }
+
+  Bytes compress_hc(ByteView src) const {
+    Bytes out;
+    out.reserve(src.size() / 2 + 16);
+    const std::size_t n = src.size();
+    const std::size_t depth = std::min<std::size_t>(std::size_t{4} << param_, 1u << 16);
+    HashChainFinder finder(src, 16, kWindow, depth, kMinMatch);
+    const bool lazy = param_ >= 6;
+    std::size_t lit_start = 0;
+    std::size_t i = 0;
+    while (i + kMinMatch <= n) {
+      Match m = finder.find(i, n - i);
+      if (m.length == 0) {
+        finder.insert(i++);
+        continue;
+      }
+      if (lazy && i + 1 + kMinMatch <= n) {
+        finder.insert(i);
+        const Match m2 = finder.find(i + 1, n - i - 1);
+        if (m2.length > m.length + 1) {
+          ++i;  // defer: the next position has a better match
+          m = m2;
+        }
+        emit_sequence(out, src, lit_start, i - lit_start, m.length, m.distance);
+        finder.insert_run(i, std::min(n, i + m.length));
+        i += m.length;
+        lit_start = i;
+        continue;
+      }
+      emit_sequence(out, src, lit_start, i - lit_start, m.length, m.distance);
+      finder.insert_run(i, std::min(n, i + m.length));
+      i += m.length;
+      lit_start = i;
+    }
+    if (lit_start < n) emit_sequence(out, src, lit_start, n - lit_start, 0, 0);
+    return out;
+  }
+
+  Mode mode_;
+  int param_;
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_lz4fast(int accel) {
+  return std::make_unique<Lz4Compressor>(Mode::kFast, accel);
+}
+std::unique_ptr<Compressor> make_lz4() {
+  return std::make_unique<Lz4Compressor>(Mode::kGreedy, 0);
+}
+std::unique_ptr<Compressor> make_lz4hc(int level) {
+  return std::make_unique<Lz4Compressor>(Mode::kHc, level);
+}
+
+}  // namespace fanstore::compress

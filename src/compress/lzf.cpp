@@ -1,0 +1,127 @@
+// LZF-like byte-oriented LZ with an 8 KiB window and single-probe hashing.
+//
+// Stream grammar (ctrl = first byte of each token):
+//   ctrl < 0x20          : literal run of (ctrl + 1) bytes follows (1..32)
+//   ctrl >= 0x20         : match; len7 = ctrl >> 5, off_hi = ctrl & 0x1F
+//                          len7 == 7 adds an extension byte; then off_lo.
+//                          length = len7 + 2 (+ext), distance = off + 1.
+#include <cstring>
+#include <vector>
+
+#include "compress/codecs.hpp"
+#include "compress/lz_common.hpp"
+
+namespace fanstore::compress {
+namespace {
+
+constexpr std::size_t kWindow = 8192;      // max distance (offset field is 13 bits)
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = 2 + 7 + 255;  // 264
+
+class LzfCompressor final : public Compressor {
+ public:
+  explicit LzfCompressor(int level) : level_(level), hash_bits_(11 + 2 * level) {}
+
+  std::string name() const override { return "lzf-" + std::to_string(level_); }
+
+  Bytes compress(ByteView src) const override {
+    Bytes out;
+    out.reserve(src.size() / 2 + 16);
+    const std::size_t n = src.size();
+    std::vector<std::uint32_t> table(std::size_t{1} << hash_bits_, 0xFFFFFFFFu);
+    std::size_t lit_start = 0;
+    std::size_t i = 0;
+    auto flush_literals = [&](std::size_t end) {
+      std::size_t s = lit_start;
+      while (s < end) {
+        const std::size_t len = std::min<std::size_t>(32, end - s);
+        out.push_back(static_cast<std::uint8_t>(len - 1));
+        out.insert(out.end(), src.begin() + static_cast<std::ptrdiff_t>(s),
+                   src.begin() + static_cast<std::ptrdiff_t>(s + len));
+        s += len;
+      }
+      lit_start = end;
+    };
+    while (i + kMinMatch <= n) {
+      const std::uint32_t h = hash3(src.data() + i, hash_bits_);
+      const std::uint32_t cand = table[h];
+      table[h] = static_cast<std::uint32_t>(i);
+      if (cand != 0xFFFFFFFFu && i - cand <= kWindow && i > cand) {
+        const std::size_t len = match_length(
+            src.data() + i, src.data() + cand,
+            src.data() + std::min(n, i + kMaxMatch));
+        if (len >= kMinMatch) {
+          flush_literals(i);
+          const std::size_t off = i - cand - 1;
+          std::size_t len7 = len - 2;
+          if (len7 >= 7) {
+            out.push_back(static_cast<std::uint8_t>((7u << 5) | (off >> 8)));
+            out.push_back(static_cast<std::uint8_t>(len7 - 7));
+          } else {
+            out.push_back(static_cast<std::uint8_t>((len7 << 5) | (off >> 8)));
+          }
+          out.push_back(static_cast<std::uint8_t>(off & 0xFF));
+          i += len;
+          lit_start = i;
+          continue;
+        }
+      }
+      ++i;
+    }
+    flush_literals(n);
+    return out;
+  }
+
+  Bytes decompress(ByteView src, std::size_t original_size) const override {
+    // Over-allocated by 8 for unconditional 8-byte match copies.
+    Bytes out(original_size + 8);
+    std::size_t o = 0;
+    std::size_t i = 0;
+    while (o < original_size) {
+      if (i >= src.size()) throw CorruptDataError("lzf: truncated stream");
+      const std::uint8_t ctrl = src[i++];
+      if (ctrl < 0x20) {
+        const std::size_t len = std::size_t{ctrl} + 1;
+        if (i + len > src.size()) throw CorruptDataError("lzf: truncated literals");
+        if (o + len > original_size) throw CorruptDataError("lzf: overlong output");
+        std::memcpy(out.data() + o, src.data() + i, len);
+        o += len;
+        i += len;
+      } else {
+        std::size_t len = std::size_t{ctrl} >> 5;
+        std::size_t off = (std::size_t{ctrl} & 0x1F) << 8;
+        if (len == 7) {
+          if (i >= src.size()) throw CorruptDataError("lzf: truncated length ext");
+          len += src[i++];
+        }
+        len += 2;
+        if (i >= src.size()) throw CorruptDataError("lzf: truncated offset");
+        off = (off | src[i++]) + 1;
+        if (off > o) throw CorruptDataError("lzf: offset before start");
+        if (o + len > original_size) throw CorruptDataError("lzf: overlong output");
+        std::uint8_t* dst = out.data() + o;
+        const std::uint8_t* from = dst - off;
+        if (off >= 8) {
+          for (std::size_t k = 0; k < len; k += 8) std::memcpy(dst + k, from + k, 8);
+        } else {
+          for (std::size_t k = 0; k < len; ++k) dst[k] = from[k];
+        }
+        o += len;
+      }
+    }
+    out.resize(original_size);
+    return out;
+  }
+
+ private:
+  int level_;
+  int hash_bits_;
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_lzf(int level) {
+  return std::make_unique<LzfCompressor>(level);
+}
+
+}  // namespace fanstore::compress

@@ -1,0 +1,205 @@
+// LZMA-like codec: LZ77 parse over a 16 MiB window, entropy-coded with an
+// adaptive binary range coder. Literals use an order-1 (previous byte)
+// context; match lengths use an 8-bit bit-tree; distances use a 6-bit slot
+// tree plus direct bits. xz-lite wraps the same stream in a checksummed
+// container.
+#include <algorithm>
+#include <vector>
+
+#include "compress/codecs.hpp"
+#include "compress/lz_common.hpp"
+#include "compress/range_coder.hpp"
+#include "util/crc32.hpp"
+
+namespace fanstore::compress {
+namespace {
+
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = kMinMatch + 255;
+constexpr int kWindowBits = 24;
+constexpr std::size_t kWindow = (std::size_t{1} << kWindowBits) - 1;
+constexpr int kSlotBits = 6;
+
+// Probability model; one instance per (de)compression call.
+struct Model {
+  Prob is_match[16];
+  Prob is_rep[16];  // "reuse the previous distance" flag (LZMA rep0)
+  std::vector<Prob> lit;       // [256 contexts][256 tree nodes]
+  Prob len_tree[256];
+  Prob rep_len_tree[256];
+  Prob slot_tree[64];
+
+  Model() : lit(256 * 256, kProbInit) {
+    std::fill(std::begin(is_match), std::end(is_match), kProbInit);
+    std::fill(std::begin(is_rep), std::end(is_rep), kProbInit);
+    std::fill(std::begin(len_tree), std::end(len_tree), kProbInit);
+    std::fill(std::begin(rep_len_tree), std::end(rep_len_tree), kProbInit);
+    std::fill(std::begin(slot_tree), std::end(slot_tree), kProbInit);
+  }
+};
+
+// Distance slot: values 0-3 map to slots 0-3; larger values use
+// slot = 2*(bit_length-1) + next-to-top bit, with (slot/2 - 1) direct bits.
+std::uint32_t slot_for(std::uint32_t value) {
+  if (value < 4) return value;
+  const int bl = 32 - std::countl_zero(value);
+  return static_cast<std::uint32_t>(2 * (bl - 1)) + ((value >> (bl - 2)) & 1u);
+}
+
+class LzmaLiteCompressor final : public Compressor {
+ public:
+  LzmaLiteCompressor(std::string family, int level)
+      : family_(std::move(family)), level_(level) {}
+
+  std::string name() const override { return family_ + "-" + std::to_string(level_); }
+
+  Bytes compress(ByteView src) const override {
+    Bytes payload = compress_stream(src);
+    if (family_ == "xz") {
+      // Container: magic, uncompressed CRC, then the lzma stream.
+      Bytes out;
+      out.reserve(payload.size() + 8);
+      out.push_back('F');
+      out.push_back('X');
+      out.push_back('Z');
+      out.push_back('1');
+      append_le<std::uint32_t>(out, crc32(src));
+      out.insert(out.end(), payload.begin(), payload.end());
+      return out;
+    }
+    return payload;
+  }
+
+  Bytes decompress(ByteView src, std::size_t original_size) const override {
+    if (family_ == "xz") {
+      if (src.size() < 8 || src[0] != 'F' || src[1] != 'X' || src[2] != 'Z' ||
+          src[3] != '1') {
+        throw CorruptDataError("xz: bad magic");
+      }
+      const std::uint32_t want_crc = load_le<std::uint32_t>(src.data() + 4);
+      Bytes out = decompress_stream(src.subspan(8), original_size);
+      if (crc32(as_view(out)) != want_crc) throw CorruptDataError("xz: CRC mismatch");
+      return out;
+    }
+    return decompress_stream(src, original_size);
+  }
+
+ private:
+  Bytes compress_stream(ByteView src) const {
+    Bytes out;
+    out.reserve(src.size() / 3 + 64);
+    RangeEncoder rc(out);
+    Model m;
+    const std::size_t n = src.size();
+    const std::size_t depth = std::min<std::size_t>(std::size_t{4} << level_, 8192);
+    HashChainFinder finder(src, 17, kWindow, depth, kMinMatch);
+    const bool lazy = level_ >= 6;
+
+    std::size_t i = 0;
+    std::size_t last_distance = 0;  // 0 = no previous match
+    auto match_ctx = [&] { return i & 0x0F; };
+    auto emit_literal = [&](std::size_t pos) {
+      rc.encode_bit(m.is_match[match_ctx()], 0);
+      const std::uint8_t ctx = pos > 0 ? src[pos - 1] : 0;
+      rc.encode_tree(&m.lit[static_cast<std::size_t>(ctx) * 256], src[pos], 8);
+    };
+    while (i < n) {
+      Match mt;
+      if (i + kMinMatch <= n) mt = finder.find(i, kMaxMatch);
+      if (mt.length >= kMinMatch) {
+        if (lazy && i + 1 + kMinMatch <= n && mt.length < kMaxMatch) {
+          finder.insert(i);
+          const Match mt2 = finder.find(i + 1, kMaxMatch);
+          if (mt2.length > mt.length + 1) {
+            emit_literal(i);
+            ++i;
+            mt = mt2;
+          }
+        }
+        rc.encode_bit(m.is_match[match_ctx()], 1);
+        if (mt.distance == last_distance) {
+          // rep0 match: length only (repeated structures are common in
+          // columnar/array data and this saves the whole distance field).
+          rc.encode_bit(m.is_rep[match_ctx()], 1);
+          rc.encode_tree(m.rep_len_tree,
+                         static_cast<std::uint32_t>(mt.length - kMinMatch), 8);
+        } else {
+          rc.encode_bit(m.is_rep[match_ctx()], 0);
+          rc.encode_tree(m.len_tree,
+                         static_cast<std::uint32_t>(mt.length - kMinMatch), 8);
+          const std::uint32_t dvalue = static_cast<std::uint32_t>(mt.distance - 1);
+          const std::uint32_t slot = slot_for(dvalue);
+          rc.encode_tree(m.slot_tree, slot, kSlotBits);
+          if (slot >= 4) {
+            const int nd = static_cast<int>(slot / 2) - 1;
+            const std::uint32_t base = (2u | (slot & 1u)) << nd;
+            rc.encode_direct(dvalue - base, nd);
+          }
+          last_distance = mt.distance;
+        }
+        finder.insert_run(i, std::min(n, i + mt.length));
+        i += mt.length;
+      } else {
+        emit_literal(i);
+        finder.insert(i);
+        ++i;
+      }
+    }
+    rc.flush();
+    return out;
+  }
+
+  Bytes decompress_stream(ByteView src, std::size_t original_size) const {
+    Bytes out;
+    out.reserve(original_size);
+    RangeDecoder rc(src);
+    Model m;
+    std::size_t last_distance = 0;
+    while (out.size() < original_size) {
+      const std::size_t ctx_i = out.size() & 0x0F;
+      if (rc.decode_bit(m.is_match[ctx_i]) == 0) {
+        const std::uint8_t ctx = out.empty() ? 0 : out.back();
+        out.push_back(static_cast<std::uint8_t>(
+            rc.decode_tree(&m.lit[static_cast<std::size_t>(ctx) * 256], 8)));
+        continue;
+      }
+      std::size_t length, distance;
+      if (rc.decode_bit(m.is_rep[ctx_i]) == 1) {
+        if (last_distance == 0) throw CorruptDataError("lzma: rep with no history");
+        length = kMinMatch + rc.decode_tree(m.rep_len_tree, 8);
+        distance = last_distance;
+      } else {
+        length = kMinMatch + rc.decode_tree(m.len_tree, 8);
+        const std::uint32_t slot = rc.decode_tree(m.slot_tree, kSlotBits);
+        std::uint32_t dvalue = slot;
+        if (slot >= 4) {
+          const int nd = static_cast<int>(slot / 2) - 1;
+          const std::uint32_t base = (2u | (slot & 1u)) << nd;
+          dvalue = base + rc.decode_direct(nd);
+        }
+        distance = std::size_t{dvalue} + 1;
+        last_distance = distance;
+      }
+      if (distance > out.size()) throw CorruptDataError("lzma: bad distance");
+      if (out.size() + length > original_size) throw CorruptDataError("lzma: overlong match");
+      const std::size_t from = out.size() - distance;
+      for (std::size_t k = 0; k < length; ++k) out.push_back(out[from + k]);
+    }
+    return out;
+  }
+
+  std::string family_;
+  int level_;
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_lzma(int level) {
+  return std::make_unique<LzmaLiteCompressor>("lzma", level);
+}
+
+std::unique_ptr<Compressor> make_xz(int level) {
+  return std::make_unique<LzmaLiteCompressor>("xz", level);
+}
+
+}  // namespace fanstore::compress

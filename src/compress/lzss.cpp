@@ -1,0 +1,86 @@
+// Bit-packed LZSS: flag bit 0 => 8-bit literal; flag bit 1 => match encoded
+// as `window_bits` of distance-1 and `len_bits` of (length - min_match).
+#include <algorithm>
+
+#include "compress/bitio.hpp"
+#include "compress/codecs.hpp"
+#include "compress/lz_common.hpp"
+
+namespace fanstore::compress {
+namespace {
+
+constexpr std::size_t kMinMatch = 3;
+
+class LzssCompressor final : public Compressor {
+ public:
+  LzssCompressor(int window_bits, int len_bits, int depth)
+      : window_bits_(window_bits), len_bits_(len_bits), depth_(depth) {}
+
+  std::string name() const override {
+    return "lzss-w" + std::to_string(window_bits_) + "l" +
+           std::to_string(len_bits_) + "d" + std::to_string(depth_);
+  }
+
+  Bytes compress(ByteView src) const override {
+    Bytes out;
+    BitWriter bw(out);
+    const std::size_t n = src.size();
+    const std::size_t window = std::size_t{1} << window_bits_;
+    const std::size_t max_len = kMinMatch + (std::size_t{1} << len_bits_) - 1;
+    HashChainFinder finder(src, std::min(window_bits_ + 2, 18), window,
+                           static_cast<std::size_t>(depth_), kMinMatch);
+    std::size_t i = 0;
+    while (i < n) {
+      Match m;
+      if (i + kMinMatch <= n) m = finder.find(i, max_len);
+      if (m.length >= kMinMatch) {
+        bw.put(1, 1);
+        bw.put(static_cast<std::uint32_t>(m.distance - 1), window_bits_);
+        bw.put(static_cast<std::uint32_t>(m.length - kMinMatch), len_bits_);
+        finder.insert_run(i, std::min(n, i + m.length));
+        i += m.length;
+      } else {
+        bw.put(0, 1);
+        bw.put(src[i], 8);
+        finder.insert(i);
+        ++i;
+      }
+    }
+    bw.align();
+    return out;
+  }
+
+  Bytes decompress(ByteView src, std::size_t original_size) const override {
+    Bytes out;
+    out.reserve(original_size);
+    BitReader br(src);
+    while (out.size() < original_size) {
+      if (br.get1()) {
+        const std::size_t distance = br.get(window_bits_) + 1;
+        const std::size_t length = br.get(len_bits_) + kMinMatch;
+        if (distance > out.size()) throw CorruptDataError("lzss: bad distance");
+        if (out.size() + length > original_size) {
+          throw CorruptDataError("lzss: overlong match");
+        }
+        const std::size_t from = out.size() - distance;
+        for (std::size_t k = 0; k < length; ++k) out.push_back(out[from + k]);
+      } else {
+        out.push_back(static_cast<std::uint8_t>(br.get(8)));
+      }
+    }
+    return out;
+  }
+
+ private:
+  int window_bits_;
+  int len_bits_;
+  int depth_;
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_lzss(int window_bits, int len_bits, int depth) {
+  return std::make_unique<LzssCompressor>(window_bits, len_bits, depth);
+}
+
+}  // namespace fanstore::compress

@@ -1,0 +1,121 @@
+// LZSSE8-like codec: control flags cover 8 items; a literal item is a raw
+// 8-byte copy and a match item is (u16 distance, u8 extra-length). Decoding
+// is branch-light bulk copying, which is what makes LZSSE-class codecs the
+// fastest decoders in the paper's Figure 7 sweep.
+#include <algorithm>
+#include <cstring>
+
+#include "compress/codecs.hpp"
+#include "compress/lz_common.hpp"
+#include "util/bytes.hpp"
+
+namespace fanstore::compress {
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kLiteralRun = 8;
+constexpr std::size_t kMaxMatch = kMinMatch + 255;  // len byte range
+constexpr std::size_t kWindow = 65535;
+
+class Lzsse8Compressor final : public Compressor {
+ public:
+  explicit Lzsse8Compressor(int depth) : depth_(depth) {}
+
+  std::string name() const override { return "lzsse8-d" + std::to_string(depth_); }
+
+  Bytes compress(ByteView src) const override {
+    Bytes out;
+    out.reserve(src.size() + src.size() / 8 + 16);
+    const std::size_t n = src.size();
+    HashChainFinder finder(src, 16, kWindow, static_cast<std::size_t>(depth_),
+                           kMinMatch);
+    std::size_t i = 0;
+    std::size_t flag_pos = 0;  // index into out of the current flag byte
+    int item = 8;              // items used in the current flag byte
+    auto begin_item = [&](bool is_match) {
+      if (item == 8) {
+        flag_pos = out.size();
+        out.push_back(0);
+        item = 0;
+      }
+      if (is_match) out[flag_pos] |= static_cast<std::uint8_t>(1u << item);
+      ++item;
+    };
+    while (i < n) {
+      Match m;
+      if (i + kMinMatch <= n) m = finder.find(i, kMaxMatch);
+      if (m.length >= kMinMatch) {
+        begin_item(true);
+        append_le<std::uint16_t>(out, static_cast<std::uint16_t>(m.distance));
+        out.push_back(static_cast<std::uint8_t>(m.length - kMinMatch));
+        finder.insert_run(i, std::min(n, i + m.length));
+        i += m.length;
+      } else {
+        begin_item(false);
+        const std::size_t len = std::min(kLiteralRun, n - i);
+        out.insert(out.end(), src.begin() + static_cast<std::ptrdiff_t>(i),
+                   src.begin() + static_cast<std::ptrdiff_t>(i + len));
+        finder.insert_run(i, std::min(n, i + len));
+        i += len;
+      }
+    }
+    return out;
+  }
+
+  Bytes decompress(ByteView src, std::size_t original_size) const override {
+    // Over-allocate by one literal run so the hot path can always copy 8
+    // bytes unconditionally, then trim.
+    Bytes out;
+    out.resize(original_size + kLiteralRun);
+    std::size_t o = 0;
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+    std::uint8_t flags = 0;
+    int remaining = 0;
+    while (o < original_size) {
+      if (remaining == 0) {
+        if (i >= n) throw CorruptDataError("lzsse8: truncated flags");
+        flags = src[i++];
+        remaining = 8;
+      }
+      const bool is_match = (flags & 1u) != 0;
+      flags >>= 1;
+      --remaining;
+      if (is_match) {
+        if (i + 3 > n) throw CorruptDataError("lzsse8: truncated match");
+        const std::size_t distance = load_le<std::uint16_t>(src.data() + i);
+        const std::size_t length = kMinMatch + src[i + 2];
+        i += 3;
+        if (distance == 0 || distance > o) throw CorruptDataError("lzsse8: bad distance");
+        if (o + length > original_size) throw CorruptDataError("lzsse8: overlong match");
+        std::uint8_t* dst = out.data() + o;
+        const std::uint8_t* from = dst - distance;
+        if (distance >= 8) {
+          for (std::size_t k = 0; k < length; k += 8) std::memcpy(dst + k, from + k, 8);
+        } else {
+          for (std::size_t k = 0; k < length; ++k) dst[k] = from[k];
+        }
+        o += length;
+      } else {
+        const std::size_t len = std::min(kLiteralRun, original_size - o);
+        if (i + len > n) throw CorruptDataError("lzsse8: truncated literals");
+        std::memcpy(out.data() + o, src.data() + i, kLiteralRun <= n - i ? kLiteralRun : len);
+        o += len;
+        i += len;
+      }
+    }
+    out.resize(original_size);
+    return out;
+  }
+
+ private:
+  int depth_;
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_lzsse8(int depth) {
+  return std::make_unique<Lzsse8Compressor>(depth);
+}
+
+}  // namespace fanstore::compress

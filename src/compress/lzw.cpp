@@ -1,0 +1,181 @@
+// LZW with variable-width codes (9 .. max_bits). Codes 0-255 are literals;
+// 256 is an explicit CLEAR emitted when the dictionary fills.
+//
+// Width synchronization: when the encoder emits a code it has E entries
+// defined and the emitted value is <= E-1, so it writes with
+// width(E-1) = clamp(bit_width(E-1), 9, max_bits). At that moment the
+// decoder has exactly D = E-1 entries (it trails by the one pending entry),
+// so it reads with width(D) — the same number. Both sides stop growing the
+// dictionary at max_code and reset on CLEAR.
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "compress/bitio.hpp"
+#include "compress/codecs.hpp"
+
+namespace fanstore::compress {
+namespace {
+
+constexpr std::uint32_t kClear = 256;
+constexpr std::uint32_t kFirst = 257;
+
+int width_for(std::uint32_t max_value, int max_bits) {
+  const int w = static_cast<int>(std::bit_width(max_value));
+  return w < 9 ? 9 : (w > max_bits ? max_bits : w);
+}
+
+// Open-addressing hash map from (prefix code, byte) to code, for the encoder.
+class TrieMap {
+ public:
+  explicit TrieMap(std::size_t capacity_pow2) : slots_(capacity_pow2, Slot{}) {}
+
+  void clear() { std::fill(slots_.begin(), slots_.end(), Slot{}); }
+
+  // Returns the code for (node, b), or -1. `key` must be re-derived on insert.
+  std::int32_t find(std::uint32_t node, std::uint8_t b) const {
+    const std::uint32_t key = make_key(node, b);
+    std::size_t h = hash(key);
+    for (;;) {
+      const Slot& s = slots_[h];
+      if (s.key == 0) return -1;
+      if (s.key == key) return s.code;
+      h = (h + 1) & (slots_.size() - 1);
+    }
+  }
+
+  void insert(std::uint32_t node, std::uint8_t b, std::uint32_t code) {
+    const std::uint32_t key = make_key(node, b);
+    std::size_t h = hash(key);
+    while (slots_[h].key != 0) h = (h + 1) & (slots_.size() - 1);
+    slots_[h] = Slot{key, static_cast<std::int32_t>(code)};
+  }
+
+ private:
+  struct Slot {
+    std::uint32_t key = 0;  // 0 = empty; real keys are offset by +1
+    std::int32_t code = -1;
+  };
+  static std::uint32_t make_key(std::uint32_t node, std::uint8_t b) {
+    return ((node << 8) | b) + 1;
+  }
+  std::size_t hash(std::uint32_t key) const {
+    return (key * 2654435761u) & (slots_.size() - 1);
+  }
+  std::vector<Slot> slots_;
+};
+
+class LzwCompressor final : public Compressor {
+ public:
+  explicit LzwCompressor(int max_bits) : max_bits_(max_bits) {}
+
+  std::string name() const override { return "lzw-" + std::to_string(max_bits_); }
+
+  Bytes compress(ByteView src) const override {
+    Bytes out;
+    BitWriter bw(out);
+    if (src.empty()) return out;
+
+    const std::uint32_t max_code = 1u << max_bits_;
+    TrieMap trie(std::size_t{4} << max_bits_);
+    std::uint32_t next_code = kFirst;
+    std::uint32_t node = src[0];
+    for (std::size_t i = 1; i < src.size(); ++i) {
+      const std::uint8_t b = src[i];
+      const std::int32_t child = trie.find(node, b);
+      if (child >= 0) {
+        node = static_cast<std::uint32_t>(child);
+        continue;
+      }
+      bw.put(node, width_for(next_code - 1, max_bits_));
+      if (next_code < max_code) {
+        trie.insert(node, b, next_code++);
+      } else {
+        bw.put(kClear, width_for(next_code - 1, max_bits_));
+        trie.clear();
+        next_code = kFirst;
+      }
+      node = b;
+    }
+    bw.put(node, width_for(next_code - 1, max_bits_));
+    bw.align();
+    return out;
+  }
+
+  Bytes decompress(ByteView src, std::size_t original_size) const override {
+    Bytes out;
+    out.reserve(original_size);
+    if (original_size == 0) return out;
+    BitReader br(src);
+    const std::uint32_t max_code = 1u << max_bits_;
+
+    std::vector<std::uint32_t> prefix(max_code);
+    std::vector<std::uint8_t> append(max_code);
+    std::vector<std::uint8_t> scratch;
+
+    // Emits the string for `code`; returns its first byte.
+    auto expand = [&](std::uint32_t code) {
+      scratch.clear();
+      while (code >= kFirst) {
+        scratch.push_back(append[code]);
+        code = prefix[code];
+      }
+      scratch.push_back(static_cast<std::uint8_t>(code));
+      if (out.size() + scratch.size() > original_size) {
+        throw CorruptDataError("lzw: overlong output");
+      }
+      for (std::size_t k = scratch.size(); k-- > 0;) out.push_back(scratch[k]);
+      return static_cast<std::uint8_t>(code);
+    };
+
+    std::uint32_t next_code = kFirst;
+    bool fresh = true;  // next code read is the first after start/CLEAR
+    std::uint32_t prev = 0;
+
+    while (out.size() < original_size) {
+      const std::uint32_t code = br.get(width_for(next_code, max_bits_));
+      if (code == kClear) {
+        next_code = kFirst;
+        fresh = true;
+        continue;
+      }
+      if (fresh) {
+        if (code > 255) throw CorruptDataError("lzw: bad initial code");
+        if (out.size() + 1 > original_size) throw CorruptDataError("lzw: overlong output");
+        out.push_back(static_cast<std::uint8_t>(code));
+        prev = code;
+        fresh = false;
+        continue;
+      }
+      std::uint8_t first;
+      if (code < next_code) {
+        first = expand(code);
+      } else if (code == next_code) {
+        // KwKwK: the string is prev's string followed by its own first byte.
+        first = expand(prev);
+        if (out.size() + 1 > original_size) throw CorruptDataError("lzw: overlong output");
+        out.push_back(first);
+      } else {
+        throw CorruptDataError("lzw: code out of range");
+      }
+      if (next_code < max_code) {
+        prefix[next_code] = prev;
+        append[next_code] = first;
+        ++next_code;
+      }
+      prev = code;
+    }
+    return out;
+  }
+
+ private:
+  int max_bits_;
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_lzw(int max_bits) {
+  return std::make_unique<LzwCompressor>(max_bits);
+}
+
+}  // namespace fanstore::compress

@@ -1,0 +1,173 @@
+// Order-0 rANS (range asymmetric numeral system) entropy codec — the
+// entropy stage modern codecs (zstd/FSE class) use instead of Huffman.
+// Block format: [u32 n][256 x u16 normalized freqs][u32 payload_len][payload].
+//
+// Encoder emits renormalization bytes in reverse (standard rANS); the
+// decoder reads the payload forward. Frequencies are normalized to 2^12.
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "compress/codecs.hpp"
+
+namespace fanstore::compress {
+namespace {
+
+constexpr std::uint32_t kProbBitsR = 12;
+constexpr std::uint32_t kProbScale = 1u << kProbBitsR;
+constexpr std::uint32_t kRansL = 1u << 23;  // lower bound of the state range
+
+// Normalizes `counts` so they sum to kProbScale with every present symbol
+// getting at least 1.
+std::array<std::uint32_t, 256> normalize(const std::array<std::uint64_t, 256>& counts,
+                                         std::uint64_t total) {
+  std::array<std::uint32_t, 256> freq{};
+  if (total == 0) return freq;
+  std::uint32_t assigned = 0;
+  int last_nonzero = -1;
+  for (int s = 0; s < 256; ++s) {
+    if (counts[static_cast<std::size_t>(s)] == 0) continue;
+    std::uint32_t f = static_cast<std::uint32_t>(
+        counts[static_cast<std::size_t>(s)] * kProbScale / total);
+    if (f == 0) f = 1;
+    freq[static_cast<std::size_t>(s)] = f;
+    assigned += f;
+    last_nonzero = s;
+  }
+  // Fix the rounding drift on the most frequent symbol (or steal 1s).
+  while (assigned > kProbScale) {
+    // Reduce the largest frequency that stays >= 1.
+    int best = last_nonzero;
+    for (int s = 0; s < 256; ++s) {
+      if (freq[static_cast<std::size_t>(s)] > freq[static_cast<std::size_t>(best)]) {
+        best = s;
+      }
+    }
+    freq[static_cast<std::size_t>(best)]--;
+    assigned--;
+  }
+  if (assigned < kProbScale) {
+    int best = last_nonzero;
+    for (int s = 0; s < 256; ++s) {
+      if (freq[static_cast<std::size_t>(s)] > freq[static_cast<std::size_t>(best)]) {
+        best = s;
+      }
+    }
+    freq[static_cast<std::size_t>(best)] += kProbScale - assigned;
+  }
+  return freq;
+}
+
+class RansCompressor final : public Compressor {
+ public:
+  explicit RansCompressor(std::size_t block) : block_(block) {}
+
+  std::string name() const override {
+    return "rans-" + std::to_string(block_ / 1024) + "k";
+  }
+
+  Bytes compress(ByteView src) const override {
+    Bytes out;
+    for (std::size_t off = 0; off < src.size(); off += block_) {
+      const std::size_t len = std::min(block_, src.size() - off);
+      const ByteView block = src.subspan(off, len);
+
+      std::array<std::uint64_t, 256> counts{};
+      for (std::uint8_t b : block) counts[b]++;
+      const auto freq = normalize(counts, len);
+      std::array<std::uint32_t, 256> cum{};
+      std::uint32_t acc = 0;
+      for (int s = 0; s < 256; ++s) {
+        cum[static_cast<std::size_t>(s)] = acc;
+        acc += freq[static_cast<std::size_t>(s)];
+      }
+
+      // Encode in reverse, emitting renorm bytes backwards.
+      Bytes rev;
+      rev.reserve(len / 2 + 16);
+      std::uint32_t x = kRansL;
+      for (std::size_t i = len; i-- > 0;) {
+        const std::uint8_t s = block[i];
+        const std::uint32_t f = freq[s];
+        const std::uint32_t x_max = ((kRansL >> kProbBitsR) << 8) * f;
+        while (x >= x_max) {
+          rev.push_back(static_cast<std::uint8_t>(x & 0xFF));
+          x >>= 8;
+        }
+        x = ((x / f) << kProbBitsR) + (x % f) + cum[s];
+      }
+
+      append_le<std::uint32_t>(out, static_cast<std::uint32_t>(len));
+      for (int s = 0; s < 256; ++s) {
+        append_le<std::uint16_t>(out, static_cast<std::uint16_t>(freq[static_cast<std::size_t>(s)]));
+      }
+      append_le<std::uint32_t>(out, static_cast<std::uint32_t>(rev.size() + 4));
+      append_le<std::uint32_t>(out, x);  // final state, read first
+      out.insert(out.end(), rev.rbegin(), rev.rend());
+    }
+    return out;
+  }
+
+  Bytes decompress(ByteView src, std::size_t original_size) const override {
+    Bytes out;
+    out.reserve(original_size);
+    std::size_t pos = 0;
+    while (out.size() < original_size) {
+      if (pos + 4 + 512 + 4 > src.size()) throw CorruptDataError("rans: truncated header");
+      const std::uint32_t len = load_le<std::uint32_t>(src.data() + pos);
+      pos += 4;
+      if (len == 0 || out.size() + len > original_size) {
+        throw CorruptDataError("rans: bad block length");
+      }
+      std::array<std::uint32_t, 256> freq{};
+      std::array<std::uint32_t, 256> cum{};
+      std::uint32_t acc = 0;
+      for (int s = 0; s < 256; ++s) {
+        freq[static_cast<std::size_t>(s)] = load_le<std::uint16_t>(src.data() + pos);
+        pos += 2;
+        cum[static_cast<std::size_t>(s)] = acc;
+        acc += freq[static_cast<std::size_t>(s)];
+      }
+      if (acc != kProbScale) throw CorruptDataError("rans: bad frequency table");
+      // Slot -> symbol lookup.
+      std::vector<std::uint8_t> slot_sym(kProbScale);
+      for (int s = 0; s < 256; ++s) {
+        for (std::uint32_t k = 0; k < freq[static_cast<std::size_t>(s)]; ++k) {
+          slot_sym[cum[static_cast<std::size_t>(s)] + k] = static_cast<std::uint8_t>(s);
+        }
+      }
+      const std::uint32_t payload_len = load_le<std::uint32_t>(src.data() + pos);
+      pos += 4;
+      if (payload_len < 4 || pos + payload_len > src.size()) {
+        throw CorruptDataError("rans: truncated payload");
+      }
+      const std::uint8_t* p = src.data() + pos;
+      const std::uint8_t* p_end = p + payload_len;
+      std::uint32_t x = load_le<std::uint32_t>(p);
+      p += 4;
+      for (std::uint32_t i = 0; i < len; ++i) {
+        const std::uint32_t slot = x & (kProbScale - 1);
+        const std::uint8_t s = slot_sym[slot];
+        out.push_back(s);
+        x = freq[s] * (x >> kProbBitsR) + slot - cum[s];
+        while (x < kRansL) {
+          if (p == p_end) throw CorruptDataError("rans: payload exhausted");
+          x = (x << 8) | *p++;
+        }
+      }
+      pos += payload_len;
+    }
+    return out;
+  }
+
+ private:
+  std::size_t block_;
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_rans(std::size_t block) {
+  return std::make_unique<RansCompressor>(block);
+}
+
+}  // namespace fanstore::compress

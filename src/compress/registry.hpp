@@ -1,0 +1,49 @@
+// Registry of every codec configuration, each with a stable 2-byte id that
+// is persisted in the partition format's per-file `compressor` field.
+//
+// The paper sweeps "180 compressor and option combinations" from lzbench
+// (§VII-D); this registry provides the equivalent configuration space for
+// our from-scratch suite (the exact count is asserted >= 180 in tests).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "compress/compressor.hpp"
+
+namespace fanstore::compress {
+
+struct RegisteredCompressor {
+  CompressorId id;
+  std::string family;  // e.g. "lz4hc" — groups levels of one algorithm
+  const Compressor* codec;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry (configurations are immutable and stateless).
+  static const Registry& instance();
+
+  /// Lookup by persisted id; nullptr if unknown.
+  const Compressor* by_id(CompressorId id) const;
+
+  /// Lookup by exact configuration name ("lz4hc-9") or family alias
+  /// ("lz4hc" resolves to that family's default level). nullptr if unknown.
+  const Compressor* by_name(std::string_view name) const;
+
+  /// Id for a configuration name (exact or alias); throws if unknown.
+  CompressorId id_by_name(std::string_view name) const;
+
+  /// Id of a registered codec instance; throws if not from this registry.
+  CompressorId id_of(const Compressor& codec) const;
+
+  /// All configurations, ordered by id.
+  const std::vector<RegisteredCompressor>& all() const { return entries_; }
+
+ private:
+  Registry();
+  std::vector<std::unique_ptr<Compressor>> owned_;
+  std::vector<RegisteredCompressor> entries_;
+};
+
+}  // namespace fanstore::compress

@@ -1,0 +1,94 @@
+// "store" (identity) and PackBits-style RLE codecs.
+#include <algorithm>
+
+#include "compress/codecs.hpp"
+
+namespace fanstore::compress {
+namespace {
+
+class StoreCompressor final : public Compressor {
+ public:
+  std::string name() const override { return "store"; }
+
+  Bytes compress(ByteView src) const override { return Bytes(src.begin(), src.end()); }
+
+  Bytes decompress(ByteView src, std::size_t original_size) const override {
+    if (src.size() != original_size) {
+      throw CorruptDataError("store: size mismatch");
+    }
+    return Bytes(src.begin(), src.end());
+  }
+};
+
+// PackBits control byte: n in [0,127] => copy n+1 literal bytes;
+// n in [129,255] => repeat next byte 257-n times; 128 is unused.
+class RleCompressor final : public Compressor {
+ public:
+  std::string name() const override { return "rle"; }
+
+  Bytes compress(ByteView src) const override {
+    Bytes out;
+    out.reserve(src.size() / 2 + 16);
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+    while (i < n) {
+      // Measure the run starting at i.
+      std::size_t run = 1;
+      while (i + run < n && src[i + run] == src[i] && run < 128) ++run;
+      if (run >= 3) {
+        out.push_back(static_cast<std::uint8_t>(257 - run));
+        out.push_back(src[i]);
+        i += run;
+        continue;
+      }
+      // Collect a literal stretch up to the next run of >= 3 (max 128).
+      std::size_t lit_end = i;
+      while (lit_end < n && lit_end - i < 128) {
+        std::size_t r = 1;
+        while (lit_end + r < n && src[lit_end + r] == src[lit_end] && r < 3) ++r;
+        if (r >= 3) break;
+        ++lit_end;
+      }
+      if (lit_end == i) lit_end = i + 1;  // run of >=3 right here handled above
+      const std::size_t len = lit_end - i;
+      out.push_back(static_cast<std::uint8_t>(len - 1));
+      out.insert(out.end(), src.begin() + static_cast<std::ptrdiff_t>(i),
+                 src.begin() + static_cast<std::ptrdiff_t>(lit_end));
+      i = lit_end;
+    }
+    return out;
+  }
+
+  Bytes decompress(ByteView src, std::size_t original_size) const override {
+    Bytes out;
+    out.reserve(original_size);
+    std::size_t i = 0;
+    while (out.size() < original_size) {
+      if (i >= src.size()) throw CorruptDataError("rle: truncated stream");
+      const std::uint8_t ctrl = src[i++];
+      if (ctrl <= 127) {
+        const std::size_t len = std::size_t{ctrl} + 1;
+        if (i + len > src.size()) throw CorruptDataError("rle: truncated literals");
+        if (out.size() + len > original_size) throw CorruptDataError("rle: overlong output");
+        out.insert(out.end(), src.begin() + static_cast<std::ptrdiff_t>(i),
+                   src.begin() + static_cast<std::ptrdiff_t>(i + len));
+        i += len;
+      } else if (ctrl == 128) {
+        throw CorruptDataError("rle: invalid control byte 128");
+      } else {
+        const std::size_t len = 257 - std::size_t{ctrl};
+        if (i >= src.size()) throw CorruptDataError("rle: truncated run byte");
+        if (out.size() + len > original_size) throw CorruptDataError("rle: overlong output");
+        out.insert(out.end(), len, src[i++]);
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_store() { return std::make_unique<StoreCompressor>(); }
+std::unique_ptr<Compressor> make_rle() { return std::make_unique<RleCompressor>(); }
+
+}  // namespace fanstore::compress

@@ -1,0 +1,159 @@
+#include "compress/suffix_array.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fanstore::compress {
+
+namespace {
+
+// Generic SA-IS over an integer alphabet. `text` must end with a unique
+// smallest sentinel (0). Writes the suffix array (including the sentinel
+// suffix at position 0) into `sa`.
+void sais_core(const std::vector<std::uint32_t>& text, std::uint32_t alphabet,
+               std::vector<std::uint32_t>& sa) {
+  const std::size_t n = text.size();
+  constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
+  sa.assign(n, kEmpty);
+  if (n == 1) {
+    sa[0] = 0;
+    return;
+  }
+
+  // 1. Classify suffixes: S-type (true) or L-type.
+  std::vector<bool> is_s(n);
+  is_s[n - 1] = true;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    is_s[i] = text[i] < text[i + 1] || (text[i] == text[i + 1] && is_s[i + 1]);
+  }
+  auto is_lms = [&](std::size_t i) { return i > 0 && is_s[i] && !is_s[i - 1]; };
+
+  // Bucket boundaries per symbol.
+  std::vector<std::uint32_t> bucket_sizes(alphabet, 0);
+  for (const auto c : text) bucket_sizes[c]++;
+  std::vector<std::uint32_t> bucket_heads(alphabet), bucket_tails(alphabet);
+  auto reset_buckets = [&] {
+    std::uint32_t acc = 0;
+    for (std::uint32_t c = 0; c < alphabet; ++c) {
+      bucket_heads[c] = acc;
+      acc += bucket_sizes[c];
+      bucket_tails[c] = acc;  // exclusive end
+    }
+  };
+
+  // Induced sort given LMS positions placed at bucket tails.
+  auto induce = [&](const std::vector<std::uint32_t>& lms_order) {
+    std::fill(sa.begin(), sa.end(), kEmpty);
+    reset_buckets();
+    // Place LMS suffixes at the tails of their buckets (in reverse order).
+    std::vector<std::uint32_t> tails = bucket_tails;
+    for (std::size_t k = lms_order.size(); k-- > 0;) {
+      const std::uint32_t i = lms_order[k];
+      sa[--tails[text[i]]] = i;
+    }
+    // Left-to-right pass: induce L-type suffixes.
+    std::vector<std::uint32_t> heads = bucket_heads;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::uint32_t j = sa[k];
+      if (j == kEmpty || j == 0) continue;
+      const std::uint32_t i = j - 1;
+      if (!is_s[i]) sa[heads[text[i]]++] = i;
+    }
+    // Right-to-left pass: induce S-type suffixes (overwrites LMS slots).
+    tails = bucket_tails;
+    for (std::size_t k = n; k-- > 0;) {
+      const std::uint32_t j = sa[k];
+      if (j == kEmpty || j == 0) continue;
+      const std::uint32_t i = j - 1;
+      if (is_s[i]) sa[--tails[text[i]]] = i;
+    }
+  };
+
+  // 2. Collect LMS positions in text order.
+  std::vector<std::uint32_t> lms;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (is_lms(i)) lms.push_back(static_cast<std::uint32_t>(i));
+  }
+  induce(lms);
+
+  // 3. Name LMS substrings from their sorted order.
+  std::vector<std::uint32_t> sorted_lms;
+  sorted_lms.reserve(lms.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    if (sa[k] != kEmpty && is_lms(sa[k])) sorted_lms.push_back(sa[k]);
+  }
+  std::vector<std::uint32_t> name_of(n, kEmpty);
+  std::uint32_t names = 0;
+  std::uint32_t prev = kEmpty;
+  auto lms_equal = [&](std::uint32_t a, std::uint32_t b) {
+    // Compare LMS substrings starting at a and b (inclusive of the next
+    // LMS position).
+    for (std::size_t d = 0;; ++d) {
+      const bool a_lms = d > 0 && is_lms(a + d);
+      const bool b_lms = d > 0 && is_lms(b + d);
+      if (text[a + d] != text[b + d] || is_s[a + d] != is_s[b + d]) return false;
+      if (a_lms || b_lms) return a_lms && b_lms;
+    }
+  };
+  for (const auto pos : sorted_lms) {
+    if (prev == kEmpty || !lms_equal(prev, pos)) ++names;
+    name_of[pos] = names - 1;
+    prev = pos;
+  }
+
+  // 4. Recurse if names are not yet unique.
+  std::vector<std::uint32_t> lms_order(lms.size());
+  if (names < lms.size()) {
+    std::vector<std::uint32_t> reduced(lms.size());
+    for (std::size_t k = 0; k < lms.size(); ++k) reduced[k] = name_of[lms[k]];
+    std::vector<std::uint32_t> sub_sa;
+    sais_core(reduced, names, sub_sa);
+    for (std::size_t k = 0; k < lms.size(); ++k) lms_order[k] = lms[sub_sa[k]];
+  } else {
+    lms_order = sorted_lms;
+  }
+
+  // 5. Final induced sort with correctly ordered LMS suffixes.
+  induce(lms_order);
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> suffix_array_sais(ByteView s) {
+  const std::size_t n = s.size();
+  if (n == 0) return {};
+  // Append the sentinel (0) and shift the alphabet by +1.
+  std::vector<std::uint32_t> text(n + 1);
+  for (std::size_t i = 0; i < n; ++i) text[i] = static_cast<std::uint32_t>(s[i]) + 1;
+  text[n] = 0;
+  std::vector<std::uint32_t> sa;
+  sais_core(text, 257, sa);
+  // Drop the sentinel suffix (always first).
+  return std::vector<std::uint32_t>(sa.begin() + 1, sa.end());
+}
+
+std::vector<std::uint32_t> suffix_array_doubling(ByteView s) {
+  const std::size_t n = s.size();
+  std::vector<std::uint32_t> sa(n), rank(n), tmp(n);
+  if (n == 0) return sa;
+  std::iota(sa.begin(), sa.end(), 0);
+  for (std::size_t i = 0; i < n; ++i) rank[i] = s[i];
+  for (std::size_t k = 1;; k *= 2) {
+    auto cmp = [&](std::uint32_t a, std::uint32_t b) {
+      if (rank[a] != rank[b]) return rank[a] < rank[b];
+      const std::uint32_t ra = a + k < n ? rank[a + k] + 1 : 0;
+      const std::uint32_t rb = b + k < n ? rank[b + k] + 1 : 0;
+      return ra < rb;
+    };
+    std::sort(sa.begin(), sa.end(), cmp);
+    tmp[sa[0]] = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      tmp[sa[i]] = tmp[sa[i - 1]] + (cmp(sa[i - 1], sa[i]) ? 1 : 0);
+    }
+    rank = tmp;
+    if (rank[sa[n - 1]] == n - 1) break;
+  }
+  return sa;
+}
+
+}  // namespace fanstore::compress

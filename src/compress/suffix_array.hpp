@@ -1,0 +1,22 @@
+// Suffix-array construction for the BWT stage.
+//
+// Two implementations: SA-IS (linear time, the production path — what real
+// bzip2-class tools need for large blocks) and prefix doubling
+// (O(n log^2 n), simple, kept as the differential-testing oracle).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace fanstore::compress {
+
+/// Linear-time SA-IS construction. Returns the suffix array of `s`
+/// (indices of suffixes in lexicographic order, no sentinel included).
+std::vector<std::uint32_t> suffix_array_sais(ByteView s);
+
+/// O(n log^2 n) prefix-doubling construction (reference implementation).
+std::vector<std::uint32_t> suffix_array_doubling(ByteView s);
+
+}  // namespace fanstore::compress

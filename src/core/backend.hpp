@@ -1,0 +1,73 @@
+// Compressed-object backends (§IV-C1): the node-local store that holds the
+// partitions' compressed file payloads. RAM backend = hash table of byte
+// arrays; Vfs backend = files on the node-local filesystem (SSD), matching
+// the paper's two back-end options.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "compress/compressor.hpp"
+#include "posixfs/vfs.hpp"
+#include "util/bytes.hpp"
+
+namespace fanstore::core {
+
+struct Blob {
+  compress::CompressorId compressor = 0;
+  Bytes data;  // compressed payload
+};
+
+class CompressedBackend {
+ public:
+  virtual ~CompressedBackend() = default;
+  virtual void put(const std::string& path, Blob blob) = 0;
+  virtual std::optional<Blob> get(const std::string& path) const = 0;
+  virtual bool contains(const std::string& path) const = 0;
+  virtual std::size_t bytes_used() const = 0;
+  virtual std::size_t object_count() const = 0;
+};
+
+/// RAM-backed store: compressed byte arrays in a hash table keyed by path.
+class RamBackend final : public CompressedBackend {
+ public:
+  void put(const std::string& path, Blob blob) override;
+  std::optional<Blob> get(const std::string& path) const override;
+  bool contains(const std::string& path) const override;
+  std::size_t bytes_used() const override;
+  std::size_t object_count() const override;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Blob> blobs_;
+  std::size_t bytes_ = 0;
+};
+
+/// Local-disk store: each object is a file `<root>/<path>` whose contents
+/// are a 2-byte compressor id followed by the compressed payload.
+class VfsBackend final : public CompressedBackend {
+ public:
+  /// `local_fs` models the node-local SSD; must outlive the backend.
+  VfsBackend(posixfs::Vfs* local_fs, std::string root);
+
+  void put(const std::string& path, Blob blob) override;
+  std::optional<Blob> get(const std::string& path) const override;
+  bool contains(const std::string& path) const override;
+  std::size_t bytes_used() const override;
+  std::size_t object_count() const override;
+
+ private:
+  std::string object_path(const std::string& path) const;
+
+  posixfs::Vfs* fs_;
+  std::string root_;
+  mutable std::mutex mu_;
+  std::size_t bytes_ = 0;
+  std::size_t count_ = 0;
+  std::unordered_map<std::string, bool> known_;  // membership cache
+};
+
+}  // namespace fanstore::core

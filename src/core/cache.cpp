@@ -1,0 +1,87 @@
+#include "core/cache.hpp"
+
+namespace fanstore::core {
+
+PlainCache::PlainCache(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+std::shared_ptr<const Bytes> PlainCache::acquire(const std::string& path,
+                                                 const std::function<Bytes()>& loader,
+                                                 bool* loaded) {
+  {
+    std::lock_guard lk(mu_);
+    const auto it = entries_.find(path);
+    if (it != entries_.end()) {
+      it->second.open_count++;
+      stats_.hits++;
+      if (loaded != nullptr) *loaded = false;
+      return it->second.data;
+    }
+  }
+  // Miss: run the (potentially slow) loader without holding the lock.
+  // Concurrent misses on the same path may both load; the second insert
+  // simply adopts the existing entry.
+  auto data = std::make_shared<const Bytes>(loader());
+  if (loaded != nullptr) *loaded = true;
+  std::lock_guard lk(mu_);
+  stats_.misses++;
+  const auto it = entries_.find(path);
+  if (it != entries_.end()) {
+    it->second.open_count++;
+    return it->second.data;
+  }
+  Entry e;
+  e.data = data;
+  e.open_count = 1;
+  fifo_.push_back(path);
+  e.fifo_pos = std::prev(fifo_.end());
+  e.in_fifo = true;
+  bytes_used_ += data->size();
+  entries_.emplace(path, std::move(e));
+  evict_if_needed_locked();
+  return data;
+}
+
+void PlainCache::release(const std::string& path) {
+  std::lock_guard lk(mu_);
+  const auto it = entries_.find(path);
+  if (it == entries_.end()) return;
+  if (it->second.open_count > 0) it->second.open_count--;
+  evict_if_needed_locked();
+}
+
+void PlainCache::evict_if_needed_locked() {
+  // FIFO scan, skipping pinned entries (the paper's "variant of FIFO").
+  auto pos = fifo_.begin();
+  while (bytes_used_ > capacity_ && pos != fifo_.end()) {
+    const auto it = entries_.find(*pos);
+    if (it == entries_.end()) {
+      pos = fifo_.erase(pos);
+      continue;
+    }
+    if (it->second.open_count > 0) {
+      ++pos;  // in use by some I/O thread: skip
+      continue;
+    }
+    bytes_used_ -= it->second.data->size();
+    stats_.evictions++;
+    pos = fifo_.erase(pos);
+    entries_.erase(it);
+  }
+}
+
+bool PlainCache::contains(const std::string& path) const {
+  std::lock_guard lk(mu_);
+  return entries_.count(path) > 0;
+}
+
+std::size_t PlainCache::bytes_used() const {
+  std::lock_guard lk(mu_);
+  return bytes_used_;
+}
+
+PlainCache::CacheStats PlainCache::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+}  // namespace fanstore::core

@@ -1,0 +1,67 @@
+// Decompressed-data cache (§IV-C3, Fig. 4): a bounded shared memory pool
+// with a refcount-aware FIFO policy. Every file is equally likely to be
+// read each iteration, so FIFO is as good as LRU at a fraction of the
+// bookkeeping; the one exception is files currently opened by one or more
+// I/O threads, which eviction must skip.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "util/bytes.hpp"
+
+namespace fanstore::core {
+
+class PlainCache {
+ public:
+  /// `capacity_bytes` bounds the pool; a single entry larger than the
+  /// capacity is still admitted while pinned (it is evicted on release).
+  explicit PlainCache(std::size_t capacity_bytes);
+
+  /// Returns the decompressed contents of `path`, pinning the entry
+  /// (open-counter + 1). On miss, `loader` is invoked outside the lock and
+  /// may throw; the miss is then not cached. `loaded` (if non-null) is set
+  /// to true when the loader ran (a cache miss).
+  std::shared_ptr<const Bytes> acquire(const std::string& path,
+                                       const std::function<Bytes()>& loader,
+                                       bool* loaded = nullptr);
+
+  /// Drops one pin (close()); the entry stays cached FIFO-style until
+  /// capacity pressure evicts it.
+  void release(const std::string& path);
+
+  bool contains(const std::string& path) const;
+  std::size_t bytes_used() const;
+  std::size_t capacity() const { return capacity_; }
+
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Bytes> data;
+    int open_count = 0;
+    std::list<std::string>::iterator fifo_pos;
+    bool in_fifo = false;
+  };
+
+  void evict_if_needed_locked();
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> fifo_;  // insertion order, oldest first
+  std::size_t bytes_used_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace fanstore::core

@@ -1,0 +1,65 @@
+#include "core/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fanstore::core {
+
+CheckpointManager::CheckpointManager(posixfs::Vfs& local, posixfs::Vfs* shared,
+                                     std::string dir)
+    : local_(local), shared_(shared), dir_(posixfs::normalize_path(dir)) {}
+
+std::string CheckpointManager::path_for(int epoch) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ckpt_%06d.bin", epoch);
+  return dir_ + "/" + buf;
+}
+
+int CheckpointManager::save(int epoch, ByteView model) {
+  const std::string path = path_for(epoch);
+  const int rc = posixfs::write_file(local_, path, model);
+  if (rc != 0) return rc;
+  if (shared_ != nullptr) {
+    const int mirror_rc = posixfs::write_file(*shared_, path, model);
+    if (mirror_rc != 0) return mirror_rc;
+  }
+  return 0;
+}
+
+int CheckpointManager::scan_latest(posixfs::Vfs& fs) const {
+  const int handle = fs.opendir(dir_);
+  if (handle < 0) return -1;
+  int best = -1;
+  while (auto entry = fs.readdir(handle)) {
+    int epoch = -1;
+    if (std::sscanf(entry->name.c_str(), "ckpt_%d.bin", &epoch) == 1) {
+      best = std::max(best, epoch);
+    }
+  }
+  fs.closedir(handle);
+  return best;
+}
+
+int CheckpointManager::latest_epoch() const {
+  int best = scan_latest(local_);
+  if (shared_ != nullptr) best = std::max(best, scan_latest(*shared_));
+  return best;
+}
+
+std::optional<CheckpointManager::Checkpoint> CheckpointManager::latest() const {
+  const int epoch = latest_epoch();
+  if (epoch < 0) return std::nullopt;
+  const std::string path = path_for(epoch);
+  if (auto data = posixfs::read_file(local_, path)) {
+    return Checkpoint{epoch, std::move(*data)};
+  }
+  if (shared_ != nullptr) {
+    if (auto data = posixfs::read_file(*shared_, path)) {
+      return Checkpoint{epoch, std::move(*data)};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fanstore::core

@@ -1,0 +1,46 @@
+// Checkpoint management (§V-E): DL programs number checkpoints by epoch;
+// FanStore does not add explicit fault tolerance — instead checkpoints
+// written through the POSIX surface are mirrored to the shared file system
+// so training can resume from the latest one after a node failure.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "posixfs/vfs.hpp"
+#include "util/bytes.hpp"
+
+namespace fanstore::core {
+
+class CheckpointManager {
+ public:
+  /// Checkpoints are written to `dir` in `local` (the FanStore namespace)
+  /// and mirrored to the same path in `shared` (may be null to disable
+  /// mirroring — then resume only works on the writing node).
+  CheckpointManager(posixfs::Vfs& local, posixfs::Vfs* shared, std::string dir);
+
+  /// Persists `model` as checkpoint `epoch`; returns 0 or -errno.
+  int save(int epoch, ByteView model);
+
+  struct Checkpoint {
+    int epoch = -1;
+    Bytes model;
+  };
+
+  /// Loads the newest checkpoint, preferring the local namespace and
+  /// falling back to the shared mirror (the §V-E recovery path).
+  std::optional<Checkpoint> latest() const;
+
+  /// Highest epoch visible (local or shared); -1 if none.
+  int latest_epoch() const;
+
+ private:
+  std::string path_for(int epoch) const;
+  int scan_latest(posixfs::Vfs& fs) const;
+
+  posixfs::Vfs& local_;
+  posixfs::Vfs* shared_;
+  std::string dir_;
+};
+
+}  // namespace fanstore::core

@@ -1,0 +1,114 @@
+#include "core/daemon.hpp"
+
+#include "util/log.hpp"
+
+namespace fanstore::core {
+
+Bytes encode_fetch_request(std::uint32_t reply_tag, std::string_view path) {
+  Bytes out;
+  append_le<std::uint32_t>(out, reply_tag);
+  out.insert(out.end(), path.begin(), path.end());
+  return out;
+}
+
+Bytes encode_fetch_reply(std::uint8_t status, const Blob* blob, std::uint64_t raw_size) {
+  Bytes out;
+  out.push_back(status);
+  append_le<std::uint16_t>(out, blob != nullptr ? blob->compressor : 0);
+  append_le<std::uint64_t>(out, raw_size);
+  if (blob != nullptr) out.insert(out.end(), blob->data.begin(), blob->data.end());
+  return out;
+}
+
+Bytes encode_write_meta(std::string_view path, const format::FileStat& stat) {
+  Bytes out;
+  append_le<std::uint16_t>(out, static_cast<std::uint16_t>(path.size()));
+  out.insert(out.end(), path.begin(), path.end());
+  out.resize(out.size() + format::kStatBytes);
+  stat.serialize(out.data() + out.size() - format::kStatBytes);
+  return out;
+}
+
+Daemon::Daemon(mpi::Comm comm, MetadataStore* meta, CompressedBackend* backend)
+    : comm_(comm), meta_(meta), backend_(backend) {}
+
+Daemon::~Daemon() { stop(); }
+
+void Daemon::start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this] { serve(); });
+}
+
+void Daemon::stop() {
+  if (!running_.exchange(false)) return;
+  comm_.send(comm_.rank(), kTagShutdown, {});
+  if (thread_.joinable()) thread_.join();
+}
+
+void Daemon::serve() {
+  // Match only protocol tags: fetch *replies* (tag >= kReplyTagBase) belong
+  // to this rank's application threads, not the daemon.
+  const auto is_protocol = [](const mpi::Message& m) {
+    return m.tag == kTagFetch || m.tag == kTagWriteMeta || m.tag == kTagShutdown;
+  };
+  for (;;) {
+    mpi::Message msg = comm_.recv_if(is_protocol);
+    switch (msg.tag) {
+      case kTagShutdown:
+        return;
+      case kTagFetch:
+        handle_fetch(msg);
+        break;
+      case kTagWriteMeta:
+        handle_write_meta(msg);
+        break;
+      default:
+        FANSTORE_LOG_WARN("daemon rank ", comm_.rank(), ": unexpected tag ", msg.tag);
+    }
+  }
+}
+
+void Daemon::handle_fetch(const mpi::Message& msg) {
+  if (msg.payload.size() < 4) {
+    // Cannot even parse the reply tag; nothing sensible to do but log.
+    FANSTORE_LOG_WARN("daemon rank ", comm_.rank(), ": malformed fetch request");
+    return;
+  }
+  const std::uint32_t reply_tag = load_le<std::uint32_t>(msg.payload.data());
+  const std::string path(reinterpret_cast<const char*>(msg.payload.data()) + 4,
+                         msg.payload.size() - 4);
+  if (path.empty()) {
+    comm_.send(msg.source, static_cast<int>(reply_tag),
+               encode_fetch_reply(kFetchMalformed, nullptr, 0));
+    return;
+  }
+  const auto blob = backend_->get(path);
+  if (!blob) {
+    comm_.send(msg.source, static_cast<int>(reply_tag),
+               encode_fetch_reply(kFetchNotFound, nullptr, 0));
+    return;
+  }
+  const auto stat = meta_->lookup(path);
+  const std::uint64_t raw_size = stat ? stat->size : 0;
+  comm_.send(msg.source, static_cast<int>(reply_tag),
+             encode_fetch_reply(kFetchOk, &*blob, raw_size));
+  fetches_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Daemon::handle_write_meta(const mpi::Message& msg) {
+  if (msg.payload.size() < 2) {
+    FANSTORE_LOG_WARN("daemon rank ", comm_.rank(), ": malformed write-meta");
+    return;
+  }
+  const std::uint16_t len = load_le<std::uint16_t>(msg.payload.data());
+  if (msg.payload.size() < 2u + len + format::kStatBytes) {
+    FANSTORE_LOG_WARN("daemon rank ", comm_.rank(), ": truncated write-meta");
+    return;
+  }
+  const std::string path(reinterpret_cast<const char*>(msg.payload.data()) + 2, len);
+  const auto stat = format::FileStat::deserialize(msg.payload.data() + 2 + len);
+  meta_->insert(path, stat);
+  meta_received_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace fanstore::core

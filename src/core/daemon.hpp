@@ -1,0 +1,71 @@
+// FanStore daemon (§V-A, §V-D): one service thread per rank that answers
+// remote compressed-file fetches and accepts forwarded write metadata.
+//
+// Wire protocol (all messages over mpi::Comm):
+//   kTagFetch      req : [u32 reply_tag][path bytes]
+//   reply_tag      rsp : [u8 status][u16 compressor][u64 raw_size][data…]
+//   kTagWriteMeta  one-way: [u16 path_len][path][144 B stat]
+//   kTagShutdown   one-way, self-addressed by stop()
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "core/backend.hpp"
+#include "core/metadata_store.hpp"
+#include "mpi/comm.hpp"
+
+namespace fanstore::core {
+
+// Message tags (FanStore reserves this range of the tag space).
+constexpr int kTagFetch = 100;
+constexpr int kTagWriteMeta = 101;
+constexpr int kTagShutdown = 102;
+constexpr int kTagRingCopy = 103;
+constexpr int kReplyTagBase = 1000;
+
+// Fetch reply status codes.
+constexpr std::uint8_t kFetchOk = 0;
+constexpr std::uint8_t kFetchNotFound = 1;
+constexpr std::uint8_t kFetchMalformed = 2;
+
+/// Encodes/decodes the fetch request payload.
+Bytes encode_fetch_request(std::uint32_t reply_tag, std::string_view path);
+
+/// Encodes the fetch reply payload.
+Bytes encode_fetch_reply(std::uint8_t status, const Blob* blob, std::uint64_t raw_size);
+
+/// Encodes a write-metadata forward.
+Bytes encode_write_meta(std::string_view path, const format::FileStat& stat);
+
+class Daemon {
+ public:
+  Daemon(mpi::Comm comm, MetadataStore* meta, CompressedBackend* backend);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  void start();
+
+  /// Idempotent; sends a self-addressed shutdown message and joins.
+  void stop();
+
+  std::uint64_t fetches_served() const { return fetches_served_.load(); }
+  std::uint64_t meta_forwards_received() const { return meta_received_.load(); }
+
+ private:
+  void serve();
+  void handle_fetch(const mpi::Message& msg);
+  void handle_write_meta(const mpi::Message& msg);
+
+  mpi::Comm comm_;
+  MetadataStore* meta_;
+  CompressedBackend* backend_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> fetches_served_{0};
+  std::atomic<std::uint64_t> meta_received_{0};
+};
+
+}  // namespace fanstore::core

@@ -1,0 +1,285 @@
+#include "core/fanstore_fs.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "compress/registry.hpp"
+#include "util/crc32.hpp"
+#include "util/log.hpp"
+
+namespace fanstore::core {
+
+FanStoreFs::FanStoreFs(mpi::Comm comm, MetadataStore* meta,
+                       CompressedBackend* backend, Options options)
+    : comm_(comm),
+      meta_(meta),
+      backend_(backend),
+      options_(options),
+      cache_(options.cache_bytes) {}
+
+int FanStoreFs::home_rank(std::string_view path) const {
+  return static_cast<int>(std::hash<std::string_view>{}(path) %
+                          static_cast<std::size_t>(comm_.size()));
+}
+
+std::optional<Blob> FanStoreFs::fetch_from(int rank, const std::string& path,
+                                           const format::FileStat& stat) {
+  const std::uint32_t reply_tag =
+      static_cast<std::uint32_t>(kReplyTagBase) +
+      (reply_seq_.fetch_add(1, std::memory_order_relaxed) % 1000000u);
+  comm_.send(rank, kTagFetch, encode_fetch_request(reply_tag, path));
+  std::optional<mpi::Message> reply;
+  if (options_.fetch_timeout_ms > 0) {
+    reply = comm_.recv_timeout(rank, static_cast<int>(reply_tag),
+                               options_.fetch_timeout_ms);
+    if (!reply) {
+      FANSTORE_LOG_WARN("fanstore rank ", comm_.rank(), ": fetch of ", path,
+                        " from rank ", rank, " timed out");
+      return std::nullopt;  // presumed-dead daemon: caller fails over
+    }
+  } else {
+    reply = comm_.recv(rank, static_cast<int>(reply_tag));
+  }
+  if (reply->payload.size() < 11 || reply->payload[0] != kFetchOk) {
+    return std::nullopt;  // not found / malformed on that rank
+  }
+  Blob fetched;
+  fetched.compressor = load_le<std::uint16_t>(reply->payload.data() + 1);
+  const std::uint64_t raw_size = load_le<std::uint64_t>(reply->payload.data() + 3);
+  fetched.data.assign(reply->payload.begin() + 11, reply->payload.end());
+  if (raw_size != stat.size) return std::nullopt;
+  charge(options_.cost.network.transfer_time(fetched.data.size(), options_.cost.nodes));
+  {
+    std::lock_guard lk(stats_mu_);
+    stats_.remote_fetches++;
+    stats_.remote_bytes += fetched.data.size();
+  }
+  return fetched;
+}
+
+Bytes FanStoreFs::load_plain(const std::string& path, const format::FileStat& stat) {
+  std::optional<Blob> blob = backend_->get(path);
+  if (!blob && static_cast<int>(stat.owner_rank) != comm_.rank()) {
+    // Remote fetch from the owner's daemon (Fig. 2, remote branch); on
+    // timeout or miss, fail over around the ring where replicate_ring()
+    // may have placed copies.
+    const int owner = static_cast<int>(stat.owner_rank);
+    for (int hop = 0; hop <= options_.failover_hops && !blob; ++hop) {
+      const int candidate = (owner + hop) % comm_.size();
+      if (candidate == comm_.rank()) continue;  // local backend already missed
+      blob = fetch_from(candidate, path, stat);
+      if (blob && hop > 0) {
+        std::lock_guard lk(stats_mu_);
+        stats_.failovers++;
+      }
+    }
+    if (!blob) {
+      throw std::runtime_error("fanstore: remote fetch failed for " + path);
+    }
+  } else if (blob) {
+    std::lock_guard lk(stats_mu_);
+    stats_.local_misses++;
+  }
+  if (!blob) {
+    throw std::runtime_error("fanstore: owner rank has no data for " + path);
+  }
+  const compress::Compressor* codec =
+      compress::Registry::instance().by_id(blob->compressor);
+  if (codec == nullptr) {
+    throw std::runtime_error("fanstore: unknown compressor id for " + path);
+  }
+  Bytes plain = codec->decompress(as_view(blob->data), stat.size);
+  if (stat.crc != 0 && crc32(as_view(plain)) != stat.crc) {
+    throw std::runtime_error("fanstore: CRC mismatch for " + path);
+  }
+  if (options_.cost.charge_decompress && blob->compressor != 0) {
+    charge(simnet::CodecSpeedTable::shared().decompress_seconds(blob->compressor,
+                                                                plain.size()));
+  }
+  return plain;
+}
+
+int FanStoreFs::open(std::string_view path_in, posixfs::OpenMode mode) {
+  const std::string path = posixfs::normalize_path(path_in);
+  if (path.empty()) return -EINVAL;
+  charge_metadata();
+
+  if (mode == posixfs::OpenMode::kWrite) {
+    // Multi-read/single-write model: write-once, one writer at a time.
+    if (meta_->lookup(path) && meta_->lookup(path)->type == format::FileType::kRegular) {
+      return -EEXIST;
+    }
+    std::lock_guard lk(mu_);
+    if (!writing_.insert(path).second) return -EBUSY;
+    const int fd = next_fd_++;
+    open_files_[fd] = OpenFile{path, mode, nullptr, {}, 0};
+    return fd;
+  }
+
+  const auto stat = meta_->lookup(path);
+  if (!stat) return -ENOENT;
+  if (stat->type == format::FileType::kDirectory) return -EISDIR;
+  charge(options_.cost.read_path.per_op_s);
+
+  std::shared_ptr<const Bytes> pinned;
+  bool was_miss = false;
+  try {
+    pinned = cache_.acquire(path, [&] { return load_plain(path, *stat); }, &was_miss);
+  } catch (const std::exception& e) {
+    FANSTORE_LOG_WARN("fanstore open(", path, "): ", e.what());
+    return -EIO;
+  }
+  {
+    std::lock_guard lk(stats_mu_);
+    stats_.opens++;
+    if (!was_miss) stats_.cache_hits++;
+  }
+  std::lock_guard lk(mu_);
+  const int fd = next_fd_++;
+  open_files_[fd] = OpenFile{path, mode, std::move(pinned), {}, 0};
+  return fd;
+}
+
+int FanStoreFs::close(int fd) {
+  OpenFile of;
+  {
+    std::lock_guard lk(mu_);
+    const auto it = open_files_.find(fd);
+    if (it == open_files_.end()) return -EBADF;
+    of = std::move(it->second);
+    open_files_.erase(it);
+  }
+  if (of.mode == posixfs::OpenMode::kRead) {
+    cache_.release(of.path);
+    return 0;
+  }
+  // Write close: dump to the local backend and forward metadata (§V-D).
+  const compress::Compressor* codec =
+      compress::Registry::instance().by_id(options_.write_compressor);
+  if (codec == nullptr) return -EIO;
+  Blob blob;
+  blob.compressor = options_.write_compressor;
+  blob.data = codec->compress(as_view(of.buffer));
+
+  format::FileStat stat;
+  stat.size = of.buffer.size();
+  stat.compressed_size = blob.data.size();
+  stat.crc = crc32(as_view(of.buffer));
+  stat.type = format::FileType::kRegular;
+  stat.owner_rank = static_cast<std::uint32_t>(comm_.rank());
+
+  charge(options_.cost.read_path.file_write_time(blob.data.size()));
+  backend_->put(of.path, std::move(blob));
+  meta_->insert(of.path, stat);
+  const int home = home_rank(of.path);
+  if (home != comm_.rank()) {
+    comm_.send(home, kTagWriteMeta, encode_write_meta(of.path, stat));
+    charge(options_.cost.network.transfer_time(of.path.size() + format::kStatBytes,
+                                               options_.cost.nodes));
+  }
+  {
+    std::lock_guard lk(mu_);
+    writing_.erase(of.path);
+  }
+  {
+    std::lock_guard lk(stats_mu_);
+    stats_.bytes_written += stat.size;
+  }
+  return 0;
+}
+
+std::int64_t FanStoreFs::read(int fd, MutByteView buf) {
+  std::lock_guard lk(mu_);
+  const auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return -EBADF;
+  OpenFile& of = it->second;
+  if (of.mode != posixfs::OpenMode::kRead) return -EBADF;
+  const Bytes& data = *of.pinned;
+  if (of.offset >= static_cast<std::int64_t>(data.size())) return 0;
+  const std::size_t n =
+      std::min(buf.size(), data.size() - static_cast<std::size_t>(of.offset));
+  std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(of.offset), n, buf.begin());
+  of.offset += static_cast<std::int64_t>(n);
+  charge(static_cast<double>(n) / options_.cost.read_path.bandwidth_bps);
+  {
+    std::lock_guard slk(stats_mu_);
+    stats_.bytes_read += n;
+  }
+  return static_cast<std::int64_t>(n);
+}
+
+std::int64_t FanStoreFs::write(int fd, ByteView buf) {
+  std::lock_guard lk(mu_);
+  const auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return -EBADF;
+  OpenFile& of = it->second;
+  if (of.mode != posixfs::OpenMode::kWrite) return -EBADF;
+  const auto end = static_cast<std::size_t>(of.offset) + buf.size();
+  if (end > of.buffer.size()) of.buffer.resize(end);
+  std::copy(buf.begin(), buf.end(),
+            of.buffer.begin() + static_cast<std::ptrdiff_t>(of.offset));
+  of.offset += static_cast<std::int64_t>(buf.size());
+  return static_cast<std::int64_t>(buf.size());
+}
+
+std::int64_t FanStoreFs::lseek(int fd, std::int64_t offset, posixfs::Whence whence) {
+  std::lock_guard lk(mu_);
+  const auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return -EBADF;
+  OpenFile& of = it->second;
+  std::int64_t base = 0;
+  switch (whence) {
+    case posixfs::Whence::kSet: base = 0; break;
+    case posixfs::Whence::kCur: base = of.offset; break;
+    case posixfs::Whence::kEnd:
+      base = of.mode == posixfs::OpenMode::kRead
+                 ? static_cast<std::int64_t>(of.pinned->size())
+                 : static_cast<std::int64_t>(of.buffer.size());
+      break;
+  }
+  const std::int64_t pos = base + offset;
+  if (pos < 0) return -EINVAL;
+  of.offset = pos;
+  return pos;
+}
+
+int FanStoreFs::stat(std::string_view path_in, format::FileStat* out) {
+  const std::string path = posixfs::normalize_path(path_in);
+  charge_metadata();
+  const auto st = meta_->lookup(path);
+  if (!st) return -ENOENT;
+  *out = *st;
+  return 0;
+}
+
+int FanStoreFs::opendir(std::string_view path_in) {
+  const std::string path = posixfs::normalize_path(path_in);
+  charge_metadata();
+  if (!meta_->dir_exists(path)) return -ENOENT;
+  auto entries = meta_->list(path);
+  std::lock_guard lk(mu_);
+  const int h = next_dir_++;
+  open_dirs_[h] = OpenDir{std::move(entries), 0};
+  return h;
+}
+
+std::optional<posixfs::Dirent> FanStoreFs::readdir(int dir_handle) {
+  charge_metadata();
+  std::lock_guard lk(mu_);
+  const auto it = open_dirs_.find(dir_handle);
+  if (it == open_dirs_.end()) return std::nullopt;
+  if (it->second.next >= it->second.entries.size()) return std::nullopt;
+  return it->second.entries[it->second.next++];
+}
+
+int FanStoreFs::closedir(int dir_handle) {
+  std::lock_guard lk(mu_);
+  return open_dirs_.erase(dir_handle) > 0 ? 0 : -EBADF;
+}
+
+FanStoreFs::IoStats FanStoreFs::stats() const {
+  std::lock_guard lk(stats_mu_);
+  return stats_;
+}
+
+}  // namespace fanstore::core

@@ -1,0 +1,140 @@
+// FanStoreFs: the POSIX-compliant face of FanStore (§IV).
+//
+// open()  — Fig. 2: metadata lookup in RAM; compressed blob from the local
+//           backend or fetched from the owner rank's daemon over the
+//           interconnect; decompressed into the shared cache region.
+// read()  — Fig. 3: served from the cache region.
+// close() — Fig. 4: drops the pin; refcount-FIFO eviction reclaims space.
+// write   — multi-read/single-write model: one writer, write-once; on
+//           close the data is dumped to the local backend and the metadata
+//           forwarded to the path's home rank (§V-D).
+//
+// Device/network time is charged to an optional VirtualClock via the cost
+// models; all data movement is real.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "core/backend.hpp"
+#include "core/cache.hpp"
+#include "core/daemon.hpp"
+#include "core/metadata_store.hpp"
+#include "mpi/comm.hpp"
+#include "posixfs/vfs.hpp"
+#include "simnet/codec_speed.hpp"
+#include "simnet/models.hpp"
+#include "simnet/virtual_clock.hpp"
+
+namespace fanstore::core {
+
+/// What to charge to the virtual clock (disabled by default: functional use
+/// and unit tests run cost-free).
+struct CostConfig {
+  bool enabled = false;
+  simnet::StorageModel read_path = simnet::fanstore_storage();
+  simnet::NetworkModel network = simnet::fdr_infiniband();
+  int nodes = 1;
+  bool charge_decompress = true;
+};
+
+class FanStoreFs final : public posixfs::Vfs {
+ public:
+  struct Options {
+    std::size_t cache_bytes = std::size_t{64} << 20;
+    /// Codec for output files; default "store" — checkpoints/logs are
+    /// written once and rarely re-read (§II-B3).
+    compress::CompressorId write_compressor = 0;
+    CostConfig cost;
+    simnet::VirtualClock* clock = nullptr;  // required if cost.enabled
+    /// Remote-fetch failure detection: a daemon that does not answer within
+    /// this window is treated as failed and the fetch fails over to ring
+    /// neighbours that may hold a replica (Instance::replicate_ring).
+    /// <= 0 waits forever (no failover).
+    int fetch_timeout_ms = 10000;
+    /// How many ring successors of the owner to try after a failed fetch.
+    int failover_hops = 2;
+  };
+
+  struct IoStats {
+    std::uint64_t opens = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t local_misses = 0;   // decompressed from the local backend
+    std::uint64_t remote_fetches = 0;  // fetched from a peer daemon
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+    std::uint64_t remote_bytes = 0;  // compressed bytes over the wire
+    std::uint64_t failovers = 0;     // fetches served by a non-owner replica
+  };
+
+  FanStoreFs(mpi::Comm comm, MetadataStore* meta, CompressedBackend* backend,
+             Options options);
+
+  // --- posixfs::Vfs ---
+  int open(std::string_view path, posixfs::OpenMode mode) override;
+  int close(int fd) override;
+  std::int64_t read(int fd, MutByteView buf) override;
+  std::int64_t write(int fd, ByteView buf) override;
+  std::int64_t lseek(int fd, std::int64_t offset, posixfs::Whence whence) override;
+  int stat(std::string_view path, format::FileStat* out) override;
+  int opendir(std::string_view path) override;
+  std::optional<posixfs::Dirent> readdir(int dir_handle) override;
+  int closedir(int dir_handle) override;
+
+  IoStats stats() const;
+  PlainCache& cache() { return cache_; }
+  const PlainCache& cache() const { return cache_; }
+
+  /// Home rank for a path's write metadata (§V-D "node with the
+  /// corresponding rank").
+  int home_rank(std::string_view path) const;
+
+ private:
+  struct OpenFile {
+    std::string path;
+    posixfs::OpenMode mode;
+    std::shared_ptr<const Bytes> pinned;  // read mode
+    Bytes buffer;                         // write mode
+    std::int64_t offset = 0;
+  };
+  struct OpenDir {
+    std::vector<posixfs::Dirent> entries;
+    std::size_t next = 0;
+  };
+
+  void charge(double sec) const {
+    if (options_.cost.enabled && options_.clock != nullptr) {
+      options_.clock->advance_sec(sec);
+    }
+  }
+  void charge_metadata() const {
+    charge(options_.cost.read_path.metadata_op_s);
+  }
+
+  /// Loads + decompresses `path` (Fig. 2), charging fetch/decompress costs.
+  Bytes load_plain(const std::string& path, const format::FileStat& stat);
+
+  /// One fetch attempt against `rank`'s daemon; nullopt on timeout/miss.
+  std::optional<Blob> fetch_from(int rank, const std::string& path,
+                                 const format::FileStat& stat);
+
+  mpi::Comm comm_;
+  MetadataStore* meta_;
+  CompressedBackend* backend_;
+  Options options_;
+  PlainCache cache_;
+
+  mutable std::mutex mu_;
+  std::map<int, OpenFile> open_files_;
+  std::map<int, OpenDir> open_dirs_;
+  std::set<std::string> writing_;  // in-flight writers (single-write model)
+  int next_fd_ = 3;
+  int next_dir_ = 1;
+  std::atomic<std::uint32_t> reply_seq_{0};
+  mutable std::mutex stats_mu_;
+  IoStats stats_;
+};
+
+}  // namespace fanstore::core

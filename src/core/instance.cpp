@@ -1,0 +1,170 @@
+#include "core/instance.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace fanstore::core {
+
+Instance::Instance(mpi::Comm comm, Options options)
+    : comm_(comm), options_(std::move(options)) {
+  if (options_.local_fs != nullptr) {
+    backend_ = std::make_unique<VfsBackend>(options_.local_fs, options_.backend_root);
+  } else {
+    backend_ = std::make_unique<RamBackend>();
+  }
+  options_.fs.cost.nodes = comm_.size();
+  fs_ = std::make_unique<FanStoreFs>(comm_, &meta_, backend_.get(), options_.fs);
+  daemon_ = std::make_unique<Daemon>(comm_, &meta_, backend_.get());
+}
+
+Instance::~Instance() { stop(); }
+
+void Instance::load_partition_blob(ByteView blob, std::uint32_t partition_id,
+                                   int owner_rank) {
+  const auto records = format::scan_partition(blob);
+  const auto owner =
+      static_cast<std::uint32_t>(owner_rank < 0 ? comm_.rank() : owner_rank);
+  for (const auto& rec : records) {
+    Blob b;
+    b.compressor = rec.compressor;
+    b.data.assign(rec.data.begin(), rec.data.end());
+    backend_->put(std::string(rec.path), std::move(b));
+
+    format::FileStat stat = rec.stat;
+    stat.owner_rank = owner;
+    stat.partition_id = partition_id;
+    meta_.insert(std::string(rec.path), stat);
+  }
+}
+
+void Instance::load_from_shared(posixfs::Vfs& shared,
+                                const std::vector<std::string>& partition_paths,
+                                const std::vector<std::string>& broadcast_paths,
+                                const simnet::StorageModel* shared_cost) {
+  const int nranks = comm_.size();
+  auto charge_partition = [&](std::size_t bytes) {
+    if (shared_cost != nullptr && options_.fs.clock != nullptr) {
+      options_.fs.clock->advance_sec(shared_cost->file_read_time(bytes));
+    }
+  };
+  for (std::size_t p = 0; p < partition_paths.size(); ++p) {
+    if (static_cast<int>(p % static_cast<std::size_t>(nranks)) != comm_.rank()) {
+      continue;
+    }
+    auto blob = posixfs::read_file(shared, partition_paths[p]);
+    if (!blob) {
+      throw std::runtime_error("instance: cannot read partition " + partition_paths[p]);
+    }
+    charge_partition(blob->size());
+    load_partition_blob(as_view(*blob), static_cast<std::uint32_t>(p));
+    own_partitions_.push_back(std::move(*blob));
+  }
+  // Broadcast partitions: every rank loads them, owner = self, so access
+  // never leaves the node (used for validation datasets).
+  for (std::size_t b = 0; b < broadcast_paths.size(); ++b) {
+    auto blob = posixfs::read_file(shared, broadcast_paths[b]);
+    if (!blob) {
+      throw std::runtime_error("instance: cannot read broadcast partition " +
+                               broadcast_paths[b]);
+    }
+    charge_partition(blob->size());
+    load_partition_blob(as_view(*blob),
+                        static_cast<std::uint32_t>(partition_paths.size() + b));
+  }
+}
+
+void Instance::replicate_ring(int rounds) {
+  const int nranks = comm_.size();
+  if (nranks == 1 || rounds <= 0) return;
+  // Forward own partitions to the next rank; what arrives from the
+  // previous rank is stored locally and forwarded onward on later rounds.
+  std::vector<Bytes> outbound = own_partitions_;
+  for (int round = 0; round < rounds; ++round) {
+    const int next = (comm_.rank() + 1) % nranks;
+    Bytes packed;
+    append_le<std::uint32_t>(packed, static_cast<std::uint32_t>(outbound.size()));
+    for (const Bytes& p : outbound) {
+      append_le<std::uint64_t>(packed, p.size());
+      packed.insert(packed.end(), p.begin(), p.end());
+    }
+    comm_.send(next, kTagRingCopy, std::move(packed));
+    const mpi::Message msg = comm_.recv(mpi::kAnySource, kTagRingCopy);
+
+    std::vector<Bytes> inbound;
+    if (msg.payload.size() < 4) {
+      throw std::runtime_error("instance: malformed ring-copy message");
+    }
+    const std::uint32_t count = load_le<std::uint32_t>(msg.payload.data());
+    std::size_t pos = 4;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (pos + 8 > msg.payload.size()) {
+        throw std::runtime_error("instance: truncated ring-copy message");
+      }
+      const std::uint64_t len = load_le<std::uint64_t>(msg.payload.data() + pos);
+      pos += 8;
+      if (pos + len > msg.payload.size()) {
+        throw std::runtime_error("instance: truncated ring-copy partition");
+      }
+      inbound.emplace_back(msg.payload.begin() + static_cast<std::ptrdiff_t>(pos),
+                           msg.payload.begin() + static_cast<std::ptrdiff_t>(pos + len));
+      pos += len;
+    }
+    // Replicas keep their original owner in *metadata* (which is exchanged
+    // globally), but land in the local backend so reads hit locally.
+    for (const Bytes& p : inbound) {
+      const auto records = format::scan_partition(as_view(p));
+      for (const auto& rec : records) {
+        Blob b;
+        b.compressor = rec.compressor;
+        b.data.assign(rec.data.begin(), rec.data.end());
+        backend_->put(std::string(rec.path), std::move(b));
+      }
+    }
+    outbound = std::move(inbound);
+    comm_.barrier();
+  }
+}
+
+void Instance::exchange_metadata() {
+  const auto blobs = comm_.allgather(as_view(meta_.serialize()));
+  for (int r = 0; r < comm_.size(); ++r) {
+    if (r == comm_.rank()) continue;
+    meta_.merge_serialized(as_view(blobs[static_cast<std::size_t>(r)]));
+  }
+}
+
+std::string Instance::stats_report() const {
+  const auto io = fs_->stats();
+  const auto cache = fs_->cache().stats();
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "rank %d: opens=%llu hits=%llu local=%llu remote=%llu failover=%llu | "
+      "read=%.1fMB wire=%.1fMB written=%.1fMB | cache %.1f/%.1fMB evict=%llu | "
+      "backend %zu objs %.1fMB | daemon served=%llu meta_fwd=%llu",
+      comm_.rank(), static_cast<unsigned long long>(io.opens),
+      static_cast<unsigned long long>(io.cache_hits),
+      static_cast<unsigned long long>(io.local_misses),
+      static_cast<unsigned long long>(io.remote_fetches),
+      static_cast<unsigned long long>(io.failovers),
+      static_cast<double>(io.bytes_read) / 1e6,
+      static_cast<double>(io.remote_bytes) / 1e6,
+      static_cast<double>(io.bytes_written) / 1e6,
+      static_cast<double>(fs_->cache().bytes_used()) / 1e6,
+      static_cast<double>(fs_->cache().capacity()) / 1e6,
+      static_cast<unsigned long long>(cache.evictions), backend_->object_count(),
+      static_cast<double>(backend_->bytes_used()) / 1e6,
+      static_cast<unsigned long long>(daemon_->fetches_served()),
+      static_cast<unsigned long long>(daemon_->meta_forwards_received()));
+  return buf;
+}
+
+void Instance::start_daemon() { daemon_->start(); }
+
+void Instance::stop() {
+  if (daemon_) daemon_->stop();
+}
+
+}  // namespace fanstore::core

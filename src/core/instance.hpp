@@ -1,0 +1,82 @@
+// Per-rank FanStore instance: backend + metadata + cache + daemon + the
+// POSIX face, plus the startup flow of §IV-C1 / §V-D:
+//
+//   1. load partitions p with p % nranks == rank from the shared FS
+//   2. optionally replicate neighbour partitions around a virtual ring
+//   3. allgather metadata so every lookup is node-local afterwards
+//   4. start the daemon and serve
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/daemon.hpp"
+#include "core/fanstore_fs.hpp"
+#include "format/partition.hpp"
+#include "mpi/comm.hpp"
+#include "posixfs/vfs.hpp"
+#include "simnet/models.hpp"
+
+namespace fanstore::core {
+
+class Instance {
+ public:
+  struct Options {
+    FanStoreFs::Options fs;
+    /// If set, use a disk backend rooted here on `local_fs`; RAM otherwise.
+    posixfs::Vfs* local_fs = nullptr;
+    std::string backend_root = ".fanstore";
+  };
+
+  Instance(mpi::Comm comm, Options options);
+  ~Instance();
+
+  Instance(const Instance&) = delete;
+  Instance& operator=(const Instance&) = delete;
+
+  /// Registers one partition's files into the backend and local metadata
+  /// (owner = `owner_rank`, default: this rank).
+  void load_partition_blob(ByteView blob, std::uint32_t partition_id,
+                           int owner_rank = -1);
+
+  /// The paper's startup: reads this rank's share of `partition_paths`
+  /// (round-robin by index) from `shared` — charging `shared_cost` per
+  /// partition if cost accounting is enabled — plus every path in
+  /// `broadcast_paths` (validation data read by all ranks, §V-B).
+  void load_from_shared(posixfs::Vfs& shared,
+                        const std::vector<std::string>& partition_paths,
+                        const std::vector<std::string>& broadcast_paths = {},
+                        const simnet::StorageModel* shared_cost = nullptr);
+
+  /// Copies this rank's partitions to the next rank around the ring
+  /// (`rounds` hops), so extra local-storage capacity turns remote fetches
+  /// into local hits. Collective: all ranks must call with equal `rounds`.
+  void replicate_ring(int rounds = 1);
+
+  /// Collective: allgather local metadata into the global view.
+  void exchange_metadata();
+
+  void start_daemon();
+  void stop();
+
+  /// One-line-per-metric observability report (opens, hit rate, remote
+  /// traffic, cache occupancy, backend size, daemon counters).
+  std::string stats_report() const;
+
+  FanStoreFs& fs() { return *fs_; }
+  MetadataStore& metadata() { return meta_; }
+  CompressedBackend& backend() { return *backend_; }
+  Daemon& daemon() { return *daemon_; }
+  mpi::Comm comm() const { return comm_; }
+
+ private:
+  mpi::Comm comm_;
+  Options options_;
+  MetadataStore meta_;
+  std::unique_ptr<CompressedBackend> backend_;
+  std::unique_ptr<FanStoreFs> fs_;
+  std::unique_ptr<Daemon> daemon_;
+  std::vector<Bytes> own_partitions_;  // retained for ring replication
+};
+
+}  // namespace fanstore::core

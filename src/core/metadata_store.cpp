@@ -1,0 +1,120 @@
+#include "core/metadata_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fanstore::core {
+
+namespace {
+std::pair<std::string, std::string> split_parent(const std::string& path) {
+  const auto slash = path.rfind('/');
+  if (slash == std::string::npos) return {std::string{}, path};
+  return {path.substr(0, slash), path.substr(slash + 1)};
+}
+}  // namespace
+
+void MetadataStore::index_parents_locked(const std::string& path) {
+  // Walk up: file itself is registered by caller; here we register each
+  // ancestor directory and its child link.
+  std::string current = path;
+  bool child_is_dir = false;
+  for (;;) {
+    auto [parent, name] = split_parent(current);
+    children_[parent].insert({name, child_is_dir});
+    if (parent.empty()) break;
+    dirs_.insert(parent);
+    current = parent;
+    child_is_dir = true;
+  }
+}
+
+void MetadataStore::insert(const std::string& path, const format::FileStat& stat) {
+  if (path.empty()) throw std::invalid_argument("MetadataStore: empty path");
+  std::lock_guard lk(mu_);
+  files_[path] = stat;
+  index_parents_locked(path);
+}
+
+std::optional<format::FileStat> MetadataStore::lookup(const std::string& path) const {
+  std::lock_guard lk(mu_);
+  const auto it = files_.find(path);
+  if (it != files_.end()) return it->second;
+  if (path.empty() || dirs_.count(path) > 0) {
+    format::FileStat s;
+    s.type = format::FileType::kDirectory;
+    s.mode = 0755;
+    return s;
+  }
+  return std::nullopt;
+}
+
+bool MetadataStore::dir_exists(const std::string& path) const {
+  std::lock_guard lk(mu_);
+  return path.empty() || dirs_.count(path) > 0;
+}
+
+std::vector<posixfs::Dirent> MetadataStore::list(const std::string& dir) const {
+  std::lock_guard lk(mu_);
+  std::vector<posixfs::Dirent> out;
+  const auto it = children_.find(dir);
+  if (it == children_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [name, is_dir] : it->second) {
+    out.push_back(posixfs::Dirent{
+        name, is_dir ? format::FileType::kDirectory : format::FileType::kRegular});
+  }
+  return out;
+}
+
+std::size_t MetadataStore::file_count() const {
+  std::lock_guard lk(mu_);
+  return files_.size();
+}
+
+std::vector<std::string> MetadataStore::all_paths() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [p, s] : files_) out.push_back(p);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Bytes MetadataStore::serialize() const {
+  std::lock_guard lk(mu_);
+  Bytes out;
+  append_le<std::uint32_t>(out, static_cast<std::uint32_t>(files_.size()));
+  for (const auto& [path, stat] : files_) {
+    append_le<std::uint16_t>(out, static_cast<std::uint16_t>(path.size()));
+    out.insert(out.end(), path.begin(), path.end());
+    out.resize(out.size() + format::kStatBytes);
+    stat.serialize(out.data() + out.size() - format::kStatBytes);
+  }
+  return out;
+}
+
+void MetadataStore::merge_serialized(ByteView blob) {
+  if (blob.size() < 4) {
+    if (blob.empty()) return;
+    throw std::invalid_argument("MetadataStore: truncated metadata blob");
+  }
+  const std::uint32_t count = load_le<std::uint32_t>(blob.data());
+  std::size_t pos = 4;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (pos + 2 > blob.size()) {
+      throw std::invalid_argument("MetadataStore: truncated entry header");
+    }
+    const std::uint16_t len = load_le<std::uint16_t>(blob.data() + pos);
+    pos += 2;
+    if (pos + len + format::kStatBytes > blob.size()) {
+      throw std::invalid_argument("MetadataStore: truncated entry body");
+    }
+    std::string path(reinterpret_cast<const char*>(blob.data() + pos), len);
+    pos += len;
+    const auto stat = format::FileStat::deserialize(blob.data() + pos);
+    pos += format::kStatBytes;
+    insert(path, stat);
+  }
+}
+
+}  // namespace fanstore::core

@@ -1,0 +1,53 @@
+// In-RAM metadata store (§IV-C1): every node holds the full namespace in a
+// hash table after one allgather, so the metadata storms of §II-B1 (millions
+// of stat() calls from dozens of I/O threads) never leave the node.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "format/file_stat.hpp"
+#include "posixfs/vfs.hpp"
+#include "util/bytes.hpp"
+
+namespace fanstore::core {
+
+class MetadataStore {
+ public:
+  /// Inserts or replaces the entry for `path` (normalized, dataset-rooted).
+  /// Parent directories become visible automatically.
+  void insert(const std::string& path, const format::FileStat& stat);
+
+  std::optional<format::FileStat> lookup(const std::string& path) const;
+
+  bool dir_exists(const std::string& path) const;
+
+  /// Immediate children of `dir`, sorted by name.
+  std::vector<posixfs::Dirent> list(const std::string& dir) const;
+
+  std::size_t file_count() const;
+
+  /// All file paths, sorted (tests and the trainer's enumeration step).
+  std::vector<std::string> all_paths() const;
+
+  /// Serializes every entry for the metadata allgather.
+  Bytes serialize() const;
+
+  /// Merges entries from another rank's serialize() output.
+  void merge_serialized(ByteView blob);
+
+ private:
+  void index_parents_locked(const std::string& path);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, format::FileStat> files_;
+  // dir -> immediate children (name, is_dir)
+  std::unordered_map<std::string, std::set<std::pair<std::string, bool>>> children_;
+  std::set<std::string> dirs_;
+};
+
+}  // namespace fanstore::core

@@ -1,0 +1,66 @@
+#include "dlsim/apps.hpp"
+
+namespace fanstore::dlsim {
+
+AppCase srgan_gtx() {
+  AppCase c;
+  c.app = "SRGAN";
+  c.cluster = "GTX";
+  c.dataset = DatasetKind::kEmTif;
+  c.profile = {"SRGAN/GTX", /*async=*/false, 9.689, 256, 410.0, /*io_par=*/4};
+  c.selected = {"lzsse8", "lz4hc"};
+  c.comparison = {"brotli", "zling", "lzma"};
+  return c;
+}
+
+AppCase srgan_v100() {
+  AppCase c;
+  c.app = "SRGAN";
+  c.cluster = "V100";
+  c.dataset = DatasetKind::kEmTif;
+  c.profile = {"SRGAN/V100", /*async=*/false, 2.416, 256, 410.0, /*io_par=*/4};
+  c.selected = {"lz4hc"};
+  c.comparison = {"brotli", "lzma"};
+  return c;
+}
+
+AppCase frnn_cpu() {
+  AppCase c;
+  c.app = "FRNN";
+  c.cluster = "CPU";
+  c.dataset = DatasetKind::kTokamakNpz;
+  c.profile = {"FRNN/CPU", /*async=*/true, 0.655, 512, 0.615, /*io_par=*/4};
+  c.selected = {"lzf", "lzsse8"};
+  c.comparison = {"brotli"};
+  return c;
+}
+
+AppCase resnet50_gtx() {
+  AppCase c;
+  c.app = "ResNet-50";
+  c.cluster = "GTX";
+  c.dataset = DatasetKind::kImagenetJpg;
+  // Per-node batch 64 images (4 GPUs x 16), ~0.35 s/iteration on 1080 Ti.
+  c.profile = {"ResNet-50/GTX", /*async=*/true, 0.35, 64, 6.4, /*io_par=*/4};
+  c.selected = {"store"};  // ImageNet does not compress (Table IV: 1.0)
+  c.comparison = {};
+  return c;
+}
+
+AppCase resnet50_cpu() {
+  AppCase c;
+  c.app = "ResNet-50";
+  c.cluster = "CPU";
+  c.dataset = DatasetKind::kImagenetJpg;
+  // CPU training iterates slower: ~1.8 s per iteration per node.
+  c.profile = {"ResNet-50/CPU", /*async=*/true, 1.8, 64, 6.4, /*io_par=*/4};
+  c.selected = {"store"};
+  c.comparison = {};
+  return c;
+}
+
+std::vector<AppCase> all_app_cases() {
+  return {srgan_gtx(), srgan_v100(), frnn_cpu(), resnet50_gtx(), resnet50_cpu()};
+}
+
+}  // namespace fanstore::dlsim

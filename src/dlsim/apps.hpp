@@ -1,0 +1,39 @@
+// Application models: the three evaluation workloads (§VII-B) with the
+// measured parameters of Table V, expressed as selection-algorithm inputs
+// plus trainer configuration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dlsim/datagen.hpp"
+#include "select/selection.hpp"
+
+namespace fanstore::dlsim {
+
+struct AppCase {
+  std::string app;      // "SRGAN", "FRNN", "ResNet-50"
+  std::string cluster;  // "GTX", "V100", "CPU"
+  DatasetKind dataset;
+  select::AppProfile profile;  // Table V row
+  /// Compressors the paper compares for this case (Table VII).
+  std::vector<std::string> selected;
+  std::vector<std::string> comparison;
+};
+
+/// SRGAN on 4x GTX nodes: sync I/O, T_iter 9689 ms, C_batch 256, 410 MB.
+AppCase srgan_gtx();
+
+/// SRGAN on 4x V100 nodes: sync I/O, T_iter 2416 ms, same batch.
+AppCase srgan_v100();
+
+/// FRNN on 4 CPU nodes: async I/O, T_iter 655 ms, C_batch 512, 615 KB.
+AppCase frnn_cpu();
+
+/// ResNet-50/ImageNet, async I/O (used for the Fig. 9 scaling study).
+AppCase resnet50_gtx();
+AppCase resnet50_cpu();
+
+std::vector<AppCase> all_app_cases();
+
+}  // namespace fanstore::dlsim

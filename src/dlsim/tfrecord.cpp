@@ -1,0 +1,39 @@
+#include "dlsim/tfrecord.hpp"
+
+#include <stdexcept>
+
+#include "util/crc32.hpp"
+
+namespace fanstore::dlsim {
+
+Bytes build_tfrecord_shard(const std::vector<Bytes>& items) {
+  Bytes out;
+  std::size_t total = 0;
+  for (const auto& it : items) total += it.size() + 12;
+  out.reserve(total);
+  for (const auto& it : items) {
+    append_le<std::uint64_t>(out, it.size());
+    append_le<std::uint32_t>(out, crc32(as_view(it)));
+    out.insert(out.end(), it.begin(), it.end());
+  }
+  return out;
+}
+
+std::optional<ByteView> TfRecordReader::next() {
+  if (pos_ == shard_.size()) return std::nullopt;
+  if (pos_ + 12 > shard_.size()) {
+    throw std::runtime_error("tfrecord: truncated record header");
+  }
+  const std::uint64_t len = load_le<std::uint64_t>(shard_.data() + pos_);
+  const std::uint32_t want = load_le<std::uint32_t>(shard_.data() + pos_ + 8);
+  pos_ += 12;
+  if (pos_ + len > shard_.size()) {
+    throw std::runtime_error("tfrecord: truncated record payload");
+  }
+  const ByteView payload = shard_.subspan(pos_, len);
+  if (crc32(payload) != want) throw std::runtime_error("tfrecord: CRC mismatch");
+  pos_ += len;
+  return payload;
+}
+
+}  // namespace fanstore::dlsim

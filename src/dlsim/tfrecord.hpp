@@ -1,0 +1,41 @@
+// TFRecord-like packed-format baseline for Figure 6.
+//
+// The real TFRecord format stores length-prefixed records with masked
+// CRC-32C checks, read sequentially through the TensorFlow input stack.
+// This reimplementation keeps the container semantics (length + CRC +
+// payload, sequential scan) and models the framework's per-record
+// deserialization overhead as a constant, since the Python/TF layers are
+// out of scope (DESIGN.md §1).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace fanstore::dlsim {
+
+/// Framework-side per-record cost (protobuf parse, Python dispatch) used by
+/// the Fig. 6 comparison; FanStore's POSIX path has no such layer.
+constexpr double kTfFrameworkPerRecordS = 150e-6;
+
+/// Packs items into one shard: per record [u64 length][u32 crc][payload].
+Bytes build_tfrecord_shard(const std::vector<Bytes>& items);
+
+/// Sequential shard reader with CRC verification (real work, measured).
+class TfRecordReader {
+ public:
+  explicit TfRecordReader(ByteView shard) : shard_(shard) {}
+
+  /// Returns the next record's payload view, or nullopt at end.
+  /// Throws std::runtime_error on structural or CRC corruption.
+  std::optional<ByteView> next();
+
+  void reset() { pos_ = 0; }
+
+ private:
+  ByteView shard_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fanstore::dlsim

@@ -1,0 +1,67 @@
+#include "format/file_stat.hpp"
+
+#include <cstring>
+
+namespace fanstore::format {
+
+namespace {
+constexpr std::size_t kUsedBytes = 8 * 5 + 4 * 7 + 8;  // 76 used, rest reserved
+static_assert(kUsedBytes <= kStatBytes);
+}  // namespace
+
+void FileStat::serialize(std::uint8_t* out) const {
+  std::memset(out, 0, kStatBytes);
+  std::size_t p = 0;
+  auto put64 = [&](std::uint64_t v) {
+    store_le<std::uint64_t>(out + p, v);
+    p += 8;
+  };
+  auto put32 = [&](std::uint32_t v) {
+    store_le<std::uint32_t>(out + p, v);
+    p += 4;
+  };
+  put64(size);
+  put64(compressed_size);
+  put32(mode);
+  put32(static_cast<std::uint32_t>(type));
+  put32(uid);
+  put32(gid);
+  put64(mtime_ns);
+  put64(atime_ns);
+  put64(ctime_ns);
+  put32(crc);
+  put32(owner_rank);
+  put32(partition_id);
+  put64(partition_offset);
+}
+
+FileStat FileStat::deserialize(const std::uint8_t* in) {
+  FileStat s;
+  std::size_t p = 0;
+  auto get64 = [&] {
+    const auto v = load_le<std::uint64_t>(in + p);
+    p += 8;
+    return v;
+  };
+  auto get32 = [&] {
+    const auto v = load_le<std::uint32_t>(in + p);
+    p += 4;
+    return v;
+  };
+  s.size = get64();
+  s.compressed_size = get64();
+  s.mode = get32();
+  s.type = static_cast<FileType>(get32());
+  s.uid = get32();
+  s.gid = get32();
+  s.mtime_ns = get64();
+  s.atime_ns = get64();
+  s.ctime_ns = get64();
+  s.crc = get32();
+  s.owner_rank = get32();
+  s.partition_id = get32();
+  s.partition_offset = get64();
+  return s;
+}
+
+}  // namespace fanstore::format

@@ -1,0 +1,51 @@
+// The fixed 144-byte per-file stat record of the partition format (Table I).
+//
+// Mirrors the fields DL metadata traffic actually consumes (struct stat on
+// Linux is 144 bytes — the paper stores it verbatim; we define an explicit,
+// portable layout of the same size) plus FanStore's "extra fields" carrying
+// locality information (§IV-C1).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace fanstore::format {
+
+/// Serialized size of FileStat (matches the paper's Table I).
+constexpr std::size_t kStatBytes = 144;
+
+/// Maximum path length in a partition record (Table I: 256-byte field,
+/// NUL-terminated, so 255 usable characters).
+constexpr std::size_t kPathBytes = 256;
+
+enum class FileType : std::uint32_t { kRegular = 0, kDirectory = 1 };
+
+struct FileStat {
+  std::uint64_t size = 0;             // uncompressed file size
+  std::uint64_t compressed_size = 0;  // on-wire/storage size
+  std::uint32_t mode = 0644;
+  FileType type = FileType::kRegular;
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+  std::uint64_t mtime_ns = 0;
+  std::uint64_t atime_ns = 0;
+  std::uint64_t ctime_ns = 0;
+  std::uint32_t crc = 0;  // CRC-32 of the *uncompressed* contents
+
+  // FanStore extra fields (§IV-C1): populated at load time, exchanged via
+  // allgather so all metadata lookups stay node-local afterwards.
+  std::uint32_t owner_rank = 0;        // rank whose backend holds the data
+  std::uint32_t partition_id = 0;      // which partition carries the file
+  std::uint64_t partition_offset = 0;  // byte offset of the record
+
+  /// Serializes to exactly kStatBytes at out[pos..pos+144).
+  void serialize(std::uint8_t* out) const;
+
+  /// Parses a 144-byte record.
+  static FileStat deserialize(const std::uint8_t* in);
+
+  bool operator==(const FileStat&) const = default;
+};
+
+}  // namespace fanstore::format

@@ -1,0 +1,47 @@
+// Probe binary for the LD_PRELOAD wrapper test: an ordinary libc consumer
+// (fopen/fread/stat/opendir) that knows nothing about FanStore. When run
+// under fanstore_wrapper.so, paths below FANSTORE_MOUNT resolve through the
+// interceptor.
+//
+// Usage: intercept_probe <path> [--dir]
+// Prints "SIZE <n>" and the first line for files, or entry names for dirs.
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstring>
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <path> [--dir]\n", argv[0]);
+    return 2;
+  }
+  const char* path = argv[1];
+  if (argc > 2 && std::strcmp(argv[2], "--dir") == 0) {
+    DIR* d = opendir(path);
+    if (d == nullptr) {
+      std::fprintf(stderr, "opendir failed\n");
+      return 1;
+    }
+    while (dirent* e = readdir(d)) {
+      if (e->d_name[0] != '.') std::printf("ENTRY %s\n", e->d_name);
+    }
+    closedir(d);
+    return 0;
+  }
+  struct stat st {};
+  if (stat(path, &st) != 0) {
+    std::fprintf(stderr, "stat failed\n");
+    return 1;
+  }
+  std::printf("SIZE %lld\n", static_cast<long long>(st.st_size));
+  FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "fopen failed\n");
+    return 1;
+  }
+  char line[256] = {0};
+  if (std::fgets(line, sizeof(line), f) != nullptr) std::printf("FIRST %s", line);
+  std::fclose(f);
+  return 0;
+}

@@ -1,0 +1,153 @@
+// fanstore_wrapper.so — the LD_PRELOAD half of the paper's function
+// interception (§V-C).
+//
+// The paper combines two techniques: LD_PRELOAD for libc I/O symbols that
+// go through the dynamic linker, and trampolines for internally-called
+// ones. This library implements the LD_PRELOAD technique for real: it
+// interposes the path-based libc entry points and rewrites paths under the
+// FanStore mount prefix, forwarding to the original libc via
+// dlsym(RTLD_NEXT).
+//
+// Configuration (environment):
+//   FANSTORE_MOUNT  the virtual mount point, e.g. "/fs"
+//   FANSTORE_ROOT   the directory that backs it, e.g. "/tmp/fanstore-cache"
+//   FANSTORE_INTERCEPT_STATS=1  print interception counters at exit
+//
+// In the paper the rewrite target is the FanStore daemon; in this
+// reproduction the daemon runs in-process behind posixfs::Interceptor
+// (DESIGN.md §1), so this library redirects to a backing directory instead
+// — exercising the identical symbol-interposition mechanics and letting
+// unmodified binaries (cat, python, ...) read "FanStore" paths.
+//
+// Usage:
+//   LD_PRELOAD=.../fanstore_wrapper.so FANSTORE_MOUNT=/fs \
+//       FANSTORE_ROOT=/data cat /fs/file.txt
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE
+#endif
+
+#include <dirent.h>
+#include <dlfcn.h>
+#include <fcntl.h>
+#include <stdarg.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace {
+
+std::atomic<unsigned long> g_intercepted{0};
+std::atomic<unsigned long> g_rewritten{0};
+
+const char* mount_prefix() {
+  static const char* p = getenv("FANSTORE_MOUNT");
+  return p;
+}
+
+const char* backing_root() {
+  static const char* p = getenv("FANSTORE_ROOT");
+  return p;
+}
+
+// Rewrites `path` into `buf` if it is under the mount prefix; returns the
+// path to use either way. No allocation (safe in early process stages).
+const char* rewrite(const char* path, char* buf, size_t bufsize) {
+  g_intercepted.fetch_add(1, std::memory_order_relaxed);
+  const char* mount = mount_prefix();
+  const char* root = backing_root();
+  if (path == nullptr || mount == nullptr || root == nullptr) return path;
+  const size_t mlen = strlen(mount);
+  if (strncmp(path, mount, mlen) != 0) return path;
+  if (path[mlen] != '/' && path[mlen] != '\0') return path;  // whole component
+  const int n = snprintf(buf, bufsize, "%s%s", root, path + mlen);
+  if (n < 0 || static_cast<size_t>(n) >= bufsize) return path;
+  g_rewritten.fetch_add(1, std::memory_order_relaxed);
+  return buf;
+}
+
+template <typename Fn>
+Fn next_symbol(const char* name) {
+  return reinterpret_cast<Fn>(dlsym(RTLD_NEXT, name));
+}
+
+struct StatsAtExit {
+  ~StatsAtExit() {
+    const char* flag = getenv("FANSTORE_INTERCEPT_STATS");
+    if (flag != nullptr && flag[0] == '1') {
+      fprintf(stderr, "[fanstore_wrapper] intercepted=%lu rewritten=%lu\n",
+              g_intercepted.load(), g_rewritten.load());
+    }
+  }
+} g_stats_at_exit;
+
+}  // namespace
+
+extern "C" {
+
+int open(const char* path, int flags, ...) {
+  static auto real = next_symbol<int (*)(const char*, int, mode_t)>("open");
+  mode_t mode = 0;
+  if ((flags & O_CREAT) != 0) {
+    va_list ap;
+    va_start(ap, flags);
+    mode = va_arg(ap, mode_t);
+    va_end(ap);
+  }
+  char buf[4096];
+  return real(rewrite(path, buf, sizeof(buf)), flags, mode);
+}
+
+int open64(const char* path, int flags, ...) {
+  static auto real = next_symbol<int (*)(const char*, int, mode_t)>("open64");
+  mode_t mode = 0;
+  if ((flags & O_CREAT) != 0) {
+    va_list ap;
+    va_start(ap, flags);
+    mode = va_arg(ap, mode_t);
+    va_end(ap);
+  }
+  char buf[4096];
+  return real(rewrite(path, buf, sizeof(buf)), flags, mode);
+}
+
+FILE* fopen(const char* path, const char* fmode) {
+  static auto real = next_symbol<FILE* (*)(const char*, const char*)>("fopen");
+  char buf[4096];
+  return real(rewrite(path, buf, sizeof(buf)), fmode);
+}
+
+FILE* fopen64(const char* path, const char* fmode) {
+  static auto real = next_symbol<FILE* (*)(const char*, const char*)>("fopen64");
+  char buf[4096];
+  return real(rewrite(path, buf, sizeof(buf)), fmode);
+}
+
+int stat(const char* path, struct stat* st) {
+  static auto real = next_symbol<int (*)(const char*, struct stat*)>("stat");
+  char buf[4096];
+  return real(rewrite(path, buf, sizeof(buf)), st);
+}
+
+int lstat(const char* path, struct stat* st) {
+  static auto real = next_symbol<int (*)(const char*, struct stat*)>("lstat");
+  char buf[4096];
+  return real(rewrite(path, buf, sizeof(buf)), st);
+}
+
+int access(const char* path, int amode) {
+  static auto real = next_symbol<int (*)(const char*, int)>("access");
+  char buf[4096];
+  return real(rewrite(path, buf, sizeof(buf)), amode);
+}
+
+DIR* opendir(const char* path) {
+  static auto real = next_symbol<DIR* (*)(const char*)>("opendir");
+  char buf[4096];
+  return real(rewrite(path, buf, sizeof(buf)));
+}
+
+}  // extern "C"

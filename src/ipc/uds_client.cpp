@@ -1,0 +1,147 @@
+#include "ipc/uds_client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "ipc/protocol.hpp"
+
+namespace fanstore::ipc {
+
+UdsClientVfs::UdsClientVfs(std::string socket_path)
+    : socket_path_(std::move(socket_path)) {}
+
+UdsClientVfs::~UdsClientVfs() {
+  if (sock_ >= 0) ::close(sock_);
+}
+
+bool UdsClientVfs::connect_locked() {
+  if (sock_ >= 0) return true;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  sock_ = fd;
+  return true;
+}
+
+bool UdsClientVfs::connect() {
+  std::lock_guard lk(io_mu_);
+  return connect_locked();
+}
+
+std::optional<Bytes> UdsClientVfs::call(ByteView request) {
+  std::lock_guard lk(io_mu_);
+  if (!connect_locked()) return std::nullopt;
+  if (!write_frame(sock_, request)) {
+    ::close(sock_);
+    sock_ = -1;
+    return std::nullopt;
+  }
+  auto reply = read_frame(sock_);
+  if (!reply) {
+    ::close(sock_);
+    sock_ = -1;
+  }
+  return reply;
+}
+
+int UdsClientVfs::open(std::string_view path_in, posixfs::OpenMode mode) {
+  if (mode != posixfs::OpenMode::kRead) return -EROFS;  // read-only transport
+  const std::string path = posixfs::normalize_path(path_in);
+  const auto reply = call(as_view(encode_request(Op::kGet, path)));
+  if (!reply) return -EIO;
+  auto get = decode_get_reply(as_view(*reply));
+  if (!get) return -EIO;
+  if (get->status != Status::kOk) return -ENOENT;
+  std::lock_guard lk(mu_);
+  const int fd = next_fd_++;
+  open_files_[fd] =
+      OpenFile{std::make_shared<const Bytes>(std::move(get->data)), 0};
+  return fd;
+}
+
+int UdsClientVfs::close(int fd) {
+  std::lock_guard lk(mu_);
+  return open_files_.erase(fd) > 0 ? 0 : -EBADF;
+}
+
+std::int64_t UdsClientVfs::read(int fd, MutByteView buf) {
+  std::lock_guard lk(mu_);
+  const auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return -EBADF;
+  OpenFile& of = it->second;
+  const Bytes& data = *of.data;
+  if (of.offset >= static_cast<std::int64_t>(data.size())) return 0;
+  const std::size_t n =
+      std::min(buf.size(), data.size() - static_cast<std::size_t>(of.offset));
+  std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(of.offset), n, buf.begin());
+  of.offset += static_cast<std::int64_t>(n);
+  return static_cast<std::int64_t>(n);
+}
+
+std::int64_t UdsClientVfs::write(int, ByteView) { return -EROFS; }
+
+std::int64_t UdsClientVfs::lseek(int fd, std::int64_t offset, posixfs::Whence whence) {
+  std::lock_guard lk(mu_);
+  const auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return -EBADF;
+  OpenFile& of = it->second;
+  std::int64_t base = 0;
+  switch (whence) {
+    case posixfs::Whence::kSet: base = 0; break;
+    case posixfs::Whence::kCur: base = of.offset; break;
+    case posixfs::Whence::kEnd: base = static_cast<std::int64_t>(of.data->size()); break;
+  }
+  const std::int64_t pos = base + offset;
+  if (pos < 0) return -EINVAL;
+  of.offset = pos;
+  return pos;
+}
+
+int UdsClientVfs::stat(std::string_view path_in, format::FileStat* out) {
+  const std::string path = posixfs::normalize_path(path_in);
+  const auto reply = call(as_view(encode_request(Op::kStat, path)));
+  if (!reply) return -EIO;
+  const auto st = decode_stat_reply(as_view(*reply));
+  if (!st) return -EIO;
+  if (st->status != Status::kOk) return -ENOENT;
+  *out = st->stat;
+  return 0;
+}
+
+int UdsClientVfs::opendir(std::string_view path_in) {
+  const std::string path = posixfs::normalize_path(path_in);
+  const auto reply = call(as_view(encode_request(Op::kList, path)));
+  if (!reply) return -EIO;
+  auto list = decode_list_reply(as_view(*reply));
+  if (!list) return -EIO;
+  if (list->status != Status::kOk) return -ENOENT;
+  std::lock_guard lk(mu_);
+  const int h = next_dir_++;
+  open_dirs_[h] = OpenDir{std::move(list->entries), 0};
+  return h;
+}
+
+std::optional<posixfs::Dirent> UdsClientVfs::readdir(int dir_handle) {
+  std::lock_guard lk(mu_);
+  const auto it = open_dirs_.find(dir_handle);
+  if (it == open_dirs_.end()) return std::nullopt;
+  if (it->second.next >= it->second.entries.size()) return std::nullopt;
+  return it->second.entries[it->second.next++];
+}
+
+int UdsClientVfs::closedir(int dir_handle) {
+  std::lock_guard lk(mu_);
+  return open_dirs_.erase(dir_handle) > 0 ? 0 : -EBADF;
+}
+
+}  // namespace fanstore::ipc

@@ -1,0 +1,63 @@
+// Client-side Vfs that forwards reads/metadata over the daemon's Unix
+// socket — what the LD_PRELOAD interceptor would use inside an unmodified
+// training process. Read-only: the multi-read side of FanStore's model
+// (writes stay in-process via FanStoreFs).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "posixfs/vfs.hpp"
+
+namespace fanstore::ipc {
+
+class UdsClientVfs final : public posixfs::Vfs {
+ public:
+  explicit UdsClientVfs(std::string socket_path);
+  ~UdsClientVfs() override;
+
+  UdsClientVfs(const UdsClientVfs&) = delete;
+  UdsClientVfs& operator=(const UdsClientVfs&) = delete;
+
+  /// Connects (lazily re-connects after errors); false if the daemon is
+  /// not reachable.
+  bool connect();
+
+  int open(std::string_view path, posixfs::OpenMode mode) override;
+  int close(int fd) override;
+  std::int64_t read(int fd, MutByteView buf) override;
+  std::int64_t write(int fd, ByteView buf) override;
+  std::int64_t lseek(int fd, std::int64_t offset, posixfs::Whence whence) override;
+  int stat(std::string_view path, format::FileStat* out) override;
+  int opendir(std::string_view path) override;
+  std::optional<posixfs::Dirent> readdir(int dir_handle) override;
+  int closedir(int dir_handle) override;
+
+ private:
+  struct OpenFile {
+    std::shared_ptr<const Bytes> data;
+    std::int64_t offset = 0;
+  };
+  struct OpenDir {
+    std::vector<posixfs::Dirent> entries;
+    std::size_t next = 0;
+  };
+
+  /// One request/response round trip (serialized per connection).
+  std::optional<Bytes> call(ByteView request);
+  bool connect_locked();
+
+  std::string socket_path_;
+  std::mutex io_mu_;   // serializes socket round trips
+  int sock_ = -1;
+
+  std::mutex mu_;  // fd tables
+  std::map<int, OpenFile> open_files_;
+  std::map<int, OpenDir> open_dirs_;
+  int next_fd_ = 3;
+  int next_dir_ = 1;
+};
+
+}  // namespace fanstore::ipc

@@ -1,0 +1,117 @@
+#include "ipc/uds_server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "ipc/protocol.hpp"
+#include "util/log.hpp"
+
+namespace fanstore::ipc {
+
+UdsServer::UdsServer(std::string socket_path, posixfs::Vfs& fs)
+    : socket_path_(std::move(socket_path)), fs_(fs) {}
+
+UdsServer::~UdsServer() { stop(); }
+
+void UdsServer::start() {
+  if (running_.exchange(true)) return;
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("uds: socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument("uds: socket path too long");
+  }
+  std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(socket_path_.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("uds: bind() failed for " + socket_path_);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("uds: listen() failed");
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void UdsServer::stop() {
+  if (!running_.exchange(false)) return;
+  // Shut the listener down; accept() returns with an error and the loop
+  // exits.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Kick connection handlers out of their blocking reads, then join.
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lk(workers_mu_);
+    for (const int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
+    workers.swap(workers_);
+  }
+  for (auto& w : workers) w.join();
+  {
+    std::lock_guard lk(workers_mu_);
+    client_fds_.clear();
+  }
+  ::unlink(socket_path_.c_str());
+}
+
+void UdsServer::accept_loop() {
+  for (;;) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) return;  // listener closed by stop()
+    std::lock_guard lk(workers_mu_);
+    client_fds_.push_back(client);
+    workers_.emplace_back([this, client] { serve_connection(client); });
+  }
+}
+
+void UdsServer::serve_connection(int client_fd) {
+  while (auto frame = read_frame(client_fd)) {
+    const auto request = decode_request(as_view(*frame));
+    Bytes reply;
+    if (!request) {
+      reply = encode_get_reply(Status::kError, {});
+    } else {
+      switch (request->op) {
+        case Op::kGet: {
+          const auto data = posixfs::read_file(fs_, request->path);
+          reply = data ? encode_get_reply(Status::kOk, as_view(*data))
+                       : encode_get_reply(Status::kNotFound, {});
+          break;
+        }
+        case Op::kStat: {
+          format::FileStat st;
+          const int rc = fs_.stat(request->path, &st);
+          reply = encode_stat_reply(rc == 0 ? Status::kOk : Status::kNotFound, st);
+          break;
+        }
+        case Op::kList: {
+          const int h = fs_.opendir(request->path);
+          if (h < 0) {
+            reply = encode_list_reply(Status::kNotFound, {});
+            break;
+          }
+          std::vector<posixfs::Dirent> entries;
+          while (auto e = fs_.readdir(h)) entries.push_back(std::move(*e));
+          fs_.closedir(h);
+          reply = encode_list_reply(Status::kOk, entries);
+          break;
+        }
+      }
+      served_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!write_frame(client_fd, as_view(reply))) break;
+  }
+  ::close(client_fd);
+}
+
+}  // namespace fanstore::ipc

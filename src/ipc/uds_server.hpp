@@ -1,0 +1,49 @@
+// Unix-domain-socket front door of the FanStore daemon: serves any Vfs
+// (normally a FanStoreFs / Interceptor) to other processes on the node —
+// the §V-A interceptor-to-daemon boundary as a real process boundary.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "posixfs/vfs.hpp"
+
+namespace fanstore::ipc {
+
+class UdsServer {
+ public:
+  /// Serves `fs` at the socket `path` (unlinked/recreated on start).
+  UdsServer(std::string socket_path, posixfs::Vfs& fs);
+  ~UdsServer();
+
+  UdsServer(const UdsServer&) = delete;
+  UdsServer& operator=(const UdsServer&) = delete;
+
+  /// Binds, listens, and starts the accept loop; throws on socket errors.
+  void start();
+
+  /// Stops accepting, closes the listener, joins workers. Idempotent.
+  void stop();
+
+  std::uint64_t requests_served() const { return served_.load(); }
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int client_fd);
+
+  std::string socket_path_;
+  posixfs::Vfs& fs_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::vector<int> client_fds_;  // live connections, for shutdown on stop()
+  std::mutex workers_mu_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> served_{0};
+};
+
+}  // namespace fanstore::ipc

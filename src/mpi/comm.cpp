@@ -1,0 +1,181 @@
+#include "mpi/comm.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace fanstore::mpi {
+
+int Comm::size() const { return world_->size(); }
+
+void Comm::send(int dest, int tag, Bytes payload) const {
+  world_->deliver(dest, Message{rank_, tag, std::move(payload)});
+}
+
+namespace {
+std::function<bool(const Message&)> match_source_tag(int source, int tag) {
+  return [source, tag](const Message& m) {
+    return (source == kAnySource || m.source == source) &&
+           (tag == kAnyTag || m.tag == tag);
+  };
+}
+}  // namespace
+
+Message Comm::recv(int source, int tag) const {
+  return *world_->take_matching(rank_, match_source_tag(source, tag), /*block=*/true);
+}
+
+std::optional<Message> Comm::try_recv(int source, int tag) const {
+  return world_->take_matching(rank_, match_source_tag(source, tag), /*block=*/false);
+}
+
+Message Comm::recv_if(const std::function<bool(const Message&)>& pred) const {
+  return *world_->take_matching(rank_, pred, /*block=*/true);
+}
+
+std::optional<Message> Comm::recv_timeout(int source, int tag, int timeout_ms) const {
+  return world_->take_matching(rank_, match_source_tag(source, tag), /*block=*/true,
+                               timeout_ms);
+}
+
+void Comm::barrier() const { world_->barrier_impl(); }
+
+std::vector<Bytes> Comm::allgather(ByteView mine) const {
+  return world_->allgather_impl(rank_, mine);
+}
+
+Bytes Comm::bcast(int root, ByteView mine) const {
+  auto all = world_->allgather_impl(rank_, rank_ == root ? mine : ByteView{});
+  return std::move(all[static_cast<std::size_t>(root)]);
+}
+
+std::vector<double> Comm::allreduce_sum(const std::vector<double>& mine) const {
+  Bytes raw(mine.size() * sizeof(double));
+  std::memcpy(raw.data(), mine.data(), raw.size());
+  const auto all = world_->allgather_impl(rank_, as_view(raw));
+  std::vector<double> sum(mine.size(), 0.0);
+  for (const Bytes& contrib : all) {
+    if (contrib.size() != raw.size()) {
+      throw std::logic_error("allreduce_sum: rank contributed mismatched length");
+    }
+    for (std::size_t i = 0; i < sum.size(); ++i) {
+      double v;
+      std::memcpy(&v, contrib.data() + i * sizeof(double), sizeof(double));
+      sum[i] += v;
+    }
+  }
+  return sum;
+}
+
+double Comm::allreduce_max(double mine) const {
+  Bytes raw(sizeof(double));
+  std::memcpy(raw.data(), &mine, sizeof(double));
+  const auto all = world_->allgather_impl(rank_, as_view(raw));
+  double best = mine;
+  for (const Bytes& contrib : all) {
+    if (contrib.size() != sizeof(double)) {
+      throw std::logic_error("allreduce_max: rank contributed mismatched length");
+    }
+    double v;
+    std::memcpy(&v, contrib.data(), sizeof(double));
+    best = std::max(best, v);
+  }
+  return best;
+}
+
+World::World(int nranks) : nranks_(nranks) {
+  if (nranks <= 0) throw std::invalid_argument("World: nranks must be positive");
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+  coll_slots_.resize(static_cast<std::size_t>(nranks));
+}
+
+void World::deliver(int dest, Message msg) {
+  if (dest < 0 || dest >= nranks_) throw std::out_of_range("send: bad destination rank");
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard lk(mb.mu);
+    mb.queue.push_back(std::move(msg));
+  }
+  mb.cv.notify_all();
+}
+
+std::optional<Message> World::take_matching(
+    int rank, const std::function<bool(const Message&)>& pred, bool block,
+    int timeout_ms) {
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(rank)];
+  std::unique_lock lk(mb.mu);
+  auto match = [&]() -> std::optional<Message> {
+    for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
+      if (pred(*it)) {
+        Message m = std::move(*it);
+        mb.queue.erase(it);
+        return m;
+      }
+    }
+    return std::nullopt;
+  };
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+  for (;;) {
+    if (auto m = match()) return m;
+    if (!block) return std::nullopt;
+    if (timeout_ms < 0) {
+      mb.cv.wait(lk);
+    } else if (mb.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
+      return match();  // final scan after the deadline
+    }
+  }
+}
+
+void World::barrier_impl() {
+  std::unique_lock lk(coll_mu_);
+  const std::uint64_t gen = coll_generation_;
+  if (++coll_arrived_ == nranks_) {
+    coll_arrived_ = 0;
+    ++coll_generation_;
+    coll_cv_.notify_all();
+  } else {
+    coll_cv_.wait(lk, [&] { return coll_generation_ != gen; });
+  }
+}
+
+std::vector<Bytes> World::allgather_impl(int rank, ByteView mine) {
+  {
+    std::lock_guard lk(coll_mu_);
+    coll_slots_[static_cast<std::size_t>(rank)] = Bytes(mine.begin(), mine.end());
+  }
+  barrier_impl();  // all deposits visible
+  std::vector<Bytes> result;
+  {
+    std::lock_guard lk(coll_mu_);
+    result = coll_slots_;
+  }
+  barrier_impl();  // nobody re-deposits before everyone has copied
+  return result;
+}
+
+void run_world(int nranks, const std::function<void(Comm&)>& fn) {
+  World world(nranks);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm = world.comm(r);
+      try {
+        fn(comm);
+      } catch (...) {
+        std::lock_guard lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace fanstore::mpi

@@ -1,0 +1,119 @@
+// In-process MPI subset: ranks are threads, messages are byte buffers moved
+// through per-rank mailboxes, and the collectives FanStore needs
+// (allgather, barrier, bcast, allreduce) are implemented over a shared
+// rendezvous structure.
+//
+// Substitution note (DESIGN.md §1): the paper launches one FanStore process
+// per node with mpiexec and communicates over InfiniBand/Omni-Path. Here
+// run_world() plays the role of the MPI launcher and the mailboxes play the
+// wire; the daemon protocol and collective usage are identical. Transfer
+// *costs* are charged separately by simnet::NetworkModel.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace fanstore::mpi {
+
+/// Matches any source rank or any tag in recv().
+constexpr int kAnySource = -1;
+constexpr int kAnyTag = -1;
+
+struct Message {
+  int source = -1;
+  int tag = 0;
+  Bytes payload;
+};
+
+class World;
+
+/// Per-rank communicator handle. Methods are called from that rank's
+/// thread(s); a rank may have several threads (app + daemon) sharing it.
+class Comm {
+ public:
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Point-to-point. send() never blocks (mailboxes are unbounded).
+  void send(int dest, int tag, Bytes payload) const;
+
+  /// Blocks until a message matching (source, tag) arrives.
+  Message recv(int source = kAnySource, int tag = kAnyTag) const;
+
+  /// Non-blocking probe-and-receive; nullopt if nothing matches now.
+  std::optional<Message> try_recv(int source = kAnySource, int tag = kAnyTag) const;
+
+  /// Blocks until a message satisfying `pred` arrives. Lets multiple
+  /// threads of one rank (application + daemon) share the mailbox without
+  /// stealing each other's messages.
+  Message recv_if(const std::function<bool(const Message&)>& pred) const;
+
+  /// Like recv(), but gives up after `timeout_ms` and returns nullopt —
+  /// the failure-detection primitive used for replica failover (a dead
+  /// daemon never answers).
+  std::optional<Message> recv_timeout(int source, int tag, int timeout_ms) const;
+
+  /// Collectives. Every rank must call these in the same order
+  /// (standard MPI semantics); only one collective may be in flight.
+  void barrier() const;
+  std::vector<Bytes> allgather(ByteView mine) const;
+  Bytes bcast(int root, ByteView mine) const;
+  std::vector<double> allreduce_sum(const std::vector<double>& mine) const;
+  double allreduce_max(double mine) const;
+
+ private:
+  World* world_;
+  int rank_;
+};
+
+/// Shared state for one "job": mailboxes and collective rendezvous.
+class World {
+ public:
+  explicit World(int nranks);
+
+  int size() const { return nranks_; }
+  Comm comm(int rank) { return Comm(this, rank); }
+
+ private:
+  friend class Comm;
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  void deliver(int dest, Message msg);
+  std::optional<Message> take_matching(int rank,
+                                       const std::function<bool(const Message&)>& pred,
+                                       bool block, int timeout_ms = -1);
+
+  void barrier_impl();
+  std::vector<Bytes> allgather_impl(int rank, ByteView mine);
+
+  int nranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  // Generation-counted rendezvous shared by all collectives.
+  std::mutex coll_mu_;
+  std::condition_variable coll_cv_;
+  int coll_arrived_ = 0;
+  std::uint64_t coll_generation_ = 0;
+  std::vector<Bytes> coll_slots_;
+};
+
+/// Spawns `nranks` threads, runs `fn(comm)` on each, joins them all.
+/// Exceptions thrown by any rank are rethrown (first one wins) after join.
+void run_world(int nranks, const std::function<void(Comm&)>& fn);
+
+}  // namespace fanstore::mpi

@@ -1,0 +1,125 @@
+#include "posixfs/interceptor.hpp"
+
+#include <algorithm>
+
+namespace fanstore::posixfs {
+
+void Interceptor::mount(std::string_view prefix, Vfs* fs) {
+  std::lock_guard lk(mu_);
+  mounts_.emplace_back(normalize_path(prefix), fs);
+  std::sort(mounts_.begin(), mounts_.end(),
+            [](const auto& a, const auto& b) { return a.first.size() > b.first.size(); });
+}
+
+Interceptor::Route Interceptor::route(std::string_view path) const {
+  const std::string p = normalize_path(path);
+  std::lock_guard lk(mu_);
+  for (const auto& [prefix, fs] : mounts_) {
+    if (prefix.empty()) return Route{fs, p};  // root mount: matches everything
+    if (p.size() >= prefix.size() && p.compare(0, prefix.size(), prefix) == 0 &&
+        (p.size() == prefix.size() || p[prefix.size()] == '/')) {
+      std::string rel = p.size() == prefix.size() ? std::string{}
+                                                  : p.substr(prefix.size() + 1);
+      return Route{fs, std::move(rel)};
+    }
+  }
+  return Route{fallback_, p};
+}
+
+int Interceptor::open(std::string_view path, OpenMode mode) {
+  const Route r = route(path);
+  if (r.fs == nullptr) return -ENOENT;
+  const int inner = r.fs->open(r.relative, mode);
+  if (inner < 0) return inner;
+  std::lock_guard lk(mu_);
+  const int fd = next_fd_++;
+  fds_[fd] = Handle{r.fs, inner};
+  return fd;
+}
+
+int Interceptor::close(int fd) {
+  Handle h;
+  {
+    std::lock_guard lk(mu_);
+    const auto it = fds_.find(fd);
+    if (it == fds_.end()) return -EBADF;
+    h = it->second;
+    fds_.erase(it);
+  }
+  return h.fs->close(h.inner);
+}
+
+std::int64_t Interceptor::read(int fd, MutByteView buf) {
+  Handle h;
+  {
+    std::lock_guard lk(mu_);
+    const auto it = fds_.find(fd);
+    if (it == fds_.end()) return -EBADF;
+    h = it->second;
+  }
+  return h.fs->read(h.inner, buf);
+}
+
+std::int64_t Interceptor::write(int fd, ByteView buf) {
+  Handle h;
+  {
+    std::lock_guard lk(mu_);
+    const auto it = fds_.find(fd);
+    if (it == fds_.end()) return -EBADF;
+    h = it->second;
+  }
+  return h.fs->write(h.inner, buf);
+}
+
+std::int64_t Interceptor::lseek(int fd, std::int64_t offset, Whence whence) {
+  Handle h;
+  {
+    std::lock_guard lk(mu_);
+    const auto it = fds_.find(fd);
+    if (it == fds_.end()) return -EBADF;
+    h = it->second;
+  }
+  return h.fs->lseek(h.inner, offset, whence);
+}
+
+int Interceptor::stat(std::string_view path, format::FileStat* out) {
+  const Route r = route(path);
+  if (r.fs == nullptr) return -ENOENT;
+  return r.fs->stat(r.relative, out);
+}
+
+int Interceptor::opendir(std::string_view path) {
+  const Route r = route(path);
+  if (r.fs == nullptr) return -ENOENT;
+  const int inner = r.fs->opendir(r.relative);
+  if (inner < 0) return inner;
+  std::lock_guard lk(mu_);
+  const int h = next_dir_++;
+  dirs_[h] = Handle{r.fs, inner};
+  return h;
+}
+
+std::optional<Dirent> Interceptor::readdir(int dir_handle) {
+  Handle h;
+  {
+    std::lock_guard lk(mu_);
+    const auto it = dirs_.find(dir_handle);
+    if (it == dirs_.end()) return std::nullopt;
+    h = it->second;
+  }
+  return h.fs->readdir(h.inner);
+}
+
+int Interceptor::closedir(int dir_handle) {
+  Handle h;
+  {
+    std::lock_guard lk(mu_);
+    const auto it = dirs_.find(dir_handle);
+    if (it == dirs_.end()) return -EBADF;
+    h = it->second;
+    dirs_.erase(it);
+  }
+  return h.fs->closedir(h.inner);
+}
+
+}  // namespace fanstore::posixfs

@@ -1,0 +1,62 @@
+// Function-interception dispatch layer.
+//
+// The paper intercepts glibc I/O calls (LD_PRELOAD for symbols resolved via
+// the dynamic linker, trampolines for internally-called ones, §V-C) and
+// routes paths under the FanStore mount point to the daemon. This class is
+// that routing layer: a mount table with longest-prefix matching and a
+// process-wide fd namespace, itself implementing Vfs so callers see one
+// POSIX surface.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "posixfs/vfs.hpp"
+
+namespace fanstore::posixfs {
+
+class Interceptor final : public Vfs {
+ public:
+  /// Routes paths beginning with `prefix` (e.g. "fs") to `fs`, with the
+  /// prefix stripped — mounted filesystems see dataset-relative paths.
+  /// Later mounts with longer prefixes win (longest match).
+  void mount(std::string_view prefix, Vfs* fs);
+
+  /// Handles paths matching no mount (the "pass through to the real libc"
+  /// case). Optional; unmatched paths fail with -ENOENT otherwise.
+  void set_fallback(Vfs* fs) { fallback_ = fs; }
+
+  int open(std::string_view path, OpenMode mode) override;
+  int close(int fd) override;
+  std::int64_t read(int fd, MutByteView buf) override;
+  std::int64_t write(int fd, ByteView buf) override;
+  std::int64_t lseek(int fd, std::int64_t offset, Whence whence) override;
+  int stat(std::string_view path, format::FileStat* out) override;
+  int opendir(std::string_view path) override;
+  std::optional<Dirent> readdir(int dir_handle) override;
+  int closedir(int dir_handle) override;
+
+ private:
+  struct Route {
+    Vfs* fs = nullptr;
+    std::string relative;  // path with the mount prefix stripped
+  };
+  struct Handle {
+    Vfs* fs = nullptr;
+    int inner = -1;
+  };
+
+  Route route(std::string_view path) const;
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, Vfs*>> mounts_;  // sorted long-to-short
+  Vfs* fallback_ = nullptr;
+  std::map<int, Handle> fds_;
+  std::map<int, Handle> dirs_;
+  int next_fd_ = 3;
+  int next_dir_ = 1;
+};
+
+}  // namespace fanstore::posixfs

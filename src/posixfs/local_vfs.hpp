@@ -1,0 +1,51 @@
+// Vfs adapter over the real host filesystem, jailed under a root directory.
+// Used by the fanstore-prep CLI and examples that package real datasets.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+
+#include "posixfs/vfs.hpp"
+
+namespace fanstore::posixfs {
+
+class LocalVfs final : public Vfs {
+ public:
+  /// All paths are resolved relative to `root` (created if absent).
+  explicit LocalVfs(std::filesystem::path root);
+
+  int open(std::string_view path, OpenMode mode) override;
+  int close(int fd) override;
+  std::int64_t read(int fd, MutByteView buf) override;
+  std::int64_t write(int fd, ByteView buf) override;
+  std::int64_t lseek(int fd, std::int64_t offset, Whence whence) override;
+  int stat(std::string_view path, format::FileStat* out) override;
+  int opendir(std::string_view path) override;
+  std::optional<Dirent> readdir(int dir_handle) override;
+  int closedir(int dir_handle) override;
+
+  const std::filesystem::path& root() const { return root_; }
+
+ private:
+  std::filesystem::path resolve(std::string_view path) const;
+
+  struct OpenFile {
+    std::fstream stream;
+    OpenMode mode;
+  };
+  struct OpenDir {
+    std::vector<Dirent> entries;
+    std::size_t next = 0;
+  };
+
+  std::filesystem::path root_;
+  std::mutex mu_;
+  std::map<int, OpenFile> open_files_;
+  std::map<int, OpenDir> open_dirs_;
+  int next_fd_ = 3;
+  int next_dir_ = 1;
+};
+
+}  // namespace fanstore::posixfs

@@ -1,0 +1,62 @@
+#include "posixfs/vfs.hpp"
+
+#include <vector>
+
+namespace fanstore::posixfs {
+
+std::string normalize_path(std::string_view path) {
+  std::vector<std::string_view> parts;
+  std::size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') ++i;
+    std::size_t j = i;
+    while (j < path.size() && path[j] != '/') ++j;
+    const auto part = path.substr(i, j - i);
+    if (!part.empty() && part != ".") {
+      if (part == "..") return {};
+      parts.push_back(part);
+    }
+    i = j;
+  }
+  std::string out;
+  for (std::size_t k = 0; k < parts.size(); ++k) {
+    if (k > 0) out += '/';
+    out += parts[k];
+  }
+  return out;
+}
+
+std::optional<Bytes> read_file(Vfs& fs, std::string_view path) {
+  const int fd = fs.open(path, OpenMode::kRead);
+  if (fd < 0) return std::nullopt;
+  Bytes out;
+  std::uint8_t chunk[64 * 1024];
+  for (;;) {
+    const std::int64_t n = fs.read(fd, MutByteView{chunk, sizeof(chunk)});
+    if (n < 0) {
+      fs.close(fd);
+      return std::nullopt;
+    }
+    if (n == 0) break;
+    out.insert(out.end(), chunk, chunk + n);
+  }
+  fs.close(fd);
+  return out;
+}
+
+int write_file(Vfs& fs, std::string_view path, ByteView data) {
+  const int fd = fs.open(path, OpenMode::kWrite);
+  if (fd < 0) return fd;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::int64_t n = fs.write(fd, data.subspan(off));
+    if (n < 0) {
+      fs.close(fd);
+      return static_cast<int>(n);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return fs.close(fd);
+}
+
+}  // namespace fanstore::posixfs

@@ -1,0 +1,122 @@
+#include "select/selection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "compress/registry.hpp"
+#include "util/timer.hpp"
+
+namespace fanstore::select {
+
+double t_read_s(double c_batch_files, double s_batch_mb, const IoProfile& io) {
+  if (io.tpt_read_files_per_s <= 0 || io.bdw_read_mb_per_s <= 0) {
+    throw std::invalid_argument("selection: non-positive I/O profile");
+  }
+  return std::max(c_batch_files / io.tpt_read_files_per_s,
+                  s_batch_mb / io.bdw_read_mb_per_s);
+}
+
+double decompress_budget_per_file_s(const AppProfile& app, const IoProfile& io,
+                                    double ratio) {
+  const double t_read_compressed =
+      t_read_s(app.c_batch_files, app.s_batch_raw_mb / ratio, io);
+  double batch_budget;
+  if (app.async_io) {
+    // Eq. 2: decompression + compressed read must fit inside an iteration.
+    batch_budget = app.t_iter_s - t_read_compressed;
+  } else {
+    // Eq. 1: decompression must fit in the read time saved by compression.
+    const double t_read_raw = t_read_s(app.c_batch_files, app.s_batch_raw_mb, io);
+    batch_budget = t_read_raw - t_read_compressed;
+  }
+  return batch_budget / app.c_batch_files * app.io_parallelism;
+}
+
+double predicted_slowdown(const AppProfile& app, const IoProfile& io,
+                          const CandidateStats& candidate) {
+  const double t_raw = t_read_s(app.c_batch_files, app.s_batch_raw_mb, io);
+  const double t_comp =
+      t_read_s(app.c_batch_files, app.s_batch_raw_mb / candidate.ratio, io);
+  const double decomp = app.c_batch_files * candidate.decompress_s_per_file /
+                        app.io_parallelism;
+  double before, after;
+  if (app.async_io) {
+    before = std::max(app.t_iter_s, t_raw);
+    after = std::max(app.t_iter_s, t_comp + decomp);
+  } else {
+    before = app.t_iter_s + t_raw;
+    after = app.t_iter_s + t_comp + decomp;
+  }
+  return std::max(0.0, after / before - 1.0);
+}
+
+SelectionResult select_compressor(const AppProfile& app, const IoProfile& io,
+                                  const std::vector<CandidateStats>& candidates,
+                                  double required_ratio, double tolerance) {
+  SelectionResult result;
+  for (const auto& c : candidates) {
+    EvaluatedCandidate e;
+    e.stats = c;
+    e.budget_s_per_file = decompress_budget_per_file_s(app, io, c.ratio);
+    e.strict_feasible = c.decompress_s_per_file < e.budget_s_per_file;
+    e.slowdown = predicted_slowdown(app, io, c);
+    if (e.strict_feasible || e.slowdown <= tolerance) result.feasible.push_back(c);
+    result.evaluated.push_back(std::move(e));
+  }
+  auto by_ratio_desc = [](const auto& a, const auto& b) { return a.ratio > b.ratio; };
+  std::sort(result.feasible.begin(), result.feasible.end(), by_ratio_desc);
+  std::sort(result.evaluated.begin(), result.evaluated.end(),
+            [](const EvaluatedCandidate& a, const EvaluatedCandidate& b) {
+              return a.stats.ratio > b.stats.ratio;
+            });
+  if (!result.feasible.empty()) {
+    result.best = result.feasible.front();
+    result.meets_required_ratio = result.best->ratio >= required_ratio;
+  }
+  return result;
+}
+
+std::vector<CandidateStats> profile_candidates(
+    const std::vector<Bytes>& samples, const std::vector<std::string>& codec_names) {
+  if (samples.empty()) throw std::invalid_argument("selection: no samples");
+  const auto& reg = compress::Registry::instance();
+  std::vector<CandidateStats> out;
+  out.reserve(codec_names.size());
+  for (const auto& name : codec_names) {
+    const compress::Compressor* codec = reg.by_name(name);
+    if (codec == nullptr) {
+      throw std::invalid_argument("selection: unknown compressor " + name);
+    }
+    CandidateStats stats;
+    stats.id = reg.id_of(*codec);
+    stats.name = codec->name();
+    std::size_t raw_total = 0, packed_total = 0;
+    std::vector<Bytes> packed;
+    packed.reserve(samples.size());
+    for (const auto& s : samples) {
+      packed.push_back(codec->compress(as_view(s)));
+      raw_total += s.size();
+      packed_total += packed.back().size();
+    }
+    // Warm pass, then best-of-3 timing across all samples.
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      (void)codec->decompress(as_view(packed[i]), samples[i].size());
+    }
+    double best = 1e99;
+    for (int pass = 0; pass < 3; ++pass) {
+      WallTimer t;
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        (void)codec->decompress(as_view(packed[i]), samples[i].size());
+      }
+      best = std::min(best, t.elapsed_sec());
+    }
+    stats.ratio = packed_total == 0 ? 1.0
+                                    : static_cast<double>(raw_total) /
+                                          static_cast<double>(packed_total);
+    stats.decompress_s_per_file = best / static_cast<double>(samples.size());
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+}  // namespace fanstore::select

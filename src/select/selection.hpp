@@ -1,0 +1,97 @@
+// Compressor-selection algorithm (§VI-B, Equations 1-3).
+//
+// Given application parameters (T_iter, C_batch, S'_batch), measured
+// FanStore I/O performance (Tpt_read, Bdw_read) and per-codec sample
+// statistics (compression ratio, decompression throughput), computes the
+// set of codecs that preserve baseline performance and picks the one with
+// the highest compression ratio, preferring those that meet a required
+// capacity ratio.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.hpp"
+#include "util/bytes.hpp"
+
+namespace fanstore::select {
+
+/// Application-side inputs (Table V).
+struct AppProfile {
+  std::string name;
+  bool async_io = false;     // Figure 5(b) prefetch vs 5(a) sequential
+  double t_iter_s = 0;       // per-iteration compute+allreduce time
+  double c_batch_files = 0;  // files read per iteration (C_batch)
+  double s_batch_raw_mb = 0; // MB read per iteration, uncompressed (S'_batch)
+  int io_parallelism = 4;    // decompression threads per node
+};
+
+/// FanStore-side inputs (Table VI), measured at the training file size.
+struct IoProfile {
+  double tpt_read_files_per_s = 0;  // throughput bound
+  double bdw_read_mb_per_s = 0;     // bandwidth bound
+};
+
+/// Per-codec sample statistics (the lzbench step of §VII-D).
+struct CandidateStats {
+  compress::CompressorId id = 0;
+  std::string name;
+  double ratio = 1.0;                 // compression ratio on dataset samples
+  double decompress_s_per_file = 0;   // mean per-file decompression cost
+};
+
+/// Equation 3: T_read = max(C_batch / Tpt_read, S_batch / Bdw_read).
+double t_read_s(double c_batch_files, double s_batch_mb, const IoProfile& io);
+
+/// Per-file decompression budget implied by Eq. 1 (sync) or Eq. 2 (async):
+/// the time available to decompress one file without hurting throughput.
+double decompress_budget_per_file_s(const AppProfile& app, const IoProfile& io,
+                                    double ratio);
+
+/// Predicted fractional iteration-time increase from using this codec:
+///   sync : (decomp + read_compressed - read_raw) / (T_iter + read_raw)
+///   async: (max(T_iter, decomp + read_compressed) - max(T_iter, read_raw))
+///          / max(T_iter, read_raw)
+/// clamped at zero. This is what Figure 8 measures; the strict Eq. 1/2
+/// budget is a sufficient condition for zero slowdown but — as the paper's
+/// own Table VII shows — codecs may miss it by a margin that is negligible
+/// against T_iter, so selection admits candidates under `tolerance`.
+double predicted_slowdown(const AppProfile& app, const IoProfile& io,
+                          const CandidateStats& candidate);
+
+struct EvaluatedCandidate {
+  CandidateStats stats;
+  double budget_s_per_file = 0;     // strict Eq. 1/2 per-file budget
+  bool strict_feasible = false;     // meets the strict budget
+  double slowdown = 0;              // predicted fractional slowdown
+};
+
+struct SelectionResult {
+  /// Every candidate, annotated; sorted by ratio descending.
+  std::vector<EvaluatedCandidate> evaluated;
+  /// Candidates with slowdown <= tolerance (or strictly feasible).
+  std::vector<CandidateStats> feasible;
+  /// Highest-ratio feasible candidate (nullopt if none feasible).
+  std::optional<CandidateStats> best;
+  /// True if `best` also meets the required capacity ratio.
+  bool meets_required_ratio = false;
+};
+
+/// Runs the selection. `required_ratio` is the capacity the deployment
+/// needs (e.g. dataset size / aggregate burst-buffer size); candidates are
+/// ranked by ratio among the feasible set. `tolerance` is the acceptable
+/// fractional performance loss (the paper's constraint is "no significant
+/// runtime overhead"; 1% by default).
+SelectionResult select_compressor(const AppProfile& app, const IoProfile& io,
+                                  const std::vector<CandidateStats>& candidates,
+                                  double required_ratio = 1.0,
+                                  double tolerance = 0.01);
+
+/// Builds CandidateStats by compressing/decompressing `samples` with each
+/// codec in `codec_names` and measuring wall time (the sampling step the
+/// paper performs with lzbench).
+std::vector<CandidateStats> profile_candidates(
+    const std::vector<Bytes>& samples, const std::vector<std::string>& codec_names);
+
+}  // namespace fanstore::select

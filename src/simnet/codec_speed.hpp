@@ -1,0 +1,50 @@
+// Calibrated codec throughput table.
+//
+// Decompression is CPU work and could be charged at measured wall time, but
+// scaling experiments run hundreds of rank-threads on a few host cores and
+// oversubscription would corrupt the measurement. Instead each codec's
+// throughput is measured once, single-threaded, on a representative sample,
+// and virtual time is charged as bytes / throughput. This mirrors how the
+// paper's selection algorithm itself treats Tpt_decom(c) — a per-codec
+// constant estimated from samples (§VI-B).
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+
+#include "compress/compressor.hpp"
+
+namespace fanstore::simnet {
+
+class CodecSpeedTable {
+ public:
+  /// Process-wide lazily-calibrating table.
+  static CodecSpeedTable& shared();
+
+  /// Decompression throughput (uncompressed bytes/sec) for a codec config.
+  /// First call per id runs the calibration (a few ms for fast codecs).
+  double decompress_bps(compress::CompressorId id);
+
+  /// Compression throughput (input bytes/sec).
+  double compress_bps(compress::CompressorId id);
+
+  double decompress_seconds(compress::CompressorId id, std::size_t uncompressed_bytes) {
+    return static_cast<double>(uncompressed_bytes) / decompress_bps(id);
+  }
+
+  /// Overrides for tests (deterministic virtual costs).
+  void set_decompress_bps(compress::CompressorId id, double bps);
+
+ private:
+  struct Speeds {
+    double compress_bps = 0;
+    double decompress_bps = 0;
+  };
+  Speeds calibrate(compress::CompressorId id);
+  Speeds entry(compress::CompressorId id);
+
+  std::mutex mu_;
+  std::unordered_map<compress::CompressorId, Speeds> speeds_;
+};
+
+}  // namespace fanstore::simnet

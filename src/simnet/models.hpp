@@ -1,0 +1,97 @@
+// Device and interconnect cost models calibrated to the paper's platforms
+// (§VII-A): GTX (FDR InfiniBand, node-local SATA SSD), V100 (FDR IB, RAM
+// disk, POWER9) and CPU (Omni-Path fat tree, 512 dual-Xeon nodes), plus the
+// four POSIX storage solutions of Table III.
+#pragma once
+
+#include <string>
+
+namespace fanstore::simnet {
+
+/// Point-to-point interconnect: latency + bandwidth + a mild fat-tree
+/// contention factor that grows with node count.
+struct NetworkModel {
+  std::string name;
+  double latency_s = 1.5e-6;       // sub-microsecond MPI latency (paper §VII-A)
+  double bandwidth_bps = 56e9 / 8;  // bytes/sec
+  double contention_alpha = 0.03;   // per-log2(nodes) bandwidth derating
+
+  /// Effective bandwidth once `nodes` share the fabric.
+  double effective_bandwidth(int nodes) const;
+
+  /// Time to move `bytes` between two ranks with `nodes` active.
+  double transfer_time(std::size_t bytes, int nodes) const;
+};
+
+/// A POSIX storage path: fixed per-operation cost plus streaming bandwidth.
+/// file_read_time() produces exactly the Table III benchmark quantity.
+struct StorageModel {
+  std::string name;
+  double per_op_s = 25e-6;        // open+read+close overhead per file
+  double metadata_op_s = 2e-6;    // stat()/readdir() cost
+  double bandwidth_bps = 5.5e9;   // sequential read bandwidth
+
+  double file_read_time(std::size_t bytes) const {
+    return per_op_s + static_cast<double>(bytes) / bandwidth_bps;
+  }
+  double file_write_time(std::size_t bytes) const {
+    return per_op_s + static_cast<double>(bytes) / bandwidth_bps;
+  }
+};
+
+/// The shared Lustre metadata server: a single service queue all clients
+/// hammer concurrently. Modelled as M/D/1: response = s * (1 + rho/(2(1-rho)))
+/// and effectively unbounded when utilisation saturates — this is the
+/// mechanism behind "ran for one hour without starting training" at 512
+/// nodes (§VII-F).
+struct MetadataServerModel {
+  double service_time_s = 10e-6;       // per metadata op at the MDS (~100k op/s)
+  double saturation_penalty_s = 30.0;  // response once the queue diverges
+
+  /// Mean response time when clients offer `arrival_rate` ops/sec total.
+  double response_time(double arrival_rate) const;
+
+  /// Sustainable throughput ceiling (ops/sec) — offered load above this
+  /// queues without bound. The argument is reserved for load-dependent
+  /// refinements and currently unused.
+  double capacity_ops(double offered_rate = 0) const;
+};
+
+// --- Presets -------------------------------------------------------------
+
+/// Node-local burst buffers & POSIX solutions (Table III calibration).
+StorageModel ssd_storage();       // raw node-local SSD
+StorageModel ram_disk_storage();  // V100's 256 GB RAM disk
+StorageModel fuse_ssd_storage();  // FUSE overhead on top of the same SSD
+StorageModel lustre_storage();    // shared-FS client path (data plane)
+
+/// FanStore's own read path: interception dispatch + RAM cache copy.
+/// (Slightly below raw SSD per Table III: 71-99% of raw device speed.)
+StorageModel fanstore_storage();
+
+NetworkModel fdr_infiniband();  // GTX & V100 clusters
+NetworkModel omnipath();        // CPU cluster (100 Gb/s fat tree)
+
+/// Whole-cluster description used by benches and the trainer.
+struct ClusterSpec {
+  std::string name;
+  int max_nodes = 4;
+  int procs_per_node = 4;            // GPUs (GTX/V100) or CPU sockets
+  double local_capacity_bytes = 0;   // burst-buffer size per node
+  StorageModel local_storage;
+  NetworkModel network;
+  MetadataServerModel shared_fs_mds;
+  StorageModel shared_fs = lustre_storage();
+};
+
+ClusterSpec gtx_cluster();   // 16 nodes x 4x GTX-1080Ti, ~60 GB SSD
+ClusterSpec v100_cluster();  // 4 nodes x 4x V100, ~256 GB RAM disk
+ClusterSpec cpu_cluster();   // 512 nodes, dual Xeon 8160, ~144 GB SSD
+
+/// FanStore's read path on a given cluster's hardware (Table VI
+/// calibration): interception + cache-copy costs riding on that cluster's
+/// local device. GTX: SATA SSD; V100: RAM disk behind a POWER9 (higher
+/// per-op software cost); CPU: SSD with Xeon-class per-op cost.
+StorageModel fanstore_read_path(const ClusterSpec& cluster);
+
+}  // namespace fanstore::simnet

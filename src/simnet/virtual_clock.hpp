@@ -1,0 +1,41 @@
+// Per-rank virtual time. Functional work (bytes, protocol messages) always
+// executes for real; *device* time (SSD, interconnect, Lustre) is charged to
+// these clocks so that 512-node experiments are deterministic and runnable
+// on one host. See DESIGN.md §3 "Hybrid real/virtual execution".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fanstore::simnet {
+
+/// Nanosecond-resolution virtual clock; thread-safe (app + daemon threads
+/// of one rank may both charge it).
+class VirtualClock {
+ public:
+  void advance_sec(double sec) {
+    if (sec <= 0) return;
+    ns_.fetch_add(static_cast<std::uint64_t>(sec * 1e9), std::memory_order_relaxed);
+  }
+
+  double now_sec() const {
+    return static_cast<double>(ns_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+
+  void reset() { ns_.store(0, std::memory_order_relaxed); }
+
+  /// Ensures the clock reads at least `sec` (used to model waiting on an
+  /// event that completes at a known virtual time).
+  void advance_to_sec(double sec) {
+    const auto target = static_cast<std::uint64_t>(sec * 1e9);
+    std::uint64_t cur = ns_.load(std::memory_order_relaxed);
+    while (cur < target &&
+           !ns_.compare_exchange_weak(cur, target, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<std::uint64_t> ns_{0};
+};
+
+}  // namespace fanstore::simnet

@@ -1,0 +1,49 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace fanstore {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string_view a = argv[i];
+    if (a.rfind("--", 0) != 0) {
+      positional_.emplace_back(a);
+      continue;
+    }
+    a.remove_prefix(2);
+    const auto eq = a.find('=');
+    if (eq != std::string_view::npos) {
+      flags_[std::string(a.substr(0, eq))] = std::string(a.substr(eq + 1));
+    } else {
+      flags_[std::string(a)] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string CliArgs::get(const std::string& name, const std::string& def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& name, double def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+}  // namespace fanstore

@@ -1,0 +1,35 @@
+// Tiny command-line flag parser for example programs and the prep tool.
+//
+// Supports --name=value and boolean --flag forms; everything else is
+// positional. (The `--name value` form is intentionally not supported — it
+// is ambiguous with positional arguments.)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fanstore {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Non-flag positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fanstore

@@ -1,0 +1,57 @@
+#include "util/crc32.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace fanstore {
+namespace {
+
+// Slice-by-8 tables: table[0] is the classic byte table; table[k] advances
+// a byte through k additional zero bytes.
+using Tables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+Tables make_tables() {
+  Tables t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = t[0][i];
+    for (std::size_t k = 1; k < 8; ++k) {
+      c = t[0][c & 0xFFu] ^ (c >> 8);
+      t[k][i] = c;
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32(ByteView data, std::uint32_t seed) {
+  static const Tables t = make_tables();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  // Process 8 bytes per step (slice-by-8).
+  while (n >= 8) {
+    std::uint32_t lo, hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
+        t[4][lo >> 24] ^ t[3][hi & 0xFF] ^ t[2][(hi >> 8) & 0xFF] ^
+        t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    c = t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace fanstore

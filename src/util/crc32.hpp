@@ -1,0 +1,13 @@
+// CRC-32 (IEEE 802.3 polynomial) used for partition and container integrity.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace fanstore {
+
+/// Computes CRC-32 over `data`, continuing from `seed` (0 for a fresh CRC).
+std::uint32_t crc32(ByteView data, std::uint32_t seed = 0);
+
+}  // namespace fanstore

@@ -1,0 +1,33 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace fanstore {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_emit_mu;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg) {
+  std::lock_guard lk(g_emit_mu);
+  std::fprintf(stderr, "[fanstore %s] %s\n", level_name(level), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace fanstore

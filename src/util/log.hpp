@@ -1,0 +1,32 @@
+// Minimal leveled logging to stderr; quiet by default for benchmarks.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fanstore {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+template <typename... Args>
+void log_at(LogLevel level, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  detail::log_emit(level, os.str());
+}
+
+#define FANSTORE_LOG_DEBUG(...) ::fanstore::log_at(::fanstore::LogLevel::kDebug, __VA_ARGS__)
+#define FANSTORE_LOG_INFO(...) ::fanstore::log_at(::fanstore::LogLevel::kInfo, __VA_ARGS__)
+#define FANSTORE_LOG_WARN(...) ::fanstore::log_at(::fanstore::LogLevel::kWarn, __VA_ARGS__)
+#define FANSTORE_LOG_ERROR(...) ::fanstore::log_at(::fanstore::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace fanstore

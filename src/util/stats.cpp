@@ -1,0 +1,83 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fanstore {
+
+void Stats::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Stats::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Stats::sum() const {
+  double s = 0;
+  for (double x : samples_) s += x;
+  return s;
+}
+
+double Stats::mean() const {
+  if (samples_.empty()) throw std::logic_error("Stats::mean on empty set");
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double Stats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Stats::min() const {
+  ensure_sorted();
+  if (samples_.empty()) throw std::logic_error("Stats::min on empty set");
+  return samples_.front();
+}
+
+double Stats::max() const {
+  ensure_sorted();
+  if (samples_.empty()) throw std::logic_error("Stats::max on empty set");
+  return samples_.back();
+}
+
+double Stats::percentile(double p) const {
+  ensure_sorted();
+  if (samples_.empty()) throw std::logic_error("Stats::percentile on empty set");
+  if (p <= 0) return samples_.front();
+  if (p >= 100) return samples_.back();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  if (buckets == 0 || hi <= lo) throw std::invalid_argument("bad histogram range");
+}
+
+void Histogram::add(double x) {
+  double t = (x - lo_) / (hi_ - lo_);
+  if (t < 0) t = 0;
+  if (t >= 1) t = std::nextafter(1.0, 0.0);
+  counts_[static_cast<std::size_t>(t * static_cast<double>(counts_.size()))]++;
+  total_++;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(std::size_t i) const { return bucket_lo(i + 1); }
+
+}  // namespace fanstore

@@ -1,0 +1,46 @@
+// Small descriptive-statistics helpers for benchmarks and the profiler.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fanstore {
+
+/// Accumulates samples; answers mean/stddev/min/max/percentile queries.
+class Stats {
+ public:
+  void add(double x);
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const;
+  /// p in [0,100]; linear interpolation between closest ranks.
+  double percentile(double p) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  void ensure_sorted() const;
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to edges.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t count_at(std::size_t i) const { return counts_[i]; }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+  std::size_t total() const { return total_; }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace fanstore

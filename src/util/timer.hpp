@@ -1,0 +1,23 @@
+// Wall-clock timing for codec micro-measurements.
+#pragma once
+
+#include <chrono>
+
+namespace fanstore {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double elapsed_sec() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double elapsed_us() const { return elapsed_sec() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace fanstore

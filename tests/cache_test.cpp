@@ -1,0 +1,140 @@
+// Tests for the refcount-aware FIFO cache (§IV-C3, Fig. 4).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/cache.hpp"
+
+namespace fanstore::core {
+namespace {
+
+Bytes blob(std::size_t n, std::uint8_t fill) { return Bytes(n, fill); }
+
+TEST(PlainCacheTest, HitAfterMiss) {
+  PlainCache cache(1024);
+  int loads = 0;
+  auto loader = [&] {
+    ++loads;
+    return blob(100, 1);
+  };
+  bool loaded = false;
+  auto a = cache.acquire("f", loader, &loaded);
+  EXPECT_TRUE(loaded);
+  auto b = cache.acquire("f", loader, &loaded);
+  EXPECT_FALSE(loaded);
+  EXPECT_EQ(loads, 1);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  cache.release("f");
+  cache.release("f");
+}
+
+TEST(PlainCacheTest, FifoEvictionOrder) {
+  PlainCache cache(250);
+  cache.acquire("a", [] { return blob(100, 1); });
+  cache.release("a");
+  cache.acquire("b", [] { return blob(100, 2); });
+  cache.release("b");
+  // Inserting c (100 B) exceeds 250: the oldest unpinned entry (a) goes.
+  cache.acquire("c", [] { return blob(100, 3); });
+  cache.release("c");
+  EXPECT_FALSE(cache.contains("a"));
+  EXPECT_TRUE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(PlainCacheTest, PinnedEntriesSurviveEviction) {
+  // The paper's FIFO variant: entries opened by an I/O thread are skipped.
+  PlainCache cache(250);
+  auto pin_a = cache.acquire("a", [] { return blob(100, 1); });  // stays pinned
+  cache.acquire("b", [] { return blob(100, 2); });
+  cache.release("b");
+  cache.acquire("c", [] { return blob(100, 3); });  // pressure: must skip "a"
+  cache.release("c");
+  EXPECT_TRUE(cache.contains("a"));   // pinned: skipped
+  EXPECT_FALSE(cache.contains("b"));  // oldest unpinned: evicted
+  EXPECT_TRUE(cache.contains("c"));
+  // Releasing "a" under continued pressure allows its eviction.
+  cache.release("a");
+  cache.acquire("d", [] { return blob(100, 4); });
+  cache.release("d");
+  EXPECT_FALSE(cache.contains("a"));
+}
+
+TEST(PlainCacheTest, MultiReaderCounting) {
+  // Fig. 4: the counter tracks concurrent opens; the entry is evictable
+  // only when every opener has closed.
+  PlainCache cache(150);
+  cache.acquire("f", [] { return blob(100, 1); });
+  cache.acquire("f", [] { return blob(100, 1); });  // second reader
+  cache.release("f");                               // one closes
+  cache.acquire("g", [] { return blob(100, 2); });  // pressure
+  cache.release("g");
+  EXPECT_TRUE(cache.contains("f"));  // still pinned by reader #2
+  cache.release("f");
+  cache.acquire("h", [] { return blob(100, 3); });
+  cache.release("h");
+  EXPECT_FALSE(cache.contains("f"));
+}
+
+TEST(PlainCacheTest, OversizedEntryAdmittedWhilePinned) {
+  PlainCache cache(50);
+  auto pin = cache.acquire("big", [] { return blob(500, 9); });
+  EXPECT_EQ(pin->size(), 500u);
+  EXPECT_TRUE(cache.contains("big"));
+  cache.release("big");
+  EXPECT_FALSE(cache.contains("big"));  // evicted once released
+  EXPECT_EQ(cache.bytes_used(), 0u);
+}
+
+TEST(PlainCacheTest, LoaderFailureIsNotCached) {
+  PlainCache cache(1000);
+  EXPECT_THROW(cache.acquire("f", []() -> Bytes { throw std::runtime_error("io"); }),
+               std::runtime_error);
+  EXPECT_FALSE(cache.contains("f"));
+  // A later successful load works.
+  auto ok = cache.acquire("f", [] { return blob(10, 1); });
+  EXPECT_EQ(ok->size(), 10u);
+  cache.release("f");
+}
+
+TEST(PlainCacheTest, ReleaseUnknownPathIsNoop) {
+  PlainCache cache(100);
+  cache.release("ghost");
+  SUCCEED();
+}
+
+TEST(PlainCacheTest, BytesUsedTracksContents) {
+  PlainCache cache(1000);
+  cache.acquire("a", [] { return blob(300, 1); });
+  cache.acquire("b", [] { return blob(200, 2); });
+  EXPECT_EQ(cache.bytes_used(), 500u);
+  cache.release("a");
+  cache.release("b");
+  EXPECT_EQ(cache.bytes_used(), 500u);  // cached until pressure
+}
+
+TEST(PlainCacheTest, ConcurrentAcquireReleaseIsSafe) {
+  PlainCache cache(10 * 1024);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 500; ++i) {
+        const std::string path = "f" + std::to_string((t + i) % 20);
+        auto data = cache.acquire(path, [&] { return blob(512, 7); });
+        if (data->size() != 512) failures++;
+        cache.release(path);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_LE(cache.bytes_used(), 10u * 1024u + 512u);
+}
+
+}  // namespace
+}  // namespace fanstore::core

@@ -1,0 +1,97 @@
+// End-to-end test of the fanstore-prep CLI: package a real on-disk dataset
+// with the actual binary, then load the partitions through LocalVfs into a
+// FanStore instance and read everything back.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/instance.hpp"
+#include "posixfs/local_vfs.hpp"
+#include "prep/prepare.hpp"
+#include "tests/test_data.hpp"
+
+namespace fanstore {
+namespace {
+
+namespace fs = std::filesystem;
+
+#ifndef FANSTORE_PREP_BIN
+#define FANSTORE_PREP_BIN "src/prep/fanstore-prep"
+#endif
+
+std::string run_cmd(const std::string& cmd) {
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return "<popen failed>";
+  std::string out;
+  std::array<char, 256> buf;
+  while (fgets(buf.data(), buf.size(), pipe) != nullptr) out += buf.data();
+  pclose(pipe);
+  return out;
+}
+
+TEST(CliE2eTest, PrepPackagesARealDirectory) {
+  if (!fs::exists(FANSTORE_PREP_BIN)) GTEST_SKIP() << "prep binary not found";
+  const fs::path root = fs::temp_directory_path() /
+                        ("fanstore_cli_e2e_" + std::to_string(getpid()));
+  fs::remove_all(root);
+  fs::create_directories(root / "data" / "train");
+  fs::create_directories(root / "data" / "val");
+
+  std::vector<std::pair<std::string, Bytes>> originals;
+  for (int i = 0; i < 9; ++i) {
+    const std::string rel = "train/f" + std::to_string(i) + ".bin";
+    const Bytes content = testdata::text_like(3000 + i * 100, i);
+    std::ofstream(root / "data" / rel, std::ios::binary)
+        .write(reinterpret_cast<const char*>(content.data()),
+               static_cast<std::streamsize>(content.size()));
+    originals.emplace_back(rel, content);
+  }
+  std::ofstream(root / "data" / "val" / "v0.bin") << "validation";
+
+  const std::string out = run_cmd(
+      std::string(FANSTORE_PREP_BIN) + " --src=" + (root / "data").string() +
+      " --dst=" + (root / "packed").string() +
+      " --partitions=3 --compressor=zstd --threads=2 --broadcast=val");
+  ASSERT_NE(out.find("packaged 10 files into 3 partitions + 1 broadcast sets"),
+            std::string::npos)
+      << out;
+
+  // Load the CLI's output through LocalVfs into a live instance.
+  posixfs::LocalVfs packed(root / "packed");
+  const auto manifest = prep::load_manifest(packed, "");
+  EXPECT_EQ(manifest.partitions.size(), 3u);
+  EXPECT_EQ(manifest.broadcasts.size(), 1u);
+
+  mpi::run_world(1, [&](mpi::Comm& comm) {
+    core::Instance inst(comm, {});
+    inst.load_from_shared(packed, manifest.partition_paths(),
+                          manifest.broadcast_paths());
+    inst.exchange_metadata();
+    for (const auto& [rel, content] : originals) {
+      const auto got = posixfs::read_file(inst.fs(), rel);
+      ASSERT_TRUE(got.has_value()) << rel;
+      EXPECT_EQ(*got, content) << rel;
+    }
+    const auto val = posixfs::read_file(inst.fs(), "val/v0.bin");
+    ASSERT_TRUE(val.has_value());
+    EXPECT_EQ(to_string(as_view(*val)), "validation");
+  });
+  fs::remove_all(root);
+}
+
+TEST(CliE2eTest, PrepRejectsBadArguments) {
+  if (!fs::exists(FANSTORE_PREP_BIN)) GTEST_SKIP() << "prep binary not found";
+  // Missing --dst -> usage message, non-zero exit.
+  const std::string out = run_cmd(std::string(FANSTORE_PREP_BIN) + " --src=/tmp");
+  EXPECT_NE(out.find("usage:"), std::string::npos) << out;
+  // Nonexistent source directory -> error.
+  const std::string out2 = run_cmd(std::string(FANSTORE_PREP_BIN) +
+                                   " --src=/no/such/dir --dst=/tmp/fanstore_x");
+  EXPECT_NE(out2.find("fanstore-prep:"), std::string::npos) << out2;
+}
+
+}  // namespace
+}  // namespace fanstore

@@ -1,0 +1,200 @@
+// Tests for the DL-simulation substrate: dataset generators (Table II/IV
+// structure), the TFRecord baseline, application models, and the trainer.
+#include <gtest/gtest.h>
+
+#include "compress/registry.hpp"
+#include "core/instance.hpp"
+#include "dlsim/apps.hpp"
+#include "dlsim/datagen.hpp"
+#include "dlsim/tfrecord.hpp"
+#include "dlsim/trainer.hpp"
+#include "posixfs/mem_vfs.hpp"
+
+namespace fanstore::dlsim {
+namespace {
+
+double ratio_of(const char* codec_name, DatasetKind kind, int nfiles = 4) {
+  const auto* codec = compress::Registry::instance().by_name(codec_name);
+  std::size_t raw = 0, packed = 0;
+  for (int i = 0; i < nfiles; ++i) {
+    const Bytes data = generate_file(kind, static_cast<std::uint64_t>(i));
+    raw += data.size();
+    packed += codec->compress(as_view(data)).size();
+  }
+  return static_cast<double>(raw) / static_cast<double>(packed);
+}
+
+TEST(DatagenTest, DeterministicPerIndex) {
+  for (const auto& spec : all_dataset_specs()) {
+    const Bytes a = generate_file(spec.kind, 7);
+    const Bytes b = generate_file(spec.kind, 7);
+    const Bytes c = generate_file(spec.kind, 8);
+    EXPECT_EQ(a, b) << spec.name;
+    EXPECT_NE(a, c) << spec.name;
+    EXPECT_EQ(a.size(), spec.file_bytes) << spec.name;
+  }
+}
+
+TEST(DatagenTest, TableFourRatioOrdering) {
+  // The structural claims of Table IV that the generators must reproduce:
+  // lung compresses most, ImageNet not at all, the rest in between; and
+  // lzma achieves a higher ratio than lz4hc on compressible datasets.
+  const double lung = ratio_of("lz4hc", DatasetKind::kLungNii);
+  const double em = ratio_of("lz4hc", DatasetKind::kEmTif);
+  const double astro = ratio_of("lz4hc", DatasetKind::kAstroFits);
+  const double lang = ratio_of("lz4hc", DatasetKind::kLanguageTxt);
+  const double tok = ratio_of("lz4hc", DatasetKind::kTokamakNpz, 16);
+  const double imagenet = ratio_of("lz4hc", DatasetKind::kImagenetJpg);
+
+  EXPECT_GT(lung, 4.0);
+  EXPECT_GT(lung, em);
+  EXPECT_GT(em, 1.4);
+  EXPECT_GT(astro, 1.4);
+  EXPECT_GT(lang, 1.8);
+  EXPECT_GT(tok, 1.4);
+  EXPECT_LT(imagenet, 1.1);
+  EXPECT_GT(imagenet, 0.95);
+
+  for (const DatasetKind kind : {DatasetKind::kEmTif, DatasetKind::kLungNii,
+                                 DatasetKind::kLanguageTxt}) {
+    EXPECT_GT(ratio_of("lzma", kind), ratio_of("lz4hc", kind))
+        << "lzma must out-compress lz4hc (Table IV)";
+  }
+}
+
+TEST(DatagenTest, MaterializeCreatesReadableFiles) {
+  posixfs::MemVfs fs;
+  const auto paths = materialize_dataset(fs, "data", DatasetKind::kLanguageTxt, 7);
+  EXPECT_EQ(paths.size(), 7u);
+  EXPECT_EQ(fs.file_count(), 7u);
+  for (const auto& p : paths) {
+    const auto data = posixfs::read_file(fs, p);
+    ASSERT_TRUE(data.has_value());
+    EXPECT_EQ(data->size(), dataset_spec(DatasetKind::kLanguageTxt).file_bytes);
+  }
+}
+
+TEST(TfRecordTest, ShardRoundTrip) {
+  std::vector<Bytes> items;
+  for (int i = 0; i < 20; ++i) {
+    items.push_back(generate_file(DatasetKind::kLanguageTxt,
+                                  static_cast<std::uint64_t>(i)));
+  }
+  const Bytes shard = build_tfrecord_shard(items);
+  TfRecordReader reader(as_view(shard));
+  std::size_t count = 0;
+  while (auto rec = reader.next()) {
+    ASSERT_LT(count, items.size());
+    EXPECT_TRUE(std::equal(rec->begin(), rec->end(), items[count].begin(),
+                           items[count].end()));
+    ++count;
+  }
+  EXPECT_EQ(count, items.size());
+}
+
+TEST(TfRecordTest, DetectsCorruption) {
+  Bytes shard = build_tfrecord_shard({Bytes(100, 7)});
+  shard[50] ^= 1;
+  TfRecordReader reader(as_view(shard));
+  EXPECT_THROW((void)reader.next(), std::runtime_error);
+  // Truncation is also detected.
+  const Bytes ok_shard = build_tfrecord_shard({Bytes(100, 7)});
+  TfRecordReader reader2(ByteView{ok_shard.data(), ok_shard.size() - 10});
+  EXPECT_THROW((void)reader2.next(), std::runtime_error);
+}
+
+TEST(AppsTest, TableFiveParameters) {
+  EXPECT_DOUBLE_EQ(srgan_gtx().profile.t_iter_s, 9.689);
+  EXPECT_DOUBLE_EQ(srgan_gtx().profile.c_batch_files, 256);
+  EXPECT_DOUBLE_EQ(srgan_gtx().profile.s_batch_raw_mb, 410.0);
+  EXPECT_FALSE(srgan_gtx().profile.async_io);
+  EXPECT_DOUBLE_EQ(srgan_v100().profile.t_iter_s, 2.416);
+  EXPECT_DOUBLE_EQ(frnn_cpu().profile.t_iter_s, 0.655);
+  EXPECT_TRUE(frnn_cpu().profile.async_io);
+  EXPECT_EQ(all_app_cases().size(), 5u);
+}
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  // One-rank FanStore with 12 generated files and cost accounting on.
+  void run_with(bool async, double t_iter, dlsim::TrainerResult* out) {
+    mpi::run_world(1, [&](mpi::Comm& comm) {
+      core::Instance::Options opt;
+      opt.fs.cost.enabled = true;
+      opt.fs.clock = &clock_;
+      core::Instance inst(comm, opt);
+      const auto& reg = compress::Registry::instance();
+      const auto* codec = reg.by_name("lz4hc");
+      format::PartitionWriter w;
+      std::vector<std::string> files;
+      for (int i = 0; i < 12; ++i) {
+        const std::string path = "ds/f" + std::to_string(i);
+        w.add(format::make_record(
+            path, *codec, reg.id_of(*codec),
+            as_view(generate_file(DatasetKind::kEmTif, static_cast<std::uint64_t>(i)))));
+        files.push_back(path);
+      }
+      const Bytes blob = w.serialize();
+      inst.load_partition_blob(as_view(blob), 0);
+      inst.exchange_metadata();
+
+      TrainerOptions topt;
+      topt.t_iter_s = t_iter;
+      topt.batch_per_rank = 4;
+      topt.epochs = 2;
+      topt.async_io = async;
+      topt.io_clock = &clock_;
+      topt.comm = &comm;
+      *out = run_training(inst.fs(), files, topt);
+    });
+  }
+  simnet::VirtualClock clock_;
+};
+
+TEST_F(TrainerTest, SyncAddsIoToCritonPath) {
+  TrainerResult r;
+  run_with(/*async=*/false, /*t_iter=*/0.1, &r);
+  EXPECT_EQ(r.iterations, 6u);  // 12 files / batch 4 = 3 iters x 2 epochs
+  EXPECT_EQ(r.files_read, 24u);
+  EXPECT_GT(r.io_s, 0);
+  EXPECT_NEAR(r.total_s, r.compute_s + r.io_s, 1e-9);
+  EXPECT_GT(r.items_per_s, 0);
+}
+
+TEST_F(TrainerTest, AsyncHidesIoUnderCompute) {
+  TrainerResult r;
+  run_with(/*async=*/true, /*t_iter=*/0.5, &r);
+  // I/O for 4 smallish files is far below 0.5 s: fully hidden.
+  EXPECT_NEAR(r.total_s, r.compute_s, r.compute_s * 0.05);
+  EXPECT_DOUBLE_EQ(r.io_visible_s, 0.0);
+}
+
+TEST_F(TrainerTest, AsyncBoundedByIoWhenComputeTiny) {
+  TrainerResult r;
+  run_with(/*async=*/true, /*t_iter=*/1e-9, &r);
+  EXPECT_NEAR(r.total_s, r.io_s, r.io_s * 0.05);
+}
+
+TEST(TrainerValidationTest, RejectsBadOptions) {
+  posixfs::MemVfs fs;
+  TrainerOptions opt;
+  opt.io_clock = nullptr;
+  EXPECT_THROW(run_training(fs, {"f"}, opt), std::invalid_argument);
+  simnet::VirtualClock clock;
+  opt.io_clock = &clock;
+  EXPECT_THROW(run_training(fs, {}, opt), std::invalid_argument);
+  opt.batch_per_rank = 0;
+  EXPECT_THROW(run_training(fs, {"f"}, opt), std::invalid_argument);
+}
+
+TEST(TrainerValidationTest, MissingFileSurfacesAsError) {
+  posixfs::MemVfs fs;
+  simnet::VirtualClock clock;
+  TrainerOptions opt;
+  opt.io_clock = &clock;
+  opt.batch_per_rank = 1;
+  EXPECT_THROW(run_training(fs, {"missing"}, opt), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fanstore::dlsim

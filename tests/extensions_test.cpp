@@ -1,0 +1,181 @@
+// Tests for the extension features: SZ-lite lossy float compression
+// (paper §VIII future work), the real async prefetcher (Fig. 5b), and the
+// checkpoint manager with shared-FS mirroring (§V-E fault tolerance).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/lossy.hpp"
+#include "compress/registry.hpp"
+#include "core/checkpoint.hpp"
+#include "core/instance.hpp"
+#include "dlsim/datagen.hpp"
+#include "dlsim/prefetcher.hpp"
+#include "posixfs/mem_vfs.hpp"
+#include "tests/test_data.hpp"
+#include "util/rng.hpp"
+
+namespace fanstore {
+namespace {
+
+// --- SZ-lite lossy -----------------------------------------------------
+
+class LossyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossyTest, ErrorBoundHolds) {
+  const double eb = GetParam();
+  compress::LossyFloatCompressor codec(eb);
+  Rng rng(7);
+  std::vector<float> values(20000);
+  double walk = 0;
+  for (auto& v : values) {
+    // Mix of a smooth random walk and occasional jumps (outliers).
+    if (rng.next_below(100) == 0) {
+      walk = static_cast<double>(rng.next_range(-100000, 100000));
+    }
+    walk += rng.next_double() - 0.5;
+    v = static_cast<float>(walk);
+  }
+  const Bytes packed = codec.compress(values);
+  const auto restored = codec.decompress(as_view(packed), values.size());
+  ASSERT_EQ(restored.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    ASSERT_LE(std::abs(static_cast<double>(restored[i]) -
+                       static_cast<double>(values[i])),
+              eb * 1.0001)
+        << "at index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ErrorBounds, LossyTest,
+                         ::testing::Values(1e-3, 1e-2, 0.1, 1.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           const int exp = static_cast<int>(
+                               std::round(std::log10(info.param)));
+                           return exp < 0 ? "eb_1em" + std::to_string(-exp)
+                                          : "eb_1e" + std::to_string(exp);
+                         });
+
+TEST(LossyCompressionTest, SmoothDataBeatsLossless) {
+  // Smooth float series: lossy at eb=1e-2 should compress far better than
+  // the best lossless codec.
+  std::vector<float> values(50000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = std::sin(static_cast<double>(i) * 0.001) * 100.0f;
+  }
+  compress::LossyFloatCompressor lossy(1e-2);
+  const Bytes packed = lossy.compress(values);
+  const auto* lossless = compress::Registry::instance().by_name("zstd");
+  Bytes raw(values.size() * 4);
+  std::memcpy(raw.data(), values.data(), raw.size());
+  const Bytes lossless_packed = lossless->compress(as_view(raw));
+  EXPECT_LT(packed.size() * 3, lossless_packed.size())
+      << "lossy " << packed.size() << " vs lossless " << lossless_packed.size();
+}
+
+TEST(LossyCompressionTest, RejectsBadArguments) {
+  EXPECT_THROW(compress::LossyFloatCompressor(-1.0), std::invalid_argument);
+  EXPECT_THROW(compress::LossyFloatCompressor(0.0), std::invalid_argument);
+  compress::LossyFloatCompressor codec(0.1);
+  EXPECT_THROW(codec.decompress(ByteView{}, 5), compress::CorruptDataError);
+  const Bytes packed = codec.compress(std::vector<float>{1.0f, 2.0f});
+  EXPECT_THROW(codec.decompress(as_view(packed), 3), compress::CorruptDataError);
+}
+
+// --- Prefetcher ---------------------------------------------------------
+
+TEST(PrefetcherTest, WarmsTheCache) {
+  mpi::run_world(1, [&](mpi::Comm& comm) {
+    core::Instance inst(comm, {});
+    const auto& reg = compress::Registry::instance();
+    const auto* codec = reg.by_name("lz4hc");
+    format::PartitionWriter w;
+    std::vector<std::string> paths;
+    for (int i = 0; i < 16; ++i) {
+      const std::string p = "ds/f" + std::to_string(i);
+      w.add(format::make_record(p, *codec, reg.id_of(*codec),
+                                as_view(testdata::text_like(8000, i))));
+      paths.push_back(p);
+    }
+    const Bytes blob = w.serialize();
+    inst.load_partition_blob(as_view(blob), 0);
+    inst.exchange_metadata();
+
+    dlsim::Prefetcher prefetcher(inst.fs(), 4);
+    prefetcher.prefetch(paths);
+    prefetcher.wait();
+    EXPECT_EQ(prefetcher.files_warmed(), 16u);
+    EXPECT_EQ(prefetcher.failures(), 0u);
+
+    // Every training-thread open is now a cache hit.
+    const auto before = inst.fs().stats();
+    for (const auto& p : paths) (void)posixfs::read_file(inst.fs(), p);
+    const auto after = inst.fs().stats();
+    EXPECT_EQ(after.cache_hits - before.cache_hits, 16u);
+    EXPECT_EQ(after.local_misses, before.local_misses);
+  });
+}
+
+TEST(PrefetcherTest, MissingFilesCountAsFailures) {
+  posixfs::MemVfs fs;
+  posixfs::write_file(fs, "real", as_view(Bytes{1}));
+  dlsim::Prefetcher prefetcher(fs, 2);
+  prefetcher.prefetch({"real", "ghost1", "ghost2"});
+  prefetcher.wait();
+  EXPECT_EQ(prefetcher.files_warmed(), 1u);
+  EXPECT_EQ(prefetcher.failures(), 2u);
+}
+
+// --- CheckpointManager ----------------------------------------------------
+
+TEST(CheckpointTest, SaveAndResumeLatest) {
+  posixfs::MemVfs local, shared;
+  core::CheckpointManager mgr(local, &shared, "run1/ckpt");
+  EXPECT_EQ(mgr.latest_epoch(), -1);
+  EXPECT_FALSE(mgr.latest().has_value());
+
+  for (int epoch = 1; epoch <= 3; ++epoch) {
+    ASSERT_EQ(mgr.save(epoch, as_view(Bytes(100, static_cast<std::uint8_t>(epoch)))), 0);
+  }
+  EXPECT_EQ(mgr.latest_epoch(), 3);
+  const auto ckpt = mgr.latest();
+  ASSERT_TRUE(ckpt.has_value());
+  EXPECT_EQ(ckpt->epoch, 3);
+  EXPECT_EQ(ckpt->model, Bytes(100, 3));
+}
+
+TEST(CheckpointTest, ResumesFromSharedAfterLocalLoss) {
+  // §V-E: node fails, local storage gone; resume from the shared mirror.
+  posixfs::MemVfs shared;
+  {
+    posixfs::MemVfs local;
+    core::CheckpointManager mgr(local, &shared, "ckpt");
+    mgr.save(7, as_view(Bytes(64, 0x77)));
+  }
+  posixfs::MemVfs fresh_local;  // the replacement node
+  core::CheckpointManager mgr(fresh_local, &shared, "ckpt");
+  const auto ckpt = mgr.latest();
+  ASSERT_TRUE(ckpt.has_value());
+  EXPECT_EQ(ckpt->epoch, 7);
+  EXPECT_EQ(ckpt->model, Bytes(64, 0x77));
+}
+
+TEST(CheckpointTest, WorksWithoutMirror) {
+  posixfs::MemVfs local;
+  core::CheckpointManager mgr(local, nullptr, "ckpt");
+  ASSERT_EQ(mgr.save(1, as_view(Bytes{1, 2, 3})), 0);
+  const auto ckpt = mgr.latest();
+  ASSERT_TRUE(ckpt.has_value());
+  EXPECT_EQ(ckpt->model, (Bytes{1, 2, 3}));
+}
+
+TEST(CheckpointTest, IgnoresForeignFiles) {
+  posixfs::MemVfs local;
+  posixfs::write_file(local, "ckpt/notes.txt", as_view(Bytes{1}));
+  posixfs::write_file(local, "ckpt/ckpt_000005.bin", as_view(Bytes{5}));
+  core::CheckpointManager mgr(local, nullptr, "ckpt");
+  EXPECT_EQ(mgr.latest_epoch(), 5);
+}
+
+}  // namespace
+}  // namespace fanstore

@@ -1,0 +1,186 @@
+// Fault-tolerance tests: replica failover when a daemon dies (timed fetch
+// + ring fallback) and data-parallel global-shuffle coverage guarantees.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+
+#include "compress/registry.hpp"
+#include "core/instance.hpp"
+#include "dlsim/trainer.hpp"
+#include "posixfs/mem_vfs.hpp"
+#include "prep/prepare.hpp"
+#include "tests/test_data.hpp"
+
+namespace fanstore {
+namespace {
+
+TEST(FailoverTest, ReplicaServesWhenOwnerDaemonDies) {
+  // 3 ranks; rank 1 owns "f" and rank 2 holds a ring replica. Rank 1's
+  // daemon never starts (a "failed node"); rank 0's read must time out on
+  // the owner and fail over to rank 2.
+  const Bytes data = testdata::text_like(9000, 5);
+  const auto& reg = compress::Registry::instance();
+  const auto* codec = reg.by_name("lz4hc");
+  format::PartitionWriter w;
+  w.add(format::make_record("f", *codec, reg.id_of(*codec), as_view(data)));
+  const Bytes part = w.serialize();
+
+  mpi::run_world(3, [&](mpi::Comm& comm) {
+    core::Instance::Options opt;
+    opt.fs.fetch_timeout_ms = 200;
+    opt.fs.failover_hops = 2;
+    core::Instance inst(comm, opt);
+    if (comm.rank() == 1) {
+      inst.load_partition_blob(as_view(part), 0, /*owner_rank=*/1);
+    }
+    if (comm.rank() == 2) {
+      // The replica: blob in the local backend, no metadata ownership.
+      const auto views = format::scan_partition(as_view(part));
+      core::Blob b;
+      b.compressor = views[0].compressor;
+      b.data.assign(views[0].data.begin(), views[0].data.end());
+      inst.backend().put("f", std::move(b));
+    }
+    inst.exchange_metadata();
+    if (comm.rank() != 1) inst.start_daemon();  // rank 1 is "dead"
+    comm.barrier();
+
+    if (comm.rank() == 0) {
+      const auto got = posixfs::read_file(inst.fs(), "f");
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, data);
+      EXPECT_EQ(inst.fs().stats().failovers, 1u);
+    }
+    comm.barrier();
+    inst.stop();
+  });
+}
+
+TEST(FailoverTest, FetchFailsCleanlyWithNoReplica) {
+  mpi::run_world(2, [&](mpi::Comm& comm) {
+    core::Instance::Options opt;
+    opt.fs.fetch_timeout_ms = 100;
+    opt.fs.failover_hops = 1;
+    core::Instance inst(comm, opt);
+    if (comm.rank() == 1) {
+      format::FileStat st;
+      st.size = 10;
+      st.owner_rank = 1;
+      inst.metadata().insert("ghost", st);
+    }
+    inst.exchange_metadata();
+    // No daemons at all: the open must fail with -EIO, not hang.
+    if (comm.rank() == 0) {
+      EXPECT_EQ(inst.fs().open("ghost", posixfs::OpenMode::kRead), -EIO);
+    }
+    comm.barrier();
+    inst.stop();
+  });
+}
+
+TEST(FailoverTest, RingReplicationPlusFailoverEndToEnd) {
+  // Full flow: prep -> load_from_shared -> replicate_ring(1); then one
+  // daemon "dies" and its files remain readable from the successor.
+  posixfs::MemVfs shared;
+  {
+    posixfs::MemVfs src;
+    for (int i = 0; i < 8; ++i) {
+      posixfs::write_file(src, "ds/f" + std::to_string(i),
+                          as_view(testdata::runs_and_noise(4000, i)));
+    }
+    prep::PrepOptions opt;
+    opt.num_partitions = 4;
+    opt.compressor = "lz4";
+    prep::prepare_dataset(src, "ds", shared, "packed", opt);
+  }
+  constexpr int kDead = 2;
+  mpi::run_world(4, [&](mpi::Comm& comm) {
+    core::Instance::Options opt;
+    opt.fs.fetch_timeout_ms = 300;
+    opt.fs.failover_hops = 2;
+    core::Instance inst(comm, opt);
+    const auto manifest = prep::load_manifest(shared, "packed");
+    inst.load_from_shared(shared, manifest.partition_paths());
+    inst.replicate_ring(1);
+    inst.exchange_metadata();
+    if (comm.rank() != kDead) inst.start_daemon();
+    comm.barrier();
+
+    if (comm.rank() == 0) {
+      // Every file is readable, including rank 2's (replicated on rank 3).
+      for (int i = 0; i < 8; ++i) {
+        const auto got = posixfs::read_file(inst.fs(), "ds/f" + std::to_string(i));
+        ASSERT_TRUE(got.has_value()) << i;
+        EXPECT_EQ(*got, testdata::runs_and_noise(4000, i)) << i;
+      }
+      EXPECT_GE(inst.fs().stats().failovers, 1u);
+    }
+    comm.barrier();
+    inst.stop();
+  });
+}
+
+TEST(GlobalShuffleTest, EveryFileVisitedOncePerEpoch) {
+  // Data-parallel semantics: 2 ranks x batch 3 over 12 files -> 2
+  // iterations/epoch, every file read exactly once per epoch job-wide.
+  std::mutex mu;
+  std::multiset<std::string> read_paths;
+  mpi::run_world(2, [&](mpi::Comm& comm) {
+    core::Instance inst(comm, {});
+    const auto& reg = compress::Registry::instance();
+    const auto* codec = reg.by_name("store");
+    format::PartitionWriter w;
+    std::vector<std::string> files;
+    for (int i = 0; i < 12; ++i) {
+      const std::string p = "d/f" + std::to_string(i);
+      files.push_back(p);
+      if (i % 2 == comm.rank()) {
+        w.add(format::make_record(p, *codec, 0, as_view(Bytes(64, static_cast<std::uint8_t>(i)))));
+      }
+    }
+    const Bytes blob = w.serialize();
+    inst.load_partition_blob(as_view(blob), static_cast<std::uint32_t>(comm.rank()));
+    inst.exchange_metadata();
+    inst.start_daemon();
+    comm.barrier();
+
+    simnet::VirtualClock clock;
+    dlsim::TrainerOptions topt;
+    topt.t_iter_s = 0.01;
+    topt.batch_per_rank = 3;
+    topt.epochs = 1;
+    topt.io_clock = &clock;
+    topt.comm = &comm;
+    topt.global_shuffle = true;
+    const auto result = dlsim::run_training(inst.fs(), files, topt);
+    EXPECT_EQ(result.iterations, 2u);  // 12 / (3 x 2 ranks)
+    EXPECT_EQ(result.files_read, 6u);
+
+    // Collect which files this rank actually opened via stats-free route:
+    // re-derive from cache contents (every opened file was cached).
+    {
+      std::lock_guard lk(mu);
+      for (const auto& p : files) {
+        if (inst.fs().cache().contains(p)) read_paths.insert(p);
+      }
+    }
+    comm.barrier();
+    inst.stop();
+  });
+  // Disjoint slices: no file cached on both ranks, all 12 covered.
+  EXPECT_EQ(read_paths.size(), 12u);
+  for (const auto& p : read_paths) EXPECT_EQ(read_paths.count(p), 1u) << p;
+}
+
+TEST(GlobalShuffleTest, RequiresComm) {
+  posixfs::MemVfs fs;
+  simnet::VirtualClock clock;
+  dlsim::TrainerOptions opt;
+  opt.io_clock = &clock;
+  opt.global_shuffle = true;
+  EXPECT_THROW(dlsim::run_training(fs, {"f"}, opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fanstore

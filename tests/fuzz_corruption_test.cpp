@@ -1,0 +1,80 @@
+// Failure-injection fuzzing: for every registered codec configuration,
+// randomly corrupt compressed streams (bit flips, truncations, prefix
+// garbage) and assert the decoder never crashes or over-allocates — it
+// either throws CorruptDataError or returns (possibly wrong) bytes of the
+// requested size. This is the robustness FanStore needs when a partition
+// arrives damaged from the shared FS or the interconnect.
+#include <gtest/gtest.h>
+
+#include "compress/registry.hpp"
+#include "tests/test_data.hpp"
+#include "util/rng.hpp"
+
+namespace fanstore::compress {
+namespace {
+
+class CorruptionFuzzTest : public ::testing::TestWithParam<CompressorId> {};
+
+TEST_P(CorruptionFuzzTest, SurvivesRandomCorruption) {
+  const Compressor* codec = Registry::instance().by_id(GetParam());
+  ASSERT_NE(codec, nullptr);
+  const Bytes original = testdata::runs_and_noise(30000, 1234);
+  const Bytes packed = codec->compress(as_view(original));
+  ASSERT_FALSE(packed.empty());
+
+  Rng rng(GetParam() * 7919u + 13);
+  for (int trial = 0; trial < 30; ++trial) {
+    Bytes mutated = packed;
+    switch (trial % 3) {
+      case 0: {  // random bit flips
+        const int flips = 1 + static_cast<int>(rng.next_below(8));
+        for (int f = 0; f < flips; ++f) {
+          mutated[rng.next_below(mutated.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.next_below(8));
+        }
+        break;
+      }
+      case 1: {  // truncation
+        mutated.resize(rng.next_below(mutated.size()));
+        break;
+      }
+      default: {  // byte overwrite runs
+        const std::size_t start = rng.next_below(mutated.size());
+        const std::size_t len =
+            std::min<std::size_t>(mutated.size() - start, 1 + rng.next_below(64));
+        for (std::size_t i = 0; i < len; ++i) {
+          mutated[start + i] = static_cast<std::uint8_t>(rng.next_u64());
+        }
+        break;
+      }
+    }
+    try {
+      const Bytes out = codec->decompress(as_view(mutated), original.size());
+      // Wrong output is acceptable; wrong *size* is not.
+      ASSERT_EQ(out.size(), original.size());
+    } catch (const CorruptDataError&) {
+      // Expected for most mutations.
+    } catch (const std::exception& e) {
+      FAIL() << codec->name() << ": unexpected exception type: " << e.what();
+    }
+  }
+}
+
+std::vector<CompressorId> all_ids() {
+  std::vector<CompressorId> ids;
+  for (const auto& e : Registry::instance().all()) ids.push_back(e.id);
+  return ids;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, CorruptionFuzzTest, ::testing::ValuesIn(all_ids()),
+    [](const ::testing::TestParamInfo<CompressorId>& info) {
+      std::string n = Registry::instance().by_id(info.param)->name();
+      for (char& c : n) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n + "_id" + std::to_string(info.param);
+    });
+
+}  // namespace
+}  // namespace fanstore::compress

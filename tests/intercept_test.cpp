@@ -1,0 +1,85 @@
+// Tests the real LD_PRELOAD interception library (§V-C): an unmodified
+// libc consumer run under fanstore_wrapper.so must see paths below the
+// FanStore mount resolve through the interceptor.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// These paths are configured by CMake relative to the build tree.
+#ifndef FANSTORE_WRAPPER_SO
+#define FANSTORE_WRAPPER_SO "src/intercept/fanstore_wrapper.so"
+#endif
+#ifndef FANSTORE_PROBE_BIN
+#define FANSTORE_PROBE_BIN "src/intercept/intercept_probe"
+#endif
+
+std::string run_probe(const std::string& args, const std::string& backing) {
+  const std::string cmd = "LD_PRELOAD=" + std::string(FANSTORE_WRAPPER_SO) +
+                          " FANSTORE_MOUNT=/fsmount FANSTORE_ROOT=" + backing + " " +
+                          std::string(FANSTORE_PROBE_BIN) + " " + args + " 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return "<popen failed>";
+  std::string out;
+  std::array<char, 256> buf;
+  while (fgets(buf.data(), buf.size(), pipe) != nullptr) out += buf.data();
+  pclose(pipe);
+  return out;
+}
+
+class InterceptTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fs::exists(FANSTORE_WRAPPER_SO) || !fs::exists(FANSTORE_PROBE_BIN)) {
+      GTEST_SKIP() << "wrapper/probe not built next to the test binary";
+    }
+    // Unique per test process: ctest -j runs the cases concurrently.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    backing_ = fs::temp_directory_path() /
+               ("fanstore_intercept_" + std::to_string(getpid()) + "_" + info->name());
+    fs::remove_all(backing_);
+    fs::create_directories(backing_ / "sub");
+    std::ofstream(backing_ / "file.txt") << "redirected content\n";
+    std::ofstream(backing_ / "sub" / "a.bin") << "x";
+  }
+  void TearDown() override { fs::remove_all(backing_); }
+  fs::path backing_;
+};
+
+TEST_F(InterceptTest, FopenAndStatAreRedirected) {
+  const std::string out = run_probe("/fsmount/file.txt", backing_.string());
+  EXPECT_NE(out.find("SIZE 19"), std::string::npos) << out;
+  EXPECT_NE(out.find("FIRST redirected content"), std::string::npos) << out;
+}
+
+TEST_F(InterceptTest, OpendirIsRedirected) {
+  const std::string out = run_probe("/fsmount --dir", backing_.string());
+  EXPECT_NE(out.find("ENTRY file.txt"), std::string::npos) << out;
+  EXPECT_NE(out.find("ENTRY sub"), std::string::npos) << out;
+}
+
+TEST_F(InterceptTest, NonMountPathsPassThrough) {
+  // A real filesystem path must not be rewritten.
+  std::ofstream(backing_ / "real.txt") << "abcd";
+  const std::string out =
+      run_probe((backing_ / "real.txt").string(), backing_.string());
+  EXPECT_NE(out.find("SIZE 4"), std::string::npos) << out;
+}
+
+TEST_F(InterceptTest, PrefixMustMatchWholeComponent) {
+  // "/fsmountX" must NOT be treated as under "/fsmount".
+  const std::string out = run_probe("/fsmountX/file.txt", backing_.string());
+  EXPECT_EQ(out.find("SIZE"), std::string::npos) << out;
+}
+
+}  // namespace

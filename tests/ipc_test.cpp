@@ -1,0 +1,183 @@
+// Tests for the Unix-domain-socket daemon transport: protocol encode/
+// decode, server lifecycle, cross-"process" reads through a real socket,
+// and end-to-end UDS access to a FanStore instance.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <thread>
+
+#include "compress/registry.hpp"
+#include "core/instance.hpp"
+#include "ipc/protocol.hpp"
+#include "ipc/uds_client.hpp"
+#include "ipc/uds_server.hpp"
+#include "posixfs/mem_vfs.hpp"
+#include "tests/test_data.hpp"
+
+namespace fanstore::ipc {
+namespace {
+
+std::string unique_socket_path(const char* tag) {
+  return "/tmp/fanstore_uds_" + std::to_string(getpid()) + "_" + tag + ".sock";
+}
+
+TEST(IpcProtocolTest, RequestRoundTrip) {
+  const Bytes req = encode_request(Op::kGet, "a/b/c");
+  const auto decoded = decode_request(as_view(req));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->op, Op::kGet);
+  EXPECT_EQ(decoded->path, "a/b/c");
+  EXPECT_FALSE(decode_request(ByteView{}).has_value());
+  EXPECT_FALSE(decode_request(as_view(Bytes{99})).has_value());  // bad op
+}
+
+TEST(IpcProtocolTest, ReplyRoundTrips) {
+  const Bytes payload = testdata::random_bytes(1000, 1);
+  const auto get = decode_get_reply(as_view(encode_get_reply(Status::kOk, as_view(payload))));
+  ASSERT_TRUE(get.has_value());
+  EXPECT_EQ(get->status, Status::kOk);
+  EXPECT_EQ(get->data, payload);
+
+  format::FileStat st;
+  st.size = 777;
+  st.type = format::FileType::kRegular;
+  const auto stat = decode_stat_reply(as_view(encode_stat_reply(Status::kOk, st)));
+  ASSERT_TRUE(stat.has_value());
+  EXPECT_EQ(stat->stat.size, 777u);
+
+  std::vector<posixfs::Dirent> entries = {
+      {"file.txt", format::FileType::kRegular},
+      {"subdir", format::FileType::kDirectory},
+  };
+  const auto list = decode_list_reply(as_view(encode_list_reply(Status::kOk, entries)));
+  ASSERT_TRUE(list.has_value());
+  ASSERT_EQ(list->entries.size(), 2u);
+  EXPECT_EQ(list->entries[0].name, "file.txt");
+  EXPECT_EQ(list->entries[1].type, format::FileType::kDirectory);
+  EXPECT_FALSE(decode_list_reply(as_view(Bytes{0, 9, 9})).has_value());
+}
+
+TEST(UdsTest, ClientReadsThroughServer) {
+  posixfs::MemVfs fs;
+  const Bytes data = testdata::text_like(20000, 3);
+  posixfs::write_file(fs, "dir/file.bin", as_view(data));
+
+  UdsServer server(unique_socket_path("basic"), fs);
+  server.start();
+  UdsClientVfs client(server.socket_path());
+  ASSERT_TRUE(client.connect());
+
+  // Whole-file read through the Vfs interface.
+  const auto got = posixfs::read_file(client, "dir/file.bin");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, data);
+
+  // stat + readdir.
+  format::FileStat st;
+  ASSERT_EQ(client.stat("dir/file.bin", &st), 0);
+  EXPECT_EQ(st.size, data.size());
+  const int h = client.opendir("dir");
+  ASSERT_GE(h, 0);
+  const auto entry = client.readdir(h);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->name, "file.bin");
+  client.closedir(h);
+
+  // Errors map to POSIX codes.
+  EXPECT_EQ(client.open("missing", posixfs::OpenMode::kRead), -ENOENT);
+  EXPECT_EQ(client.open("x", posixfs::OpenMode::kWrite), -EROFS);
+  EXPECT_GE(server.requests_served(), 4u);
+  server.stop();
+}
+
+TEST(UdsTest, LseekSemanticsOnClient) {
+  posixfs::MemVfs fs;
+  posixfs::write_file(fs, "f", as_view(Bytes{0, 1, 2, 3, 4, 5, 6, 7}));
+  UdsServer server(unique_socket_path("seek"), fs);
+  server.start();
+  UdsClientVfs client(server.socket_path());
+  const int fd = client.open("f", posixfs::OpenMode::kRead);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(client.lseek(fd, -2, posixfs::Whence::kEnd), 6);
+  Bytes buf(4);
+  EXPECT_EQ(client.read(fd, MutByteView{buf.data(), buf.size()}), 2);
+  EXPECT_EQ(buf[0], 6);
+  client.close(fd);
+  server.stop();
+}
+
+TEST(UdsTest, ConcurrentClients) {
+  posixfs::MemVfs fs;
+  for (int i = 0; i < 8; ++i) {
+    posixfs::write_file(fs, "f" + std::to_string(i),
+                        as_view(testdata::random_bytes(5000, i)));
+  }
+  UdsServer server(unique_socket_path("multi"), fs);
+  server.start();
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < 6; ++c) {
+    clients.emplace_back([&, c] {
+      UdsClientVfs client(server.socket_path());
+      for (int i = 0; i < 20; ++i) {
+        const std::string path = "f" + std::to_string((c + i) % 8);
+        const auto got = posixfs::read_file(client, path);
+        if (!got || got->size() != 5000) failures++;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server.requests_served(), 120u);
+  server.stop();
+}
+
+TEST(UdsTest, ClientFailsCleanlyWithoutServer) {
+  UdsClientVfs client("/tmp/fanstore_uds_no_such_socket.sock");
+  EXPECT_FALSE(client.connect());
+  EXPECT_EQ(client.open("f", posixfs::OpenMode::kRead), -EIO);
+  format::FileStat st;
+  EXPECT_EQ(client.stat("f", &st), -EIO);
+}
+
+TEST(UdsTest, ServesAFanStoreInstance) {
+  // The real deployment shape: FanStoreFs behind the node-local daemon
+  // socket; an out-of-process consumer reads compressed data through it.
+  mpi::run_world(1, [&](mpi::Comm& comm) {
+    core::Instance inst(comm, {});
+    const auto& reg = compress::Registry::instance();
+    const auto* codec = reg.by_name("zstd");
+    format::PartitionWriter w;
+    const Bytes data = testdata::text_like(30000, 9);
+    w.add(format::make_record("ds/sample", *codec, reg.id_of(*codec), as_view(data)));
+    const Bytes blob = w.serialize();
+    inst.load_partition_blob(as_view(blob), 0);
+    inst.exchange_metadata();
+
+    UdsServer server(unique_socket_path("fanstore"), inst.fs());
+    server.start();
+    UdsClientVfs client(server.socket_path());
+    const auto got = posixfs::read_file(client, "ds/sample");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, data);  // decompressed by the daemon, shipped plain
+    server.stop();
+  });
+}
+
+TEST(UdsTest, StopIsIdempotentAndRestartable) {
+  posixfs::MemVfs fs;
+  const std::string path = unique_socket_path("restart");
+  {
+    UdsServer server(path, fs);
+    server.start();
+    server.stop();
+    server.stop();
+  }
+  UdsServer server2(path, fs);
+  server2.start();  // rebinding the same path must work
+  server2.stop();
+}
+
+}  // namespace
+}  // namespace fanstore::ipc

@@ -1,0 +1,169 @@
+// Tests for the in-process MPI subset: point-to-point matching, predicate
+// receive, and collective semantics across rank-threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "mpi/comm.hpp"
+
+namespace fanstore::mpi {
+namespace {
+
+TEST(MpiTest, SendRecvBasic) {
+  run_world(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, Bytes{1, 2, 3});
+    } else {
+      const Message m = comm.recv(0, 7);
+      EXPECT_EQ(m.source, 0);
+      EXPECT_EQ(m.tag, 7);
+      EXPECT_EQ(m.payload, (Bytes{1, 2, 3}));
+    }
+  });
+}
+
+TEST(MpiTest, RecvMatchesTagOutOfOrder) {
+  run_world(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, Bytes{1});
+      comm.send(1, 2, Bytes{2});
+    } else {
+      // Receive tag 2 first even though tag 1 arrived first.
+      EXPECT_EQ(comm.recv(0, 2).payload, Bytes{2});
+      EXPECT_EQ(comm.recv(0, 1).payload, Bytes{1});
+    }
+  });
+}
+
+TEST(MpiTest, RecvAnySource) {
+  run_world(4, [](Comm& comm) {
+    if (comm.rank() != 0) {
+      comm.send(0, 5, Bytes{static_cast<std::uint8_t>(comm.rank())});
+    } else {
+      std::set<std::uint8_t> seen;
+      for (int i = 0; i < 3; ++i) seen.insert(comm.recv(kAnySource, 5).payload[0]);
+      EXPECT_EQ(seen, (std::set<std::uint8_t>{1, 2, 3}));
+    }
+  });
+}
+
+TEST(MpiTest, TryRecvNonBlocking) {
+  run_world(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_FALSE(comm.try_recv(1, 9).has_value());
+      comm.barrier();  // now rank 1 sends
+      comm.barrier();  // send happens-before this barrier completes
+      EXPECT_TRUE(comm.try_recv(1, 9).has_value());
+    } else {
+      comm.barrier();
+      comm.send(0, 9, Bytes{1});
+      comm.barrier();
+    }
+  });
+}
+
+TEST(MpiTest, RecvIfPredicate) {
+  run_world(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 100, Bytes{1});
+      comm.send(1, 2000, Bytes{2});
+    } else {
+      // A "daemon-style" predicate that ignores high reply tags.
+      const Message m = comm.recv_if([](const Message& msg) { return msg.tag < 1000; });
+      EXPECT_EQ(m.tag, 100);
+      EXPECT_EQ(comm.recv(0, 2000).payload, Bytes{2});
+    }
+  });
+}
+
+TEST(MpiTest, BarrierSynchronizes) {
+  std::atomic<int> phase{0};
+  run_world(8, [&](Comm& comm) {
+    phase.fetch_add(1);
+    comm.barrier();
+    EXPECT_EQ(phase.load(), 8);
+    comm.barrier();
+    phase.fetch_sub(1);
+    comm.barrier();
+    EXPECT_EQ(phase.load(), 0);
+  });
+}
+
+TEST(MpiTest, AllgatherCollectsAllRanks) {
+  run_world(5, [](Comm& comm) {
+    const Bytes mine{static_cast<std::uint8_t>('a' + comm.rank())};
+    const auto all = comm.allgather(as_view(mine));
+    ASSERT_EQ(all.size(), 5u);
+    for (int r = 0; r < 5; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)],
+                Bytes{static_cast<std::uint8_t>('a' + r)});
+    }
+  });
+}
+
+TEST(MpiTest, AllgatherRepeatedRounds) {
+  // Exercises the generation/reset logic across many back-to-back rounds.
+  run_world(4, [](Comm& comm) {
+    for (int round = 0; round < 50; ++round) {
+      const Bytes mine{static_cast<std::uint8_t>(comm.rank()),
+                       static_cast<std::uint8_t>(round)};
+      const auto all = comm.allgather(as_view(mine));
+      for (int r = 0; r < 4; ++r) {
+        ASSERT_EQ(all[static_cast<std::size_t>(r)][0], r);
+        ASSERT_EQ(all[static_cast<std::size_t>(r)][1], round);
+      }
+    }
+  });
+}
+
+TEST(MpiTest, BcastFromEachRoot) {
+  run_world(3, [](Comm& comm) {
+    for (int root = 0; root < 3; ++root) {
+      const Bytes mine{static_cast<std::uint8_t>(42 + root)};
+      const Bytes got = comm.bcast(root, comm.rank() == root ? as_view(mine) : ByteView{});
+      EXPECT_EQ(got, Bytes{static_cast<std::uint8_t>(42 + root)});
+    }
+  });
+}
+
+TEST(MpiTest, AllreduceSumAveragesGradients) {
+  run_world(4, [](Comm& comm) {
+    std::vector<double> grad = {1.0 * comm.rank(), 2.0};
+    const auto sum = comm.allreduce_sum(grad);
+    EXPECT_DOUBLE_EQ(sum[0], 0.0 + 1 + 2 + 3);
+    EXPECT_DOUBLE_EQ(sum[1], 8.0);
+  });
+}
+
+TEST(MpiTest, AllreduceMax) {
+  run_world(6, [](Comm& comm) {
+    EXPECT_DOUBLE_EQ(comm.allreduce_max(static_cast<double>(comm.rank())), 5.0);
+  });
+}
+
+TEST(MpiTest, ExceptionPropagatesFromRank) {
+  EXPECT_THROW(run_world(2,
+                         [](Comm& comm) {
+                           if (comm.rank() == 1) throw std::runtime_error("rank died");
+                         }),
+               std::runtime_error);
+}
+
+TEST(MpiTest, SendToBadRankThrows) {
+  EXPECT_THROW(
+      run_world(1, [](Comm& comm) { comm.send(5, 0, {}); }), std::out_of_range);
+}
+
+TEST(MpiTest, LargeWorld) {
+  // 128 rank-threads; validates scalability of the threading substrate.
+  run_world(128, [](Comm& comm) {
+    const auto all = comm.allgather(as_view(Bytes{1}));
+    EXPECT_EQ(all.size(), 128u);
+    comm.barrier();
+  });
+}
+
+}  // namespace
+}  // namespace fanstore::mpi

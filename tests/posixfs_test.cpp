@@ -1,0 +1,209 @@
+// Tests for the user-space POSIX layer: path normalization, MemVfs
+// semantics, LocalVfs on the real filesystem, and Interceptor routing.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "posixfs/interceptor.hpp"
+#include "posixfs/local_vfs.hpp"
+#include "posixfs/mem_vfs.hpp"
+#include "tests/test_data.hpp"
+
+namespace fanstore::posixfs {
+namespace {
+
+TEST(NormalizePathTest, CollapsesAndStrips) {
+  EXPECT_EQ(normalize_path("/a//b/./c/"), "a/b/c");
+  EXPECT_EQ(normalize_path("a/b"), "a/b");
+  EXPECT_EQ(normalize_path("////"), "");
+  EXPECT_EQ(normalize_path("."), "");
+  EXPECT_EQ(normalize_path(""), "");
+}
+
+TEST(NormalizePathTest, RejectsDotDot) {
+  EXPECT_EQ(normalize_path("a/../b"), "");
+  EXPECT_EQ(normalize_path(".."), "");
+}
+
+class MemVfsTest : public ::testing::Test {
+ protected:
+  MemVfs fs_;
+};
+
+TEST_F(MemVfsTest, WriteReadRoundTrip) {
+  const Bytes data = testdata::text_like(5000, 1);
+  ASSERT_EQ(write_file(fs_, "dir/sub/file.bin", as_view(data)), 0);
+  const auto back = read_file(fs_, "dir/sub/file.bin");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST_F(MemVfsTest, OpenMissingFileFails) {
+  EXPECT_EQ(fs_.open("nope", OpenMode::kRead), -ENOENT);
+}
+
+TEST_F(MemVfsTest, ReadOnWriteFdFails) {
+  const int fd = fs_.open("f", OpenMode::kWrite);
+  ASSERT_GE(fd, 0);
+  Bytes buf(8);
+  EXPECT_EQ(fs_.read(fd, MutByteView{buf.data(), buf.size()}), -EBADF);
+  fs_.close(fd);
+}
+
+TEST_F(MemVfsTest, WritesVisibleOnlyAfterClose) {
+  const int fd = fs_.open("f", OpenMode::kWrite);
+  const Bytes data{1, 2, 3};
+  fs_.write(fd, as_view(data));
+  EXPECT_EQ(fs_.open("f", OpenMode::kRead), -ENOENT);  // not yet published
+  fs_.close(fd);
+  EXPECT_EQ(*read_file(fs_, "f"), data);
+}
+
+TEST_F(MemVfsTest, LseekWhenceVariants) {
+  const Bytes data{10, 11, 12, 13, 14, 15, 16, 17};
+  write_file(fs_, "f", as_view(data));
+  const int fd = fs_.open("f", OpenMode::kRead);
+  EXPECT_EQ(fs_.lseek(fd, 3, Whence::kSet), 3);
+  Bytes buf(1);
+  fs_.read(fd, MutByteView{buf.data(), 1});
+  EXPECT_EQ(buf[0], 13);
+  EXPECT_EQ(fs_.lseek(fd, 2, Whence::kCur), 6);
+  EXPECT_EQ(fs_.lseek(fd, -1, Whence::kEnd), 7);
+  EXPECT_EQ(fs_.lseek(fd, -100, Whence::kSet), -EINVAL);
+  fs_.close(fd);
+}
+
+TEST_F(MemVfsTest, StatFileAndDirectory) {
+  write_file(fs_, "a/b/c.txt", as_view(testdata::random_bytes(77, 1)));
+  format::FileStat st;
+  ASSERT_EQ(fs_.stat("a/b/c.txt", &st), 0);
+  EXPECT_EQ(st.size, 77u);
+  EXPECT_EQ(st.type, format::FileType::kRegular);
+  ASSERT_EQ(fs_.stat("a/b", &st), 0);  // implicit directory
+  EXPECT_EQ(st.type, format::FileType::kDirectory);
+  EXPECT_EQ(fs_.stat("a/zzz", &st), -ENOENT);
+}
+
+TEST_F(MemVfsTest, ReaddirListsImmediateChildren) {
+  write_file(fs_, "root/f1", as_view(testdata::random_bytes(1, 1)));
+  write_file(fs_, "root/f2", as_view(testdata::random_bytes(1, 2)));
+  write_file(fs_, "root/sub/deep", as_view(testdata::random_bytes(1, 3)));
+  fs_.mkdir("root/empty");
+  const int h = fs_.opendir("root");
+  ASSERT_GE(h, 0);
+  std::vector<std::string> names;
+  std::vector<bool> is_dir;
+  while (auto e = fs_.readdir(h)) {
+    names.push_back(e->name);
+    is_dir.push_back(e->type == format::FileType::kDirectory);
+  }
+  fs_.closedir(h);
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names, (std::vector<std::string>{"empty", "f1", "f2", "sub"}));
+  EXPECT_EQ(is_dir, (std::vector<bool>{true, false, false, true}));
+}
+
+TEST_F(MemVfsTest, OpendirMissingFails) {
+  EXPECT_EQ(fs_.opendir("ghost"), -ENOENT);
+  EXPECT_EQ(fs_.closedir(99), -EBADF);
+}
+
+TEST_F(MemVfsTest, SnapshotIsolation) {
+  // A reader opened before an overwrite keeps seeing the old bytes.
+  write_file(fs_, "f", as_view(Bytes{1}));
+  const int fd = fs_.open("f", OpenMode::kRead);
+  write_file(fs_, "f", as_view(Bytes{2}));
+  Bytes buf(1);
+  fs_.read(fd, MutByteView{buf.data(), 1});
+  EXPECT_EQ(buf[0], 1);
+  fs_.close(fd);
+  EXPECT_EQ((*read_file(fs_, "f"))[0], 2);
+}
+
+TEST(LocalVfsTest, RealFilesystemRoundTrip) {
+  const auto root = std::filesystem::temp_directory_path() / "fanstore_localvfs_test";
+  std::filesystem::remove_all(root);
+  LocalVfs fs(root);
+  const Bytes data = testdata::runs_and_noise(10000, 5);
+  ASSERT_EQ(write_file(fs, "x/y/file.bin", as_view(data)), 0);
+  EXPECT_EQ(*read_file(fs, "x/y/file.bin"), data);
+
+  format::FileStat st;
+  ASSERT_EQ(fs.stat("x/y/file.bin", &st), 0);
+  EXPECT_EQ(st.size, data.size());
+
+  const int h = fs.opendir("x");
+  ASSERT_GE(h, 0);
+  auto e = fs.readdir(h);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->name, "y");
+  EXPECT_EQ(e->type, format::FileType::kDirectory);
+  fs.closedir(h);
+  std::filesystem::remove_all(root);
+}
+
+TEST(InterceptorTest, RoutesByLongestPrefix) {
+  MemVfs a, b, fallback;
+  write_file(a, "inner.txt", as_view(Bytes{'A'}));
+  write_file(b, "inner.txt", as_view(Bytes{'B'}));
+  write_file(fallback, "etc/passwd", as_view(Bytes{'F'}));
+
+  Interceptor shim;
+  shim.mount("fs", &a);
+  shim.mount("fs/special", &b);
+  shim.set_fallback(&fallback);
+
+  EXPECT_EQ((*read_file(shim, "/fs/inner.txt"))[0], 'A');
+  EXPECT_EQ((*read_file(shim, "/fs/special/inner.txt"))[0], 'B');
+  EXPECT_EQ((*read_file(shim, "/etc/passwd"))[0], 'F');
+}
+
+TEST(InterceptorTest, PrefixMustMatchWholeComponent) {
+  MemVfs a;
+  write_file(a, "f", as_view(Bytes{'A'}));
+  Interceptor shim;
+  shim.mount("fs", &a);
+  // "fsx/f" must NOT route to the "fs" mount.
+  EXPECT_EQ(shim.open("fsx/f", OpenMode::kRead), -ENOENT);
+}
+
+TEST(InterceptorTest, NoFallbackMeansEnoent) {
+  Interceptor shim;
+  EXPECT_EQ(shim.open("anything", OpenMode::kRead), -ENOENT);
+  format::FileStat st;
+  EXPECT_EQ(shim.stat("anything", &st), -ENOENT);
+}
+
+TEST(InterceptorTest, FdNamespaceIsUnified) {
+  MemVfs a, b;
+  write_file(a, "f", as_view(Bytes{'A'}));
+  write_file(b, "g", as_view(Bytes{'B'}));
+  Interceptor shim;
+  shim.mount("ma", &a);
+  shim.mount("mb", &b);
+  const int fa = shim.open("ma/f", OpenMode::kRead);
+  const int fb = shim.open("mb/g", OpenMode::kRead);
+  ASSERT_GE(fa, 0);
+  ASSERT_GE(fb, 0);
+  EXPECT_NE(fa, fb);
+  Bytes buf(1);
+  shim.read(fb, MutByteView{buf.data(), 1});
+  EXPECT_EQ(buf[0], 'B');
+  shim.read(fa, MutByteView{buf.data(), 1});
+  EXPECT_EQ(buf[0], 'A');
+  EXPECT_EQ(shim.close(fa), 0);
+  EXPECT_EQ(shim.close(fa), -EBADF);  // double close
+  EXPECT_EQ(shim.close(fb), 0);
+}
+
+TEST(InterceptorTest, WriteThroughMount) {
+  MemVfs a;
+  Interceptor shim;
+  shim.mount("fs", &a);
+  const Bytes data = testdata::random_bytes(100, 7);
+  ASSERT_EQ(write_file(shim, "fs/out/result.bin", as_view(data)), 0);
+  EXPECT_EQ(*read_file(a, "out/result.bin"), data);  // prefix stripped
+}
+
+}  // namespace
+}  // namespace fanstore::posixfs

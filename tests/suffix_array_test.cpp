@@ -1,0 +1,82 @@
+// Differential + property tests for the suffix-array constructions that
+// back the BWT stage: SA-IS (linear, production) vs prefix doubling
+// (reference) vs a brute-force oracle on small inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "compress/suffix_array.hpp"
+#include "tests/test_data.hpp"
+
+namespace fanstore::compress {
+namespace {
+
+std::vector<std::uint32_t> brute_force(ByteView s) {
+  std::vector<std::uint32_t> sa(s.size());
+  std::iota(sa.begin(), sa.end(), 0);
+  std::sort(sa.begin(), sa.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return std::lexicographical_compare(s.begin() + a, s.end(), s.begin() + b,
+                                        s.end());
+  });
+  return sa;
+}
+
+TEST(SuffixArrayTest, MatchesBruteForceOnClassicStrings) {
+  for (const char* str : {"banana", "mississippi", "abracadabra", "aaaaaa",
+                          "abcabcabc", "a", "ab", "ba", "zyxwv"}) {
+    const Bytes s = to_bytes(str);
+    const auto expected = brute_force(as_view(s));
+    EXPECT_EQ(suffix_array_sais(as_view(s)), expected) << str;
+    EXPECT_EQ(suffix_array_doubling(as_view(s)), expected) << str;
+  }
+}
+
+TEST(SuffixArrayTest, EmptyInput) {
+  EXPECT_TRUE(suffix_array_sais(ByteView{}).empty());
+  EXPECT_TRUE(suffix_array_doubling(ByteView{}).empty());
+}
+
+TEST(SuffixArrayTest, SaisMatchesDoublingOnRandomData) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Bytes s = testdata::random_bytes(2000 + seed * 777, seed);
+    EXPECT_EQ(suffix_array_sais(as_view(s)), suffix_array_doubling(as_view(s)))
+        << "seed " << seed;
+  }
+}
+
+TEST(SuffixArrayTest, SaisMatchesDoublingOnStructuredData) {
+  const std::vector<Bytes> inputs = {
+      testdata::text_like(5000, 1),
+      testdata::low_entropy(5000, 2),
+      testdata::runs_and_noise(5000, 3),
+      Bytes(3000, 0x41),                      // all-same worst case
+      testdata::gradient_floats(4096, 4),
+  };
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(suffix_array_sais(as_view(inputs[i])),
+              suffix_array_doubling(as_view(inputs[i])))
+        << "input " << i;
+  }
+}
+
+TEST(SuffixArrayTest, OutputIsAPermutationInSortedOrder) {
+  const Bytes s = testdata::text_like(30000, 9);
+  const auto sa = suffix_array_sais(as_view(s));
+  ASSERT_EQ(sa.size(), s.size());
+  std::vector<bool> seen(s.size(), false);
+  for (const auto i : sa) {
+    ASSERT_LT(i, s.size());
+    ASSERT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+  const ByteView v = as_view(s);
+  for (std::size_t k = 1; k < sa.size(); ++k) {
+    ASSERT_TRUE(std::lexicographical_compare(v.begin() + sa[k - 1], v.end(),
+                                             v.begin() + sa[k], v.end()))
+        << "order violated at rank " << k;
+  }
+}
+
+}  // namespace
+}  // namespace fanstore::compress

@@ -1,0 +1,92 @@
+// Shared synthetic byte patterns for codec and format tests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace fanstore::testdata {
+
+struct Pattern {
+  std::string name;
+  Bytes data;
+};
+
+inline Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes b(n);
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng.next_u64());
+  return b;
+}
+
+inline Bytes text_like(std::size_t n, std::uint64_t seed) {
+  static const std::string words[] = {"the ",  "model ", "training ", "data ",
+                                      "batch ", "epoch ", "gradient ", "loss ",
+                                      "file ",  "node ",  "store ",    "cache "};
+  Rng rng(seed);
+  Bytes b;
+  b.reserve(n + 16);
+  while (b.size() < n) {
+    const auto& w = words[rng.next_below(std::size(words))];
+    b.insert(b.end(), w.begin(), w.end());
+  }
+  b.resize(n);
+  return b;
+}
+
+inline Bytes low_entropy(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes b(n);
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng.next_below(4) * 7);
+  return b;
+}
+
+inline Bytes gradient_floats(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes b(n);
+  std::uint8_t v = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 4 == 0) v = static_cast<std::uint8_t>(v + rng.next_below(3));
+    b[i] = (i % 4 == 3) ? v : static_cast<std::uint8_t>(i);
+  }
+  return b;
+}
+
+inline Bytes runs_and_noise(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes b;
+  b.reserve(n + 64);
+  while (b.size() < n) {
+    if (rng.next_below(2) == 0) {
+      b.insert(b.end(), 16 + rng.next_below(200), static_cast<std::uint8_t>(rng.next_u64()));
+    } else {
+      for (std::size_t k = 0, m = 8 + rng.next_below(64); k < m; ++k) {
+        b.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+      }
+    }
+  }
+  b.resize(n);
+  return b;
+}
+
+/// The standard pattern set exercised by every codec round-trip test.
+inline std::vector<Pattern> standard_patterns() {
+  std::vector<Pattern> p;
+  p.push_back({"empty", {}});
+  p.push_back({"one_byte", {0x42}});
+  p.push_back({"two_bytes", {0x00, 0xFF}});
+  p.push_back({"all_zero_4k", Bytes(4096, 0)});
+  p.push_back({"all_same_300", Bytes(300, 0xAB)});
+  p.push_back({"random_64k", random_bytes(65536, 1)});
+  p.push_back({"text_100k", text_like(100000, 2)});
+  p.push_back({"low_entropy_150k", low_entropy(150000, 3)});
+  p.push_back({"float_gradient_32k", gradient_floats(32768, 4)});
+  p.push_back({"runs_noise_80k", runs_and_noise(80000, 5)});
+  p.push_back({"tiny_run", Bytes(7, 9)});
+  return p;
+}
+
+}  // namespace fanstore::testdata

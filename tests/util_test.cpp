@@ -1,0 +1,154 @@
+// Unit tests for the util module: CRC, RNG determinism, stats, thread pool,
+// CLI parsing, and byte helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/bytes.hpp"
+#include "util/cli.hpp"
+#include "util/crc32.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fanstore {
+namespace {
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  const auto data = to_bytes("123456789");
+  EXPECT_EQ(crc32(as_view(data)), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(crc32(ByteView{}), 0u); }
+
+TEST(Crc32Test, SeedChaining) {
+  const auto all = to_bytes("hello world");
+  const auto a = to_bytes("hello ");
+  const auto b = to_bytes("world");
+  // Chaining via seed must equal one-shot CRC.
+  EXPECT_EQ(crc32(as_view(b), crc32(as_view(a))), crc32(as_view(all)));
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  auto data = to_bytes("some payload to protect");
+  const auto before = crc32(as_view(data));
+  data[5] ^= 0x10;
+  EXPECT_NE(crc32(as_view(data)), before);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, RangeBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(StatsTest, BasicMoments) {
+  Stats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+}
+
+TEST(StatsTest, EmptyThrows) {
+  Stats s;
+  EXPECT_THROW(s.mean(), std::logic_error);
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-3.0);   // clamps into first bucket
+  h.add(100.0);  // clamps into last bucket
+  EXPECT_EQ(h.count_at(0), 2u);
+  EXPECT_EQ(h.count_at(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(9), 10.0);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { count++; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ParallelForTest, CoversAllIndicesOnce) {
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(500, 8, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  int sum = 0;
+  parallel_for(10, 1, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(CliArgsTest, ParsesAllForms) {
+  const char* argv[] = {"prog",      "--nodes=4",  "--backend=ram",
+                        "--verbose", "positional", "--ratio=2.5"};
+  CliArgs args(6, argv);
+  EXPECT_EQ(args.get_int("nodes", 0), 4);
+  EXPECT_EQ(args.get("backend", ""), "ram");
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(args.get_double("ratio", 0), 2.5);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+  EXPECT_EQ(args.get("missing", "def"), "def");
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(BytesTest, LittleEndianHelpers) {
+  Bytes b;
+  append_le<std::uint32_t>(b, 0x01020304u);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x04);
+  EXPECT_EQ(b[3], 0x01);
+  EXPECT_EQ(load_le<std::uint32_t>(b.data()), 0x01020304u);
+  store_le<std::uint16_t>(b.data(), 0xBEEF);
+  EXPECT_EQ(load_le<std::uint16_t>(b.data()), 0xBEEF);
+}
+
+TEST(BytesTest, StringConversions) {
+  const std::string s = "fanstore";
+  EXPECT_EQ(to_string(as_view(s)), s);
+  EXPECT_EQ(to_string(as_view(to_bytes(s))), s);
+}
+
+}  // namespace
+}  // namespace fanstore

@@ -1,0 +1,196 @@
+// POSIX-surface conformance suite: every Vfs implementation (MemVfs,
+// LocalVfs, Interceptor, FanStoreFs, UdsClientVfs) must expose identical
+// open/read/lseek/stat/readdir semantics, because the training program on
+// top of the interceptor cannot know which backend it is talking to.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <functional>
+
+#include "compress/registry.hpp"
+#include "core/instance.hpp"
+#include "ipc/uds_client.hpp"
+#include "ipc/uds_server.hpp"
+#include "posixfs/interceptor.hpp"
+#include "posixfs/local_vfs.hpp"
+#include "posixfs/mem_vfs.hpp"
+#include "tests/test_data.hpp"
+
+namespace fanstore::posixfs {
+namespace {
+
+Bytes content_a() { return testdata::text_like(5000, 11); }
+Bytes content_b() { return testdata::runs_and_noise(2400, 12); }
+
+// A backend under test: the Vfs plus its keep-alive machinery.
+struct Backend {
+  Vfs* vfs = nullptr;
+  bool writable = true;
+  std::function<void()> cleanup = [] {};
+  // Owned state (whichever members the factory fills).
+  std::unique_ptr<MemVfs> mem;
+  std::unique_ptr<LocalVfs> local;
+  std::unique_ptr<Interceptor> shim;
+  std::unique_ptr<mpi::World> world;
+  std::unique_ptr<core::Instance> instance;
+  std::unique_ptr<ipc::UdsServer> server;
+  std::unique_ptr<ipc::UdsClientVfs> client;
+};
+
+void populate(Vfs& fs) {
+  ASSERT_EQ(write_file(fs, "tree/a.txt", as_view(content_a())), 0);
+  ASSERT_EQ(write_file(fs, "tree/sub/b.bin", as_view(content_b())), 0);
+}
+
+std::unique_ptr<Backend> make_backend(const std::string& kind) {
+  auto b = std::make_unique<Backend>();
+  if (kind == "MemVfs") {
+    b->mem = std::make_unique<MemVfs>();
+    populate(*b->mem);
+    b->vfs = b->mem.get();
+  } else if (kind == "LocalVfs") {
+    const auto root = std::filesystem::temp_directory_path() /
+                      ("fanstore_conformance_" + std::to_string(getpid()));
+    std::filesystem::remove_all(root);
+    b->local = std::make_unique<LocalVfs>(root);
+    populate(*b->local);
+    b->vfs = b->local.get();
+    b->cleanup = [root] { std::filesystem::remove_all(root); };
+  } else if (kind == "Interceptor") {
+    b->mem = std::make_unique<MemVfs>();
+    b->shim = std::make_unique<Interceptor>();
+    b->shim->mount("", b->mem.get());
+    populate(*b->shim);
+    b->vfs = b->shim.get();
+  } else if (kind == "FanStoreFs") {
+    b->world = std::make_unique<mpi::World>(1);
+    b->instance = std::make_unique<core::Instance>(b->world->comm(0),
+                                                   core::Instance::Options{});
+    const auto& reg = compress::Registry::instance();
+    const auto* codec = reg.by_name("lz4hc");
+    format::PartitionWriter w;
+    w.add(format::make_record("tree/a.txt", *codec, reg.id_of(*codec),
+                              as_view(content_a())));
+    w.add(format::make_record("tree/sub/b.bin", *codec, reg.id_of(*codec),
+                              as_view(content_b())));
+    const Bytes blob = w.serialize();
+    b->instance->load_partition_blob(as_view(blob), 0);
+    b->instance->exchange_metadata();
+    b->vfs = &b->instance->fs();
+  } else if (kind == "UdsClientVfs") {
+    b->mem = std::make_unique<MemVfs>();
+    populate(*b->mem);
+    b->server = std::make_unique<ipc::UdsServer>(
+        "/tmp/fanstore_conf_" + std::to_string(getpid()) + ".sock", *b->mem);
+    b->server->start();
+    b->client = std::make_unique<ipc::UdsClientVfs>(b->server->socket_path());
+    b->vfs = b->client.get();
+    b->writable = false;  // read-only transport
+    auto* server = b->server.get();
+    b->cleanup = [server] { server->stop(); };
+  }
+  return b;
+}
+
+class VfsConformanceTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override { backend_ = make_backend(GetParam()); }
+  void TearDown() override { backend_->cleanup(); }
+  Vfs& fs() { return *backend_->vfs; }
+  std::unique_ptr<Backend> backend_;
+};
+
+TEST_P(VfsConformanceTest, WholeFileReadMatches) {
+  const auto a = read_file(fs(), "tree/a.txt");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, content_a());
+  const auto b = read_file(fs(), "tree/sub/b.bin");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, content_b());
+}
+
+TEST_P(VfsConformanceTest, PathNormalizationIsUniform) {
+  EXPECT_EQ(*read_file(fs(), "/tree//./a.txt"), content_a());
+}
+
+TEST_P(VfsConformanceTest, PartialReadsAdvanceOffset) {
+  const int fd = fs().open("tree/a.txt", OpenMode::kRead);
+  ASSERT_GE(fd, 0);
+  Bytes got;
+  Bytes buf(997);  // deliberately odd buffer size
+  std::int64_t n;
+  while ((n = fs().read(fd, MutByteView{buf.data(), buf.size()})) > 0) {
+    got.insert(got.end(), buf.begin(), buf.begin() + n);
+  }
+  EXPECT_EQ(n, 0);  // clean EOF
+  EXPECT_EQ(got, content_a());
+  EXPECT_EQ(fs().close(fd), 0);
+}
+
+TEST_P(VfsConformanceTest, LseekAllWhences) {
+  const int fd = fs().open("tree/sub/b.bin", OpenMode::kRead);
+  ASSERT_GE(fd, 0);
+  const auto expected = content_b();
+  EXPECT_EQ(fs().lseek(fd, 100, Whence::kSet), 100);
+  Bytes one(1);
+  fs().read(fd, MutByteView{one.data(), 1});
+  EXPECT_EQ(one[0], expected[100]);
+  EXPECT_EQ(fs().lseek(fd, 9, Whence::kCur), 110);
+  EXPECT_EQ(fs().lseek(fd, -1, Whence::kEnd),
+            static_cast<std::int64_t>(expected.size()) - 1);
+  fs().read(fd, MutByteView{one.data(), 1});
+  EXPECT_EQ(one[0], expected.back());
+  EXPECT_LT(fs().lseek(fd, -10000, Whence::kSet), 0);
+  fs().close(fd);
+}
+
+TEST_P(VfsConformanceTest, StatFileAndDirectory) {
+  format::FileStat st;
+  ASSERT_EQ(fs().stat("tree/a.txt", &st), 0);
+  EXPECT_EQ(st.size, content_a().size());
+  EXPECT_EQ(st.type, format::FileType::kRegular);
+  ASSERT_EQ(fs().stat("tree/sub", &st), 0);
+  EXPECT_EQ(st.type, format::FileType::kDirectory);
+  EXPECT_EQ(fs().stat("tree/ghost", &st), -ENOENT);
+}
+
+TEST_P(VfsConformanceTest, ReaddirListsChildren) {
+  const int h = fs().opendir("tree");
+  ASSERT_GE(h, 0);
+  std::vector<std::string> names;
+  while (auto e = fs().readdir(h)) names.push_back(e->name);
+  EXPECT_EQ(fs().closedir(h), 0);
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"a.txt", "sub"}));
+  EXPECT_LT(fs().opendir("nothere"), 0);
+}
+
+TEST_P(VfsConformanceTest, BadDescriptorsAreRejected) {
+  Bytes buf(8);
+  EXPECT_EQ(fs().read(123456, MutByteView{buf.data(), buf.size()}), -EBADF);
+  EXPECT_EQ(fs().close(123456), -EBADF);
+  EXPECT_EQ(fs().closedir(123456), -EBADF);
+  EXPECT_LT(fs().open("tree/ghost", OpenMode::kRead), 0);
+}
+
+TEST_P(VfsConformanceTest, WriteRoundTripWhereSupported) {
+  if (!backend_->writable) {
+    EXPECT_EQ(fs().open("tree/new", OpenMode::kWrite), -EROFS);
+    return;
+  }
+  const Bytes data = testdata::random_bytes(777, 99);
+  ASSERT_EQ(write_file(fs(), "out/new.bin", as_view(data)), 0);
+  EXPECT_EQ(*read_file(fs(), "out/new.bin"), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, VfsConformanceTest,
+                         ::testing::Values("MemVfs", "LocalVfs", "Interceptor",
+                                           "FanStoreFs", "UdsClientVfs"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace fanstore::posixfs
