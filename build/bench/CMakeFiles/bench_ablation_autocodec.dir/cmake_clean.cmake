@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_autocodec.dir/bench_ablation_autocodec.cpp.o"
+  "CMakeFiles/bench_ablation_autocodec.dir/bench_ablation_autocodec.cpp.o.d"
+  "bench_ablation_autocodec"
+  "bench_ablation_autocodec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_autocodec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

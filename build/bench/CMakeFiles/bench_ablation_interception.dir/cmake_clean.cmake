@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_interception.dir/bench_ablation_interception.cpp.o"
+  "CMakeFiles/bench_ablation_interception.dir/bench_ablation_interception.cpp.o.d"
+  "bench_ablation_interception"
+  "bench_ablation_interception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_interception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_tfrecord.dir/bench_fig6_tfrecord.cpp.o"
+  "CMakeFiles/bench_fig6_tfrecord.dir/bench_fig6_tfrecord.cpp.o.d"
+  "bench_fig6_tfrecord"
+  "bench_fig6_tfrecord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_tfrecord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_posix.dir/bench_table3_posix.cpp.o"
+  "CMakeFiles/bench_table3_posix.dir/bench_table3_posix.cpp.o.d"
+  "bench_table3_posix"
+  "bench_table3_posix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_posix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_appinputs.dir/bench_table5_appinputs.cpp.o"
+  "CMakeFiles/bench_table5_appinputs.dir/bench_table5_appinputs.cpp.o.d"
+  "bench_table5_appinputs"
+  "bench_table5_appinputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_appinputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

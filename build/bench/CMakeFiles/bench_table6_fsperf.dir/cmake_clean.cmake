@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_fsperf.dir/bench_table6_fsperf.cpp.o"
+  "CMakeFiles/bench_table6_fsperf.dir/bench_table6_fsperf.cpp.o.d"
+  "bench_table6_fsperf"
+  "bench_table6_fsperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_fsperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressor_advisor.dir/compressor_advisor.cpp.o"
+  "CMakeFiles/compressor_advisor.dir/compressor_advisor.cpp.o.d"
+  "compressor_advisor"
+  "compressor_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressor_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

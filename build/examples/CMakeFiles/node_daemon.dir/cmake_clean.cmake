@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_daemon.dir/node_daemon.cpp.o"
+  "CMakeFiles/node_daemon.dir/node_daemon.cpp.o.d"
+  "node_daemon"
+  "node_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srgan_em_training.dir/srgan_em_training.cpp.o"
+  "CMakeFiles/srgan_em_training.dir/srgan_em_training.cpp.o.d"
+  "srgan_em_training"
+  "srgan_em_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srgan_em_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

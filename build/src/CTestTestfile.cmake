@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("compress")
+subdirs("format")
+subdirs("posixfs")
+subdirs("mpi")
+subdirs("simnet")
+subdirs("core")
+subdirs("prep")
+subdirs("select")
+subdirs("dlsim")
+subdirs("intercept")
+subdirs("ipc")

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bwt.cpp" "src/compress/CMakeFiles/fanstore_compress.dir/bwt.cpp.o" "gcc" "src/compress/CMakeFiles/fanstore_compress.dir/bwt.cpp.o.d"
+  "/root/repo/src/compress/composite.cpp" "src/compress/CMakeFiles/fanstore_compress.dir/composite.cpp.o" "gcc" "src/compress/CMakeFiles/fanstore_compress.dir/composite.cpp.o.d"
+  "/root/repo/src/compress/deflate_lite.cpp" "src/compress/CMakeFiles/fanstore_compress.dir/deflate_lite.cpp.o" "gcc" "src/compress/CMakeFiles/fanstore_compress.dir/deflate_lite.cpp.o.d"
+  "/root/repo/src/compress/huffman.cpp" "src/compress/CMakeFiles/fanstore_compress.dir/huffman.cpp.o" "gcc" "src/compress/CMakeFiles/fanstore_compress.dir/huffman.cpp.o.d"
+  "/root/repo/src/compress/huffman_codec.cpp" "src/compress/CMakeFiles/fanstore_compress.dir/huffman_codec.cpp.o" "gcc" "src/compress/CMakeFiles/fanstore_compress.dir/huffman_codec.cpp.o.d"
+  "/root/repo/src/compress/lossy.cpp" "src/compress/CMakeFiles/fanstore_compress.dir/lossy.cpp.o" "gcc" "src/compress/CMakeFiles/fanstore_compress.dir/lossy.cpp.o.d"
+  "/root/repo/src/compress/lz4.cpp" "src/compress/CMakeFiles/fanstore_compress.dir/lz4.cpp.o" "gcc" "src/compress/CMakeFiles/fanstore_compress.dir/lz4.cpp.o.d"
+  "/root/repo/src/compress/lzf.cpp" "src/compress/CMakeFiles/fanstore_compress.dir/lzf.cpp.o" "gcc" "src/compress/CMakeFiles/fanstore_compress.dir/lzf.cpp.o.d"
+  "/root/repo/src/compress/lzma_lite.cpp" "src/compress/CMakeFiles/fanstore_compress.dir/lzma_lite.cpp.o" "gcc" "src/compress/CMakeFiles/fanstore_compress.dir/lzma_lite.cpp.o.d"
+  "/root/repo/src/compress/lzss.cpp" "src/compress/CMakeFiles/fanstore_compress.dir/lzss.cpp.o" "gcc" "src/compress/CMakeFiles/fanstore_compress.dir/lzss.cpp.o.d"
+  "/root/repo/src/compress/lzsse8.cpp" "src/compress/CMakeFiles/fanstore_compress.dir/lzsse8.cpp.o" "gcc" "src/compress/CMakeFiles/fanstore_compress.dir/lzsse8.cpp.o.d"
+  "/root/repo/src/compress/lzw.cpp" "src/compress/CMakeFiles/fanstore_compress.dir/lzw.cpp.o" "gcc" "src/compress/CMakeFiles/fanstore_compress.dir/lzw.cpp.o.d"
+  "/root/repo/src/compress/rans.cpp" "src/compress/CMakeFiles/fanstore_compress.dir/rans.cpp.o" "gcc" "src/compress/CMakeFiles/fanstore_compress.dir/rans.cpp.o.d"
+  "/root/repo/src/compress/registry.cpp" "src/compress/CMakeFiles/fanstore_compress.dir/registry.cpp.o" "gcc" "src/compress/CMakeFiles/fanstore_compress.dir/registry.cpp.o.d"
+  "/root/repo/src/compress/store_rle.cpp" "src/compress/CMakeFiles/fanstore_compress.dir/store_rle.cpp.o" "gcc" "src/compress/CMakeFiles/fanstore_compress.dir/store_rle.cpp.o.d"
+  "/root/repo/src/compress/suffix_array.cpp" "src/compress/CMakeFiles/fanstore_compress.dir/suffix_array.cpp.o" "gcc" "src/compress/CMakeFiles/fanstore_compress.dir/suffix_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fanstore_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/backend.cpp" "src/core/CMakeFiles/fanstore_core.dir/backend.cpp.o" "gcc" "src/core/CMakeFiles/fanstore_core.dir/backend.cpp.o.d"
+  "/root/repo/src/core/cache.cpp" "src/core/CMakeFiles/fanstore_core.dir/cache.cpp.o" "gcc" "src/core/CMakeFiles/fanstore_core.dir/cache.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/fanstore_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/fanstore_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/daemon.cpp" "src/core/CMakeFiles/fanstore_core.dir/daemon.cpp.o" "gcc" "src/core/CMakeFiles/fanstore_core.dir/daemon.cpp.o.d"
+  "/root/repo/src/core/fanstore_fs.cpp" "src/core/CMakeFiles/fanstore_core.dir/fanstore_fs.cpp.o" "gcc" "src/core/CMakeFiles/fanstore_core.dir/fanstore_fs.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "src/core/CMakeFiles/fanstore_core.dir/instance.cpp.o" "gcc" "src/core/CMakeFiles/fanstore_core.dir/instance.cpp.o.d"
+  "/root/repo/src/core/metadata_store.cpp" "src/core/CMakeFiles/fanstore_core.dir/metadata_store.cpp.o" "gcc" "src/core/CMakeFiles/fanstore_core.dir/metadata_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/format/CMakeFiles/fanstore_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/posixfs/CMakeFiles/fanstore_posixfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/fanstore_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/fanstore_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/fanstore_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fanstore_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

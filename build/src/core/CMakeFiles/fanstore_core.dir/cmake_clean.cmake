@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fanstore_core.dir/backend.cpp.o"
+  "CMakeFiles/fanstore_core.dir/backend.cpp.o.d"
+  "CMakeFiles/fanstore_core.dir/cache.cpp.o"
+  "CMakeFiles/fanstore_core.dir/cache.cpp.o.d"
+  "CMakeFiles/fanstore_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/fanstore_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/fanstore_core.dir/daemon.cpp.o"
+  "CMakeFiles/fanstore_core.dir/daemon.cpp.o.d"
+  "CMakeFiles/fanstore_core.dir/fanstore_fs.cpp.o"
+  "CMakeFiles/fanstore_core.dir/fanstore_fs.cpp.o.d"
+  "CMakeFiles/fanstore_core.dir/instance.cpp.o"
+  "CMakeFiles/fanstore_core.dir/instance.cpp.o.d"
+  "CMakeFiles/fanstore_core.dir/metadata_store.cpp.o"
+  "CMakeFiles/fanstore_core.dir/metadata_store.cpp.o.d"
+  "libfanstore_core.a"
+  "libfanstore_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fanstore_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

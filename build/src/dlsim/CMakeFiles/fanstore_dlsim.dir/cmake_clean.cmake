@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fanstore_dlsim.dir/apps.cpp.o"
+  "CMakeFiles/fanstore_dlsim.dir/apps.cpp.o.d"
+  "CMakeFiles/fanstore_dlsim.dir/datagen.cpp.o"
+  "CMakeFiles/fanstore_dlsim.dir/datagen.cpp.o.d"
+  "CMakeFiles/fanstore_dlsim.dir/prefetcher.cpp.o"
+  "CMakeFiles/fanstore_dlsim.dir/prefetcher.cpp.o.d"
+  "CMakeFiles/fanstore_dlsim.dir/tfrecord.cpp.o"
+  "CMakeFiles/fanstore_dlsim.dir/tfrecord.cpp.o.d"
+  "CMakeFiles/fanstore_dlsim.dir/trainer.cpp.o"
+  "CMakeFiles/fanstore_dlsim.dir/trainer.cpp.o.d"
+  "libfanstore_dlsim.a"
+  "libfanstore_dlsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fanstore_dlsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

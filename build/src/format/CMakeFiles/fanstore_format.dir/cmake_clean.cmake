@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fanstore_format.dir/file_stat.cpp.o"
+  "CMakeFiles/fanstore_format.dir/file_stat.cpp.o.d"
+  "CMakeFiles/fanstore_format.dir/partition.cpp.o"
+  "CMakeFiles/fanstore_format.dir/partition.cpp.o.d"
+  "libfanstore_format.a"
+  "libfanstore_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fanstore_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

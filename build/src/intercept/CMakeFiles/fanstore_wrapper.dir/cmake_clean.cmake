@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fanstore_wrapper.dir/wrapper.cpp.o"
+  "CMakeFiles/fanstore_wrapper.dir/wrapper.cpp.o.d"
+  "fanstore_wrapper.pdb"
+  "fanstore_wrapper.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fanstore_wrapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

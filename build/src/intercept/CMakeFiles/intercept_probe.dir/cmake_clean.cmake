@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intercept_probe.dir/intercept_probe.cpp.o"
+  "CMakeFiles/intercept_probe.dir/intercept_probe.cpp.o.d"
+  "intercept_probe"
+  "intercept_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intercept_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipc/protocol.cpp" "src/ipc/CMakeFiles/fanstore_ipc.dir/protocol.cpp.o" "gcc" "src/ipc/CMakeFiles/fanstore_ipc.dir/protocol.cpp.o.d"
+  "/root/repo/src/ipc/uds_client.cpp" "src/ipc/CMakeFiles/fanstore_ipc.dir/uds_client.cpp.o" "gcc" "src/ipc/CMakeFiles/fanstore_ipc.dir/uds_client.cpp.o.d"
+  "/root/repo/src/ipc/uds_server.cpp" "src/ipc/CMakeFiles/fanstore_ipc.dir/uds_server.cpp.o" "gcc" "src/ipc/CMakeFiles/fanstore_ipc.dir/uds_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/posixfs/CMakeFiles/fanstore_posixfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/fanstore_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fanstore_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/fanstore_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fanstore_ipc.dir/protocol.cpp.o"
+  "CMakeFiles/fanstore_ipc.dir/protocol.cpp.o.d"
+  "CMakeFiles/fanstore_ipc.dir/uds_client.cpp.o"
+  "CMakeFiles/fanstore_ipc.dir/uds_client.cpp.o.d"
+  "CMakeFiles/fanstore_ipc.dir/uds_server.cpp.o"
+  "CMakeFiles/fanstore_ipc.dir/uds_server.cpp.o.d"
+  "libfanstore_ipc.a"
+  "libfanstore_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fanstore_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fanstore_mpi.dir/comm.cpp.o"
+  "CMakeFiles/fanstore_mpi.dir/comm.cpp.o.d"
+  "libfanstore_mpi.a"
+  "libfanstore_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fanstore_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/posixfs/interceptor.cpp" "src/posixfs/CMakeFiles/fanstore_posixfs.dir/interceptor.cpp.o" "gcc" "src/posixfs/CMakeFiles/fanstore_posixfs.dir/interceptor.cpp.o.d"
+  "/root/repo/src/posixfs/local_vfs.cpp" "src/posixfs/CMakeFiles/fanstore_posixfs.dir/local_vfs.cpp.o" "gcc" "src/posixfs/CMakeFiles/fanstore_posixfs.dir/local_vfs.cpp.o.d"
+  "/root/repo/src/posixfs/mem_vfs.cpp" "src/posixfs/CMakeFiles/fanstore_posixfs.dir/mem_vfs.cpp.o" "gcc" "src/posixfs/CMakeFiles/fanstore_posixfs.dir/mem_vfs.cpp.o.d"
+  "/root/repo/src/posixfs/vfs.cpp" "src/posixfs/CMakeFiles/fanstore_posixfs.dir/vfs.cpp.o" "gcc" "src/posixfs/CMakeFiles/fanstore_posixfs.dir/vfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/format/CMakeFiles/fanstore_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fanstore_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/fanstore_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

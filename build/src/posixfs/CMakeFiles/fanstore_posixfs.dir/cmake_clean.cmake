@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fanstore_posixfs.dir/interceptor.cpp.o"
+  "CMakeFiles/fanstore_posixfs.dir/interceptor.cpp.o.d"
+  "CMakeFiles/fanstore_posixfs.dir/local_vfs.cpp.o"
+  "CMakeFiles/fanstore_posixfs.dir/local_vfs.cpp.o.d"
+  "CMakeFiles/fanstore_posixfs.dir/mem_vfs.cpp.o"
+  "CMakeFiles/fanstore_posixfs.dir/mem_vfs.cpp.o.d"
+  "CMakeFiles/fanstore_posixfs.dir/vfs.cpp.o"
+  "CMakeFiles/fanstore_posixfs.dir/vfs.cpp.o.d"
+  "libfanstore_posixfs.a"
+  "libfanstore_posixfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fanstore_posixfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

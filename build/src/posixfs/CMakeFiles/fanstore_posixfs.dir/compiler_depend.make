@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fanstore_posixfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fanstore-prep.dir/prep_main.cpp.o"
+  "CMakeFiles/fanstore-prep.dir/prep_main.cpp.o.d"
+  "fanstore-prep"
+  "fanstore-prep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fanstore-prep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

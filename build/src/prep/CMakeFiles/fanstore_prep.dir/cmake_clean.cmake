@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fanstore_prep.dir/prepare.cpp.o"
+  "CMakeFiles/fanstore_prep.dir/prepare.cpp.o.d"
+  "libfanstore_prep.a"
+  "libfanstore_prep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fanstore_prep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fanstore_select.dir/selection.cpp.o"
+  "CMakeFiles/fanstore_select.dir/selection.cpp.o.d"
+  "libfanstore_select.a"
+  "libfanstore_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fanstore_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/codec_speed.cpp" "src/simnet/CMakeFiles/fanstore_simnet.dir/codec_speed.cpp.o" "gcc" "src/simnet/CMakeFiles/fanstore_simnet.dir/codec_speed.cpp.o.d"
+  "/root/repo/src/simnet/models.cpp" "src/simnet/CMakeFiles/fanstore_simnet.dir/models.cpp.o" "gcc" "src/simnet/CMakeFiles/fanstore_simnet.dir/models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/fanstore_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fanstore_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fanstore_simnet.dir/codec_speed.cpp.o"
+  "CMakeFiles/fanstore_simnet.dir/codec_speed.cpp.o.d"
+  "CMakeFiles/fanstore_simnet.dir/models.cpp.o"
+  "CMakeFiles/fanstore_simnet.dir/models.cpp.o.d"
+  "libfanstore_simnet.a"
+  "libfanstore_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fanstore_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

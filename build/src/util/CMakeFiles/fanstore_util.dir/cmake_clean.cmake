@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fanstore_util.dir/cli.cpp.o"
+  "CMakeFiles/fanstore_util.dir/cli.cpp.o.d"
+  "CMakeFiles/fanstore_util.dir/crc32.cpp.o"
+  "CMakeFiles/fanstore_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/fanstore_util.dir/log.cpp.o"
+  "CMakeFiles/fanstore_util.dir/log.cpp.o.d"
+  "CMakeFiles/fanstore_util.dir/stats.cpp.o"
+  "CMakeFiles/fanstore_util.dir/stats.cpp.o.d"
+  "CMakeFiles/fanstore_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/fanstore_util.dir/thread_pool.cpp.o.d"
+  "libfanstore_util.a"
+  "libfanstore_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fanstore_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_e2e_test.dir/cli_e2e_test.cpp.o"
+  "CMakeFiles/cli_e2e_test.dir/cli_e2e_test.cpp.o.d"
+  "cli_e2e_test"
+  "cli_e2e_test.pdb"
+  "cli_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsim_test.dir/dlsim_test.cpp.o"
+  "CMakeFiles/dlsim_test.dir/dlsim_test.cpp.o.d"
+  "dlsim_test"
+  "dlsim_test.pdb"
+  "dlsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

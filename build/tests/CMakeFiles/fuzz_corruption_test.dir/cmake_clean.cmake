@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_corruption_test.dir/fuzz_corruption_test.cpp.o"
+  "CMakeFiles/fuzz_corruption_test.dir/fuzz_corruption_test.cpp.o.d"
+  "fuzz_corruption_test"
+  "fuzz_corruption_test.pdb"
+  "fuzz_corruption_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_corruption_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intercept_test.dir/intercept_test.cpp.o"
+  "CMakeFiles/intercept_test.dir/intercept_test.cpp.o.d"
+  "intercept_test"
+  "intercept_test.pdb"
+  "intercept_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intercept_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

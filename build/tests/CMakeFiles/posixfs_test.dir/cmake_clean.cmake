@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posixfs_test.dir/posixfs_test.cpp.o"
+  "CMakeFiles/posixfs_test.dir/posixfs_test.cpp.o.d"
+  "posixfs_test"
+  "posixfs_test.pdb"
+  "posixfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posixfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vfs_conformance_test.cpp" "tests/CMakeFiles/vfs_conformance_test.dir/vfs_conformance_test.cpp.o" "gcc" "tests/CMakeFiles/vfs_conformance_test.dir/vfs_conformance_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ipc/CMakeFiles/fanstore_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dlsim/CMakeFiles/fanstore_dlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/select/CMakeFiles/fanstore_select.dir/DependInfo.cmake"
+  "/root/repo/build/src/prep/CMakeFiles/fanstore_prep.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fanstore_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/fanstore_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/fanstore_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/posixfs/CMakeFiles/fanstore_posixfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/fanstore_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/fanstore_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fanstore_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

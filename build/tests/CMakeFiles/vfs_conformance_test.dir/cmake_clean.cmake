@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfs_conformance_test.dir/vfs_conformance_test.cpp.o"
+  "CMakeFiles/vfs_conformance_test.dir/vfs_conformance_test.cpp.o.d"
+  "vfs_conformance_test"
+  "vfs_conformance_test.pdb"
+  "vfs_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfs_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

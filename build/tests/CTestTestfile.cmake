@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/compress_roundtrip_test[1]_include.cmake")
+include("/root/repo/build/tests/compress_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/format_test[1]_include.cmake")
+include("/root/repo/build/tests/posixfs_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/prep_test[1]_include.cmake")
+include("/root/repo/build/tests/select_test[1]_include.cmake")
+include("/root/repo/build/tests/simnet_test[1]_include.cmake")
+include("/root/repo/build/tests/dlsim_test[1]_include.cmake")
+include("/root/repo/build/tests/intercept_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_corruption_test[1]_include.cmake")
+include("/root/repo/build/tests/failover_test[1]_include.cmake")
+include("/root/repo/build/tests/ipc_test[1]_include.cmake")
+include("/root/repo/build/tests/suffix_array_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_e2e_test[1]_include.cmake")
+include("/root/repo/build/tests/vfs_conformance_test[1]_include.cmake")
