@@ -3,7 +3,7 @@
 namespace fanstore::core {
 
 void RamBackend::put(const std::string& path, Blob blob) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = blobs_.find(path);
   if (it != blobs_.end()) bytes_ -= it->second.data.size();
   bytes_ += blob.data.size();
@@ -11,24 +11,24 @@ void RamBackend::put(const std::string& path, Blob blob) {
 }
 
 std::optional<Blob> RamBackend::get(const std::string& path) const {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = blobs_.find(path);
   if (it == blobs_.end()) return std::nullopt;
   return it->second;
 }
 
 bool RamBackend::contains(const std::string& path) const {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   return blobs_.count(path) > 0;
 }
 
 std::size_t RamBackend::bytes_used() const {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   return bytes_;
 }
 
 std::size_t RamBackend::object_count() const {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   return blobs_.size();
 }
 
@@ -49,7 +49,7 @@ void VfsBackend::put(const std::string& path, Blob blob) {
     throw std::runtime_error("VfsBackend: write failed for " + path +
                              " rc=" + std::to_string(rc));
   }
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   auto [it, inserted] = known_.try_emplace(path, true);
   if (inserted) {
     ++count_;
@@ -68,7 +68,7 @@ std::optional<Blob> VfsBackend::get(const std::string& path) const {
 
 bool VfsBackend::contains(const std::string& path) const {
   {
-    std::lock_guard lk(mu_);
+    sync::MutexLock lk(mu_);
     if (known_.count(path) > 0) return true;
   }
   format::FileStat st;
@@ -76,12 +76,12 @@ bool VfsBackend::contains(const std::string& path) const {
 }
 
 std::size_t VfsBackend::bytes_used() const {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   return bytes_;
 }
 
 std::size_t VfsBackend::object_count() const {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   return count_;
 }
 

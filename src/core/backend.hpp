@@ -5,7 +5,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -13,6 +12,7 @@
 #include "compress/compressor.hpp"
 #include "posixfs/vfs.hpp"
 #include "util/bytes.hpp"
+#include "util/sync.hpp"
 
 namespace fanstore::core {
 
@@ -41,9 +41,9 @@ class RamBackend final : public CompressedBackend {
   std::size_t object_count() const override;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Blob> blobs_;
-  std::size_t bytes_ = 0;
+  mutable sync::Mutex mu_{"ram_backend.mu"};
+  std::unordered_map<std::string, Blob> blobs_ GUARDED_BY(mu_);
+  std::size_t bytes_ GUARDED_BY(mu_) = 0;
 };
 
 /// Local-disk store: each object is a file `<root>/<path>` whose contents
@@ -62,12 +62,12 @@ class VfsBackend final : public CompressedBackend {
  private:
   std::string object_path(const std::string& path) const;
 
-  posixfs::Vfs* fs_;
+  posixfs::Vfs* fs_;  // must be internally thread-safe (all Vfs impls are)
   std::string root_;
-  mutable std::mutex mu_;
-  std::size_t bytes_ = 0;
-  std::size_t count_ = 0;
-  std::unordered_map<std::string, bool> known_;  // membership cache
+  mutable sync::Mutex mu_{"vfs_backend.mu"};
+  std::size_t bytes_ GUARDED_BY(mu_) = 0;
+  std::size_t count_ GUARDED_BY(mu_) = 0;
+  std::unordered_map<std::string, bool> known_ GUARDED_BY(mu_);  // membership cache
 };
 
 }  // namespace fanstore::core

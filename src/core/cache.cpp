@@ -8,7 +8,7 @@ std::shared_ptr<const Bytes> PlainCache::acquire(const std::string& path,
                                                  const std::function<Bytes()>& loader,
                                                  bool* loaded) {
   {
-    std::lock_guard lk(mu_);
+    sync::MutexLock lk(mu_);
     const auto it = entries_.find(path);
     if (it != entries_.end()) {
       it->second.open_count++;
@@ -22,7 +22,7 @@ std::shared_ptr<const Bytes> PlainCache::acquire(const std::string& path,
   // simply adopts the existing entry.
   auto data = std::make_shared<const Bytes>(loader());
   if (loaded != nullptr) *loaded = true;
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   stats_.misses++;
   const auto it = entries_.find(path);
   if (it != entries_.end()) {
@@ -42,7 +42,7 @@ std::shared_ptr<const Bytes> PlainCache::acquire(const std::string& path,
 }
 
 void PlainCache::release(const std::string& path) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = entries_.find(path);
   if (it == entries_.end()) return;
   if (it->second.open_count > 0) it->second.open_count--;
@@ -70,17 +70,17 @@ void PlainCache::evict_if_needed_locked() {
 }
 
 bool PlainCache::contains(const std::string& path) const {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   return entries_.count(path) > 0;
 }
 
 std::size_t PlainCache::bytes_used() const {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   return bytes_used_;
 }
 
 PlainCache::CacheStats PlainCache::stats() const {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   return stats_;
 }
 

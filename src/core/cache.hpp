@@ -9,11 +9,11 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "util/bytes.hpp"
+#include "util/sync.hpp"
 
 namespace fanstore::core {
 
@@ -29,14 +29,14 @@ class PlainCache {
   /// to true when the loader ran (a cache miss).
   std::shared_ptr<const Bytes> acquire(const std::string& path,
                                        const std::function<Bytes()>& loader,
-                                       bool* loaded = nullptr);
+                                       bool* loaded = nullptr) EXCLUDES(mu_);
 
   /// Drops one pin (close()); the entry stays cached FIFO-style until
   /// capacity pressure evicts it.
-  void release(const std::string& path);
+  void release(const std::string& path) EXCLUDES(mu_);
 
-  bool contains(const std::string& path) const;
-  std::size_t bytes_used() const;
+  bool contains(const std::string& path) const EXCLUDES(mu_);
+  std::size_t bytes_used() const EXCLUDES(mu_);
   std::size_t capacity() const { return capacity_; }
 
   struct CacheStats {
@@ -44,7 +44,7 @@ class PlainCache {
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
   };
-  CacheStats stats() const;
+  CacheStats stats() const EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -54,14 +54,14 @@ class PlainCache {
     bool in_fifo = false;
   };
 
-  void evict_if_needed_locked();
+  void evict_if_needed_locked() REQUIRES(mu_);
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> entries_;
-  std::list<std::string> fifo_;  // insertion order, oldest first
-  std::size_t bytes_used_ = 0;
-  CacheStats stats_;
+  mutable sync::Mutex mu_{"cache.mu"};
+  std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mu_);
+  std::list<std::string> fifo_ GUARDED_BY(mu_);  // insertion order, oldest first
+  std::size_t bytes_used_ GUARDED_BY(mu_) = 0;
+  CacheStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace fanstore::core

@@ -35,11 +35,13 @@ Daemon::Daemon(mpi::Comm comm, MetadataStore* meta, CompressedBackend* backend)
 Daemon::~Daemon() { stop(); }
 
 void Daemon::start() {
+  sync::MutexLock lk(lifecycle_mu_);
   if (running_.exchange(true)) return;
   thread_ = std::thread([this] { serve(); });
 }
 
 void Daemon::stop() {
+  sync::MutexLock lk(lifecycle_mu_);
   if (!running_.exchange(false)) return;
   comm_.send(comm_.rank(), kTagShutdown, {});
   if (thread_.joinable()) thread_.join();

@@ -14,6 +14,7 @@
 #include "core/backend.hpp"
 #include "core/metadata_store.hpp"
 #include "mpi/comm.hpp"
+#include "util/sync.hpp"
 
 namespace fanstore::core {
 
@@ -46,10 +47,10 @@ class Daemon {
   Daemon(const Daemon&) = delete;
   Daemon& operator=(const Daemon&) = delete;
 
-  void start();
+  void start() EXCLUDES(lifecycle_mu_);
 
   /// Idempotent; sends a self-addressed shutdown message and joins.
-  void stop();
+  void stop() EXCLUDES(lifecycle_mu_);
 
   std::uint64_t fetches_served() const { return fetches_served_.load(); }
   std::uint64_t meta_forwards_received() const { return meta_received_.load(); }
@@ -60,9 +61,13 @@ class Daemon {
   void handle_write_meta(const mpi::Message& msg);
 
   mpi::Comm comm_;
-  MetadataStore* meta_;
-  CompressedBackend* backend_;
-  std::thread thread_;
+  MetadataStore* meta_;  // internally synchronized
+  CompressedBackend* backend_;  // internally synchronized
+  // Serializes start()/stop() so concurrent lifecycle calls cannot race on
+  // thread_ (spawn in one thread, join in another). The service thread
+  // itself never takes this lock.
+  sync::Mutex lifecycle_mu_{"daemon.lifecycle_mu"};
+  std::thread thread_ GUARDED_BY(lifecycle_mu_);
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> fetches_served_{0};
   std::atomic<std::uint64_t> meta_received_{0};

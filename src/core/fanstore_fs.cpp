@@ -50,7 +50,7 @@ std::optional<Blob> FanStoreFs::fetch_from(int rank, const std::string& path,
   if (raw_size != stat.size) return std::nullopt;
   charge(options_.cost.network.transfer_time(fetched.data.size(), options_.cost.nodes));
   {
-    std::lock_guard lk(stats_mu_);
+    sync::MutexLock lk(stats_mu_);
     stats_.remote_fetches++;
     stats_.remote_bytes += fetched.data.size();
   }
@@ -69,7 +69,7 @@ Bytes FanStoreFs::load_plain(const std::string& path, const format::FileStat& st
       if (candidate == comm_.rank()) continue;  // local backend already missed
       blob = fetch_from(candidate, path, stat);
       if (blob && hop > 0) {
-        std::lock_guard lk(stats_mu_);
+        sync::MutexLock lk(stats_mu_);
         stats_.failovers++;
       }
     }
@@ -77,7 +77,7 @@ Bytes FanStoreFs::load_plain(const std::string& path, const format::FileStat& st
       throw std::runtime_error("fanstore: remote fetch failed for " + path);
     }
   } else if (blob) {
-    std::lock_guard lk(stats_mu_);
+    sync::MutexLock lk(stats_mu_);
     stats_.local_misses++;
   }
   if (!blob) {
@@ -109,7 +109,7 @@ int FanStoreFs::open(std::string_view path_in, posixfs::OpenMode mode) {
     if (meta_->lookup(path) && meta_->lookup(path)->type == format::FileType::kRegular) {
       return -EEXIST;
     }
-    std::lock_guard lk(mu_);
+    sync::MutexLock lk(mu_);
     if (!writing_.insert(path).second) return -EBUSY;
     const int fd = next_fd_++;
     open_files_[fd] = OpenFile{path, mode, nullptr, {}, 0};
@@ -130,11 +130,11 @@ int FanStoreFs::open(std::string_view path_in, posixfs::OpenMode mode) {
     return -EIO;
   }
   {
-    std::lock_guard lk(stats_mu_);
+    sync::MutexLock lk(stats_mu_);
     stats_.opens++;
     if (!was_miss) stats_.cache_hits++;
   }
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const int fd = next_fd_++;
   open_files_[fd] = OpenFile{path, mode, std::move(pinned), {}, 0};
   return fd;
@@ -143,7 +143,7 @@ int FanStoreFs::open(std::string_view path_in, posixfs::OpenMode mode) {
 int FanStoreFs::close(int fd) {
   OpenFile of;
   {
-    std::lock_guard lk(mu_);
+    sync::MutexLock lk(mu_);
     const auto it = open_files_.find(fd);
     if (it == open_files_.end()) return -EBADF;
     of = std::move(it->second);
@@ -178,18 +178,18 @@ int FanStoreFs::close(int fd) {
                                                options_.cost.nodes));
   }
   {
-    std::lock_guard lk(mu_);
+    sync::MutexLock lk(mu_);
     writing_.erase(of.path);
   }
   {
-    std::lock_guard lk(stats_mu_);
+    sync::MutexLock lk(stats_mu_);
     stats_.bytes_written += stat.size;
   }
   return 0;
 }
 
 std::int64_t FanStoreFs::read(int fd, MutByteView buf) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = open_files_.find(fd);
   if (it == open_files_.end()) return -EBADF;
   OpenFile& of = it->second;
@@ -202,14 +202,14 @@ std::int64_t FanStoreFs::read(int fd, MutByteView buf) {
   of.offset += static_cast<std::int64_t>(n);
   charge(static_cast<double>(n) / options_.cost.read_path.bandwidth_bps);
   {
-    std::lock_guard slk(stats_mu_);
+    sync::MutexLock slk(stats_mu_);
     stats_.bytes_read += n;
   }
   return static_cast<std::int64_t>(n);
 }
 
 std::int64_t FanStoreFs::write(int fd, ByteView buf) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = open_files_.find(fd);
   if (it == open_files_.end()) return -EBADF;
   OpenFile& of = it->second;
@@ -223,7 +223,7 @@ std::int64_t FanStoreFs::write(int fd, ByteView buf) {
 }
 
 std::int64_t FanStoreFs::lseek(int fd, std::int64_t offset, posixfs::Whence whence) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = open_files_.find(fd);
   if (it == open_files_.end()) return -EBADF;
   OpenFile& of = it->second;
@@ -257,7 +257,7 @@ int FanStoreFs::opendir(std::string_view path_in) {
   charge_metadata();
   if (!meta_->dir_exists(path)) return -ENOENT;
   auto entries = meta_->list(path);
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const int h = next_dir_++;
   open_dirs_[h] = OpenDir{std::move(entries), 0};
   return h;
@@ -265,7 +265,7 @@ int FanStoreFs::opendir(std::string_view path_in) {
 
 std::optional<posixfs::Dirent> FanStoreFs::readdir(int dir_handle) {
   charge_metadata();
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = open_dirs_.find(dir_handle);
   if (it == open_dirs_.end()) return std::nullopt;
   if (it->second.next >= it->second.entries.size()) return std::nullopt;
@@ -273,12 +273,12 @@ std::optional<posixfs::Dirent> FanStoreFs::readdir(int dir_handle) {
 }
 
 int FanStoreFs::closedir(int dir_handle) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   return open_dirs_.erase(dir_handle) > 0 ? 0 : -EBADF;
 }
 
 FanStoreFs::IoStats FanStoreFs::stats() const {
-  std::lock_guard lk(stats_mu_);
+  sync::MutexLock lk(stats_mu_);
   return stats_;
 }
 

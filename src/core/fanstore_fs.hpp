@@ -15,7 +15,6 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <set>
 
 #include "core/backend.hpp"
@@ -27,6 +26,7 @@
 #include "simnet/codec_speed.hpp"
 #include "simnet/models.hpp"
 #include "simnet/virtual_clock.hpp"
+#include "util/sync.hpp"
 
 namespace fanstore::core {
 
@@ -126,15 +126,18 @@ class FanStoreFs final : public posixfs::Vfs {
   Options options_;
   PlainCache cache_;
 
-  mutable std::mutex mu_;
-  std::map<int, OpenFile> open_files_;
-  std::map<int, OpenDir> open_dirs_;
-  std::set<std::string> writing_;  // in-flight writers (single-write model)
-  int next_fd_ = 3;
-  int next_dir_ = 1;
+  // Lock order (see DESIGN.md "Concurrency invariants"): mu_ may be held
+  // when stats_mu_ is acquired, never the reverse. Neither lock is held
+  // across cache_, backend_, meta_, or comm_ calls.
+  mutable sync::Mutex mu_{"fanstore_fs.mu"};
+  std::map<int, OpenFile> open_files_ GUARDED_BY(mu_);
+  std::map<int, OpenDir> open_dirs_ GUARDED_BY(mu_);
+  std::set<std::string> writing_ GUARDED_BY(mu_);  // in-flight writers
+  int next_fd_ GUARDED_BY(mu_) = 3;
+  int next_dir_ GUARDED_BY(mu_) = 1;
   std::atomic<std::uint32_t> reply_seq_{0};
-  mutable std::mutex stats_mu_;
-  IoStats stats_;
+  mutable sync::Mutex stats_mu_{"fanstore_fs.stats_mu"};
+  IoStats stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace fanstore::core

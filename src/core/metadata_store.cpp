@@ -30,13 +30,13 @@ void MetadataStore::index_parents_locked(const std::string& path) {
 
 void MetadataStore::insert(const std::string& path, const format::FileStat& stat) {
   if (path.empty()) throw std::invalid_argument("MetadataStore: empty path");
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   files_[path] = stat;
   index_parents_locked(path);
 }
 
 std::optional<format::FileStat> MetadataStore::lookup(const std::string& path) const {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = files_.find(path);
   if (it != files_.end()) return it->second;
   if (path.empty() || dirs_.count(path) > 0) {
@@ -49,12 +49,12 @@ std::optional<format::FileStat> MetadataStore::lookup(const std::string& path) c
 }
 
 bool MetadataStore::dir_exists(const std::string& path) const {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   return path.empty() || dirs_.count(path) > 0;
 }
 
 std::vector<posixfs::Dirent> MetadataStore::list(const std::string& dir) const {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   std::vector<posixfs::Dirent> out;
   const auto it = children_.find(dir);
   if (it == children_.end()) return out;
@@ -67,12 +67,12 @@ std::vector<posixfs::Dirent> MetadataStore::list(const std::string& dir) const {
 }
 
 std::size_t MetadataStore::file_count() const {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   return files_.size();
 }
 
 std::vector<std::string> MetadataStore::all_paths() const {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   std::vector<std::string> out;
   out.reserve(files_.size());
   for (const auto& [p, s] : files_) out.push_back(p);
@@ -81,7 +81,7 @@ std::vector<std::string> MetadataStore::all_paths() const {
 }
 
 Bytes MetadataStore::serialize() const {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   Bytes out;
   append_le<std::uint32_t>(out, static_cast<std::uint32_t>(files_.size()));
   for (const auto& [path, stat] : files_) {

@@ -3,7 +3,6 @@
 // of stat() calls from dozens of I/O threads) never leave the node.
 #pragma once
 
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -13,6 +12,7 @@
 #include "format/file_stat.hpp"
 #include "posixfs/vfs.hpp"
 #include "util/bytes.hpp"
+#include "util/sync.hpp"
 
 namespace fanstore::core {
 
@@ -20,34 +20,35 @@ class MetadataStore {
  public:
   /// Inserts or replaces the entry for `path` (normalized, dataset-rooted).
   /// Parent directories become visible automatically.
-  void insert(const std::string& path, const format::FileStat& stat);
+  void insert(const std::string& path, const format::FileStat& stat) EXCLUDES(mu_);
 
-  std::optional<format::FileStat> lookup(const std::string& path) const;
+  std::optional<format::FileStat> lookup(const std::string& path) const EXCLUDES(mu_);
 
-  bool dir_exists(const std::string& path) const;
+  bool dir_exists(const std::string& path) const EXCLUDES(mu_);
 
   /// Immediate children of `dir`, sorted by name.
-  std::vector<posixfs::Dirent> list(const std::string& dir) const;
+  std::vector<posixfs::Dirent> list(const std::string& dir) const EXCLUDES(mu_);
 
-  std::size_t file_count() const;
+  std::size_t file_count() const EXCLUDES(mu_);
 
   /// All file paths, sorted (tests and the trainer's enumeration step).
-  std::vector<std::string> all_paths() const;
+  std::vector<std::string> all_paths() const EXCLUDES(mu_);
 
   /// Serializes every entry for the metadata allgather.
-  Bytes serialize() const;
+  Bytes serialize() const EXCLUDES(mu_);
 
   /// Merges entries from another rank's serialize() output.
-  void merge_serialized(ByteView blob);
+  void merge_serialized(ByteView blob) EXCLUDES(mu_);
 
  private:
-  void index_parents_locked(const std::string& path);
+  void index_parents_locked(const std::string& path) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, format::FileStat> files_;
+  mutable sync::Mutex mu_{"metadata_store.mu"};
+  std::unordered_map<std::string, format::FileStat> files_ GUARDED_BY(mu_);
   // dir -> immediate children (name, is_dir)
-  std::unordered_map<std::string, std::set<std::pair<std::string, bool>>> children_;
-  std::set<std::string> dirs_;
+  std::unordered_map<std::string, std::set<std::pair<std::string, bool>>> children_
+      GUARDED_BY(mu_);
+  std::set<std::string> dirs_ GUARDED_BY(mu_);
 };
 
 }  // namespace fanstore::core

@@ -1,5 +1,6 @@
 #include "ipc/protocol.hpp"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -89,7 +90,10 @@ std::optional<ListReply> decode_list_reply(ByteView payload) {
 namespace {
 bool write_all(int fd, const std::uint8_t* p, std::size_t n) {
   while (n > 0) {
-    const ssize_t w = ::write(fd, p, n);
+    // MSG_NOSIGNAL: writing to a peer that hung up must fail with EPIPE,
+    // not kill the process with SIGPIPE — a daemon survives its clients
+    // and a client survives a daemon restart.
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
     if (w <= 0) {
       if (w < 0 && errno == EINTR) continue;
       return false;

@@ -15,6 +15,7 @@ UdsClientVfs::UdsClientVfs(std::string socket_path)
     : socket_path_(std::move(socket_path)) {}
 
 UdsClientVfs::~UdsClientVfs() {
+  sync::MutexLock lk(io_mu_);
   if (sock_ >= 0) ::close(sock_);
 }
 
@@ -34,12 +35,12 @@ bool UdsClientVfs::connect_locked() {
 }
 
 bool UdsClientVfs::connect() {
-  std::lock_guard lk(io_mu_);
+  sync::MutexLock lk(io_mu_);
   return connect_locked();
 }
 
 std::optional<Bytes> UdsClientVfs::call(ByteView request) {
-  std::lock_guard lk(io_mu_);
+  sync::MutexLock lk(io_mu_);
   if (!connect_locked()) return std::nullopt;
   if (!write_frame(sock_, request)) {
     ::close(sock_);
@@ -62,7 +63,7 @@ int UdsClientVfs::open(std::string_view path_in, posixfs::OpenMode mode) {
   auto get = decode_get_reply(as_view(*reply));
   if (!get) return -EIO;
   if (get->status != Status::kOk) return -ENOENT;
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const int fd = next_fd_++;
   open_files_[fd] =
       OpenFile{std::make_shared<const Bytes>(std::move(get->data)), 0};
@@ -70,12 +71,12 @@ int UdsClientVfs::open(std::string_view path_in, posixfs::OpenMode mode) {
 }
 
 int UdsClientVfs::close(int fd) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   return open_files_.erase(fd) > 0 ? 0 : -EBADF;
 }
 
 std::int64_t UdsClientVfs::read(int fd, MutByteView buf) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = open_files_.find(fd);
   if (it == open_files_.end()) return -EBADF;
   OpenFile& of = it->second;
@@ -91,7 +92,7 @@ std::int64_t UdsClientVfs::read(int fd, MutByteView buf) {
 std::int64_t UdsClientVfs::write(int, ByteView) { return -EROFS; }
 
 std::int64_t UdsClientVfs::lseek(int fd, std::int64_t offset, posixfs::Whence whence) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = open_files_.find(fd);
   if (it == open_files_.end()) return -EBADF;
   OpenFile& of = it->second;
@@ -125,14 +126,14 @@ int UdsClientVfs::opendir(std::string_view path_in) {
   auto list = decode_list_reply(as_view(*reply));
   if (!list) return -EIO;
   if (list->status != Status::kOk) return -ENOENT;
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const int h = next_dir_++;
   open_dirs_[h] = OpenDir{std::move(list->entries), 0};
   return h;
 }
 
 std::optional<posixfs::Dirent> UdsClientVfs::readdir(int dir_handle) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = open_dirs_.find(dir_handle);
   if (it == open_dirs_.end()) return std::nullopt;
   if (it->second.next >= it->second.entries.size()) return std::nullopt;
@@ -140,7 +141,7 @@ std::optional<posixfs::Dirent> UdsClientVfs::readdir(int dir_handle) {
 }
 
 int UdsClientVfs::closedir(int dir_handle) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   return open_dirs_.erase(dir_handle) > 0 ? 0 : -EBADF;
 }
 

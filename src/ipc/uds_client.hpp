@@ -6,10 +6,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "posixfs/vfs.hpp"
+#include "util/sync.hpp"
 
 namespace fanstore::ipc {
 
@@ -46,18 +46,20 @@ class UdsClientVfs final : public posixfs::Vfs {
   };
 
   /// One request/response round trip (serialized per connection).
-  std::optional<Bytes> call(ByteView request);
-  bool connect_locked();
+  std::optional<Bytes> call(ByteView request) EXCLUDES(io_mu_, mu_);
+  bool connect_locked() REQUIRES(io_mu_);
 
   std::string socket_path_;
-  std::mutex io_mu_;   // serializes socket round trips
-  int sock_ = -1;
+  // io_mu_ and mu_ are never held together: every call() round trip
+  // finishes before the fd tables are touched.
+  sync::Mutex io_mu_{"uds_client.io_mu"};  // serializes socket round trips
+  int sock_ GUARDED_BY(io_mu_) = -1;
 
-  std::mutex mu_;  // fd tables
-  std::map<int, OpenFile> open_files_;
-  std::map<int, OpenDir> open_dirs_;
-  int next_fd_ = 3;
-  int next_dir_ = 1;
+  sync::Mutex mu_{"uds_client.mu"};  // fd tables
+  std::map<int, OpenFile> open_files_ GUARDED_BY(mu_);
+  std::map<int, OpenDir> open_dirs_ GUARDED_BY(mu_);
+  int next_fd_ GUARDED_BY(mu_) = 3;
+  int next_dir_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace fanstore::ipc

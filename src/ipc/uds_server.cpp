@@ -42,23 +42,24 @@ void UdsServer::start() {
 void UdsServer::stop() {
   if (!running_.exchange(false)) return;
   // Shut the listener down; accept() returns with an error and the loop
-  // exits.
+  // exits. The fd is closed only after the accept thread joins, so the
+  // loop never calls accept() on a closed (and possibly reused) fd.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
   if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
   // Kick connection handlers out of their blocking reads, then join.
   std::vector<std::thread> workers;
   {
-    std::lock_guard lk(workers_mu_);
+    sync::MutexLock lk(workers_mu_);
     for (const int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
     workers.swap(workers_);
   }
   for (auto& w : workers) w.join();
   {
-    std::lock_guard lk(workers_mu_);
+    sync::MutexLock lk(workers_mu_);
     client_fds_.clear();
   }
   ::unlink(socket_path_.c_str());
@@ -67,8 +68,8 @@ void UdsServer::stop() {
 void UdsServer::accept_loop() {
   for (;;) {
     const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) return;  // listener closed by stop()
-    std::lock_guard lk(workers_mu_);
+    if (client < 0) return;  // listener shut down by stop()
+    sync::MutexLock lk(workers_mu_);
     client_fds_.push_back(client);
     workers_.emplace_back([this, client] { serve_connection(client); });
   }
@@ -110,6 +111,17 @@ void UdsServer::serve_connection(int client_fd) {
       served_.fetch_add(1, std::memory_order_relaxed);
     }
     if (!write_frame(client_fd, as_view(reply))) break;
+  }
+  // De-register before closing: once closed, the fd number may be reused
+  // elsewhere in the process and must no longer be on stop()'s kick list.
+  {
+    sync::MutexLock lk(workers_mu_);
+    for (auto it = client_fds_.begin(); it != client_fds_.end(); ++it) {
+      if (*it == client_fd) {
+        client_fds_.erase(it);
+        break;
+      }
+    }
   }
   ::close(client_fd);
 }

@@ -4,12 +4,12 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "posixfs/vfs.hpp"
+#include "util/sync.hpp"
 
 namespace fanstore::ipc {
 
@@ -37,11 +37,16 @@ class UdsServer {
 
   std::string socket_path_;
   posixfs::Vfs& fs_;
+  // Written by start() before the accept thread exists and by stop() only
+  // after joining it, so the accept loop reads it race-free.
   int listen_fd_ = -1;
   std::thread accept_thread_;
-  std::vector<std::thread> workers_;
-  std::vector<int> client_fds_;  // live connections, for shutdown on stop()
-  std::mutex workers_mu_;
+  std::vector<std::thread> workers_ GUARDED_BY(workers_mu_);
+  // Live connections only: serve_connection() removes its fd (under
+  // workers_mu_) before closing it, so stop() never shutdown()s an fd
+  // number the kernel may have reused for something else.
+  std::vector<int> client_fds_ GUARDED_BY(workers_mu_);
+  sync::Mutex workers_mu_{"uds_server.workers_mu"};
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> served_{0};
 };

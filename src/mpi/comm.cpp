@@ -96,7 +96,7 @@ void World::deliver(int dest, Message msg) {
   if (dest < 0 || dest >= nranks_) throw std::out_of_range("send: bad destination rank");
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dest)];
   {
-    std::lock_guard lk(mb.mu);
+    sync::MutexLock lk(mb.mu);
     mb.queue.push_back(std::move(msg));
   }
   mb.cv.notify_all();
@@ -106,8 +106,8 @@ std::optional<Message> World::take_matching(
     int rank, const std::function<bool(const Message&)>& pred, bool block,
     int timeout_ms) {
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(rank)];
-  std::unique_lock lk(mb.mu);
-  auto match = [&]() -> std::optional<Message> {
+  sync::MutexLock lk(mb.mu);
+  auto match = [&]() NO_THREAD_SAFETY_ANALYSIS -> std::optional<Message> {
     for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
       if (pred(*it)) {
         Message m = std::move(*it);
@@ -123,34 +123,35 @@ std::optional<Message> World::take_matching(
     if (auto m = match()) return m;
     if (!block) return std::nullopt;
     if (timeout_ms < 0) {
-      mb.cv.wait(lk);
-    } else if (mb.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
+      mb.cv.wait(mb.mu);
+    } else if (mb.cv.wait_until(mb.mu, deadline) == std::cv_status::timeout) {
       return match();  // final scan after the deadline
     }
   }
 }
 
 void World::barrier_impl() {
-  std::unique_lock lk(coll_mu_);
+  sync::MutexLock lk(coll_mu_);
   const std::uint64_t gen = coll_generation_;
   if (++coll_arrived_ == nranks_) {
     coll_arrived_ = 0;
     ++coll_generation_;
     coll_cv_.notify_all();
   } else {
-    coll_cv_.wait(lk, [&] { return coll_generation_ != gen; });
+    coll_cv_.wait(coll_mu_,
+                  [&]() NO_THREAD_SAFETY_ANALYSIS { return coll_generation_ != gen; });
   }
 }
 
 std::vector<Bytes> World::allgather_impl(int rank, ByteView mine) {
   {
-    std::lock_guard lk(coll_mu_);
+    sync::MutexLock lk(coll_mu_);
     coll_slots_[static_cast<std::size_t>(rank)] = Bytes(mine.begin(), mine.end());
   }
   barrier_impl();  // all deposits visible
   std::vector<Bytes> result;
   {
-    std::lock_guard lk(coll_mu_);
+    sync::MutexLock lk(coll_mu_);
     result = coll_slots_;
   }
   barrier_impl();  // nobody re-deposits before everyone has copied
@@ -162,14 +163,14 @@ void run_world(int nranks, const std::function<void(Comm&)>& fn) {
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
   std::exception_ptr first_error;
-  std::mutex err_mu;
+  sync::Mutex err_mu{"mpi.run_world.err_mu"};
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
       Comm comm = world.comm(r);
       try {
         fn(comm);
       } catch (...) {
-        std::lock_guard lk(err_mu);
+        sync::MutexLock lk(err_mu);
         if (!first_error) first_error = std::current_exception();
       }
     });

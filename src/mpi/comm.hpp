@@ -10,16 +10,15 @@
 // *costs* are charged separately by simnet::NetworkModel.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "util/bytes.hpp"
+#include "util/sync.hpp"
 
 namespace fanstore::mpi {
 
@@ -87,10 +86,13 @@ class World {
  private:
   friend class Comm;
 
+  // Lock order: a thread holds at most one mailbox lock at a time (deliver
+  // locks the destination's, take_matching the receiver's own), and never a
+  // mailbox lock together with coll_mu_.
   struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Message> queue;
+    sync::Mutex mu{"mpi.mailbox.mu"};
+    sync::AnnotatedCondVar cv;
+    std::deque<Message> queue GUARDED_BY(mu);
   };
 
   void deliver(int dest, Message msg);
@@ -98,18 +100,18 @@ class World {
                                        const std::function<bool(const Message&)>& pred,
                                        bool block, int timeout_ms = -1);
 
-  void barrier_impl();
-  std::vector<Bytes> allgather_impl(int rank, ByteView mine);
+  void barrier_impl() EXCLUDES(coll_mu_);
+  std::vector<Bytes> allgather_impl(int rank, ByteView mine) EXCLUDES(coll_mu_);
 
   int nranks_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
   // Generation-counted rendezvous shared by all collectives.
-  std::mutex coll_mu_;
-  std::condition_variable coll_cv_;
-  int coll_arrived_ = 0;
-  std::uint64_t coll_generation_ = 0;
-  std::vector<Bytes> coll_slots_;
+  sync::Mutex coll_mu_{"mpi.coll_mu"};
+  sync::AnnotatedCondVar coll_cv_;
+  int coll_arrived_ GUARDED_BY(coll_mu_) = 0;
+  std::uint64_t coll_generation_ GUARDED_BY(coll_mu_) = 0;
+  std::vector<Bytes> coll_slots_ GUARDED_BY(coll_mu_);
 };
 
 /// Spawns `nranks` threads, runs `fn(comm)` on each, joins them all.

@@ -5,7 +5,7 @@
 namespace fanstore::posixfs {
 
 void Interceptor::mount(std::string_view prefix, Vfs* fs) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   mounts_.emplace_back(normalize_path(prefix), fs);
   std::sort(mounts_.begin(), mounts_.end(),
             [](const auto& a, const auto& b) { return a.first.size() > b.first.size(); });
@@ -13,7 +13,7 @@ void Interceptor::mount(std::string_view prefix, Vfs* fs) {
 
 Interceptor::Route Interceptor::route(std::string_view path) const {
   const std::string p = normalize_path(path);
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   for (const auto& [prefix, fs] : mounts_) {
     if (prefix.empty()) return Route{fs, p};  // root mount: matches everything
     if (p.size() >= prefix.size() && p.compare(0, prefix.size(), prefix) == 0 &&
@@ -31,7 +31,7 @@ int Interceptor::open(std::string_view path, OpenMode mode) {
   if (r.fs == nullptr) return -ENOENT;
   const int inner = r.fs->open(r.relative, mode);
   if (inner < 0) return inner;
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const int fd = next_fd_++;
   fds_[fd] = Handle{r.fs, inner};
   return fd;
@@ -40,7 +40,7 @@ int Interceptor::open(std::string_view path, OpenMode mode) {
 int Interceptor::close(int fd) {
   Handle h;
   {
-    std::lock_guard lk(mu_);
+    sync::MutexLock lk(mu_);
     const auto it = fds_.find(fd);
     if (it == fds_.end()) return -EBADF;
     h = it->second;
@@ -52,7 +52,7 @@ int Interceptor::close(int fd) {
 std::int64_t Interceptor::read(int fd, MutByteView buf) {
   Handle h;
   {
-    std::lock_guard lk(mu_);
+    sync::MutexLock lk(mu_);
     const auto it = fds_.find(fd);
     if (it == fds_.end()) return -EBADF;
     h = it->second;
@@ -63,7 +63,7 @@ std::int64_t Interceptor::read(int fd, MutByteView buf) {
 std::int64_t Interceptor::write(int fd, ByteView buf) {
   Handle h;
   {
-    std::lock_guard lk(mu_);
+    sync::MutexLock lk(mu_);
     const auto it = fds_.find(fd);
     if (it == fds_.end()) return -EBADF;
     h = it->second;
@@ -74,7 +74,7 @@ std::int64_t Interceptor::write(int fd, ByteView buf) {
 std::int64_t Interceptor::lseek(int fd, std::int64_t offset, Whence whence) {
   Handle h;
   {
-    std::lock_guard lk(mu_);
+    sync::MutexLock lk(mu_);
     const auto it = fds_.find(fd);
     if (it == fds_.end()) return -EBADF;
     h = it->second;
@@ -93,7 +93,7 @@ int Interceptor::opendir(std::string_view path) {
   if (r.fs == nullptr) return -ENOENT;
   const int inner = r.fs->opendir(r.relative);
   if (inner < 0) return inner;
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const int h = next_dir_++;
   dirs_[h] = Handle{r.fs, inner};
   return h;
@@ -102,7 +102,7 @@ int Interceptor::opendir(std::string_view path) {
 std::optional<Dirent> Interceptor::readdir(int dir_handle) {
   Handle h;
   {
-    std::lock_guard lk(mu_);
+    sync::MutexLock lk(mu_);
     const auto it = dirs_.find(dir_handle);
     if (it == dirs_.end()) return std::nullopt;
     h = it->second;
@@ -113,7 +113,7 @@ std::optional<Dirent> Interceptor::readdir(int dir_handle) {
 int Interceptor::closedir(int dir_handle) {
   Handle h;
   {
-    std::lock_guard lk(mu_);
+    sync::MutexLock lk(mu_);
     const auto it = dirs_.find(dir_handle);
     if (it == dirs_.end()) return -EBADF;
     h = it->second;

@@ -9,11 +9,11 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "posixfs/vfs.hpp"
+#include "util/sync.hpp"
 
 namespace fanstore::posixfs {
 
@@ -48,15 +48,15 @@ class Interceptor final : public Vfs {
     int inner = -1;
   };
 
-  Route route(std::string_view path) const;
+  Route route(std::string_view path) const EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<std::pair<std::string, Vfs*>> mounts_;  // sorted long-to-short
-  Vfs* fallback_ = nullptr;
-  std::map<int, Handle> fds_;
-  std::map<int, Handle> dirs_;
-  int next_fd_ = 3;
-  int next_dir_ = 1;
+  mutable sync::Mutex mu_{"interceptor.mu"};
+  std::vector<std::pair<std::string, Vfs*>> mounts_ GUARDED_BY(mu_);  // long-to-short
+  Vfs* fallback_ = nullptr;  // set during single-threaded setup
+  std::map<int, Handle> fds_ GUARDED_BY(mu_);
+  std::map<int, Handle> dirs_ GUARDED_BY(mu_);
+  int next_fd_ GUARDED_BY(mu_) = 3;
+  int next_dir_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace fanstore::posixfs

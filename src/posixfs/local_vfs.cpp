@@ -30,14 +30,14 @@ int LocalVfs::open(std::string_view path, OpenMode mode) {
     stream.open(full, std::ios::out | std::ios::binary | std::ios::trunc);
     if (!stream.is_open()) return -EACCES;
   }
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const int fd = next_fd_++;
   open_files_[fd] = OpenFile{std::move(stream), mode};
   return fd;
 }
 
 int LocalVfs::close(int fd) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = open_files_.find(fd);
   if (it == open_files_.end()) return -EBADF;
   it->second.stream.close();
@@ -46,7 +46,7 @@ int LocalVfs::close(int fd) {
 }
 
 std::int64_t LocalVfs::read(int fd, MutByteView buf) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = open_files_.find(fd);
   if (it == open_files_.end() || it->second.mode != OpenMode::kRead) return -EBADF;
   auto& s = it->second.stream;
@@ -58,7 +58,7 @@ std::int64_t LocalVfs::read(int fd, MutByteView buf) {
 }
 
 std::int64_t LocalVfs::write(int fd, ByteView buf) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = open_files_.find(fd);
   if (it == open_files_.end() || it->second.mode != OpenMode::kWrite) return -EBADF;
   it->second.stream.write(reinterpret_cast<const char*>(buf.data()),
@@ -67,7 +67,7 @@ std::int64_t LocalVfs::write(int fd, ByteView buf) {
 }
 
 std::int64_t LocalVfs::lseek(int fd, std::int64_t offset, Whence whence) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = open_files_.find(fd);
   if (it == open_files_.end()) return -EBADF;
   auto& s = it->second.stream;
@@ -110,14 +110,14 @@ int LocalVfs::opendir(std::string_view path) {
   }
   std::sort(entries.begin(), entries.end(),
             [](const Dirent& a, const Dirent& b) { return a.name < b.name; });
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const int h = next_dir_++;
   open_dirs_[h] = OpenDir{std::move(entries), 0};
   return h;
 }
 
 std::optional<Dirent> LocalVfs::readdir(int dir_handle) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = open_dirs_.find(dir_handle);
   if (it == open_dirs_.end()) return std::nullopt;
   if (it->second.next >= it->second.entries.size()) return std::nullopt;
@@ -125,7 +125,7 @@ std::optional<Dirent> LocalVfs::readdir(int dir_handle) {
 }
 
 int LocalVfs::closedir(int dir_handle) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   return open_dirs_.erase(dir_handle) > 0 ? 0 : -EBADF;
 }
 

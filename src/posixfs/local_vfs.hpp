@@ -5,9 +5,9 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
-#include <mutex>
 
 #include "posixfs/vfs.hpp"
+#include "util/sync.hpp"
 
 namespace fanstore::posixfs {
 
@@ -41,11 +41,11 @@ class LocalVfs final : public Vfs {
   };
 
   std::filesystem::path root_;
-  std::mutex mu_;
-  std::map<int, OpenFile> open_files_;
-  std::map<int, OpenDir> open_dirs_;
-  int next_fd_ = 3;
-  int next_dir_ = 1;
+  sync::Mutex mu_{"local_vfs.mu"};
+  std::map<int, OpenFile> open_files_ GUARDED_BY(mu_);
+  std::map<int, OpenDir> open_dirs_ GUARDED_BY(mu_);
+  int next_fd_ GUARDED_BY(mu_) = 3;
+  int next_dir_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace fanstore::posixfs

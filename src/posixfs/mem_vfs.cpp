@@ -18,7 +18,7 @@ bool MemVfs::dir_exists_locked(const std::string& path) const {
 int MemVfs::open(std::string_view path_in, OpenMode mode) {
   const std::string path = normalize_path(path_in);
   if (path.empty()) return -EINVAL;
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   if (mode == OpenMode::kRead) {
     const auto it = files_.find(path);
     if (it == files_.end()) return -ENOENT;
@@ -33,7 +33,7 @@ int MemVfs::open(std::string_view path_in, OpenMode mode) {
 }
 
 int MemVfs::close(int fd) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = open_files_.find(fd);
   if (it == open_files_.end()) return -EBADF;
   if (it->second.mode == OpenMode::kWrite) {
@@ -47,7 +47,7 @@ int MemVfs::close(int fd) {
 }
 
 std::int64_t MemVfs::read(int fd, MutByteView buf) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = open_files_.find(fd);
   if (it == open_files_.end()) return -EBADF;
   OpenFile& of = it->second;
@@ -62,7 +62,7 @@ std::int64_t MemVfs::read(int fd, MutByteView buf) {
 }
 
 std::int64_t MemVfs::write(int fd, ByteView buf) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = open_files_.find(fd);
   if (it == open_files_.end()) return -EBADF;
   OpenFile& of = it->second;
@@ -77,7 +77,7 @@ std::int64_t MemVfs::write(int fd, ByteView buf) {
 }
 
 std::int64_t MemVfs::lseek(int fd, std::int64_t offset, Whence whence) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = open_files_.find(fd);
   if (it == open_files_.end()) return -EBADF;
   OpenFile& of = it->second;
@@ -95,7 +95,7 @@ std::int64_t MemVfs::lseek(int fd, std::int64_t offset, Whence whence) {
 
 int MemVfs::stat(std::string_view path_in, format::FileStat* out) {
   const std::string path = normalize_path(path_in);
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = files_.find(path);
   if (it != files_.end()) {
     *out = format::FileStat{};
@@ -115,7 +115,7 @@ int MemVfs::stat(std::string_view path_in, format::FileStat* out) {
 
 int MemVfs::opendir(std::string_view path_in) {
   const std::string path = normalize_path(path_in);
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   if (!dir_exists_locked(path)) return -ENOENT;
   // Collect immediate children: explicit dirs, implicit dirs, files.
   std::set<std::string> child_dirs;
@@ -149,7 +149,7 @@ int MemVfs::opendir(std::string_view path_in) {
 }
 
 std::optional<Dirent> MemVfs::readdir(int dir_handle) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = open_dirs_.find(dir_handle);
   if (it == open_dirs_.end()) return std::nullopt;
   if (it->second.next >= it->second.entries.size()) return std::nullopt;
@@ -157,19 +157,19 @@ std::optional<Dirent> MemVfs::readdir(int dir_handle) {
 }
 
 int MemVfs::closedir(int dir_handle) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   return open_dirs_.erase(dir_handle) > 0 ? 0 : -EBADF;
 }
 
 void MemVfs::mkdir(std::string_view path) {
   const std::string p = normalize_path(path);
   if (p.empty()) return;
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   dirs_.insert(p);
 }
 
 std::optional<Bytes> MemVfs::slurp(std::string_view path) const {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = files_.find(normalize_path(path));
   if (it == files_.end()) return std::nullopt;
   return *it->second.data;
@@ -178,7 +178,7 @@ std::optional<Bytes> MemVfs::slurp(std::string_view path) const {
 std::vector<std::string> MemVfs::list_files(std::string_view prefix_in) const {
   const std::string prefix = normalize_path(prefix_in);
   const std::string needle = prefix.empty() ? "" : prefix + "/";
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   std::vector<std::string> out;
   for (const auto& [p, f] : files_) {
     if (needle.empty() || p.compare(0, needle.size(), needle) == 0) out.push_back(p);
@@ -187,12 +187,12 @@ std::vector<std::string> MemVfs::list_files(std::string_view prefix_in) const {
 }
 
 std::size_t MemVfs::file_count() const {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   return files_.size();
 }
 
 std::size_t MemVfs::total_bytes() const {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   std::size_t n = 0;
   for (const auto& [p, f] : files_) n += f.data->size();
   return n;

@@ -8,10 +8,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 
 #include "posixfs/vfs.hpp"
+#include "util/sync.hpp"
 
 namespace fanstore::posixfs {
 
@@ -55,16 +55,16 @@ class MemVfs final : public Vfs {
     std::size_t next = 0;
   };
 
-  bool dir_exists_locked(const std::string& path) const;
+  bool dir_exists_locked(const std::string& path) const REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, File> files_;
-  std::set<std::string> dirs_;
-  std::map<int, OpenFile> open_files_;
-  std::map<int, OpenDir> open_dirs_;
-  int next_fd_ = 3;  // POSIX-style: 0..2 reserved
-  int next_dir_ = 1;
-  std::uint64_t clock_ns_ = 1;
+  mutable sync::Mutex mu_{"mem_vfs.mu"};
+  std::map<std::string, File> files_ GUARDED_BY(mu_);
+  std::set<std::string> dirs_ GUARDED_BY(mu_);
+  std::map<int, OpenFile> open_files_ GUARDED_BY(mu_);
+  std::map<int, OpenDir> open_dirs_ GUARDED_BY(mu_);
+  int next_fd_ GUARDED_BY(mu_) = 3;  // POSIX-style: 0..2 reserved
+  int next_dir_ GUARDED_BY(mu_) = 1;
+  std::uint64_t clock_ns_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace fanstore::posixfs

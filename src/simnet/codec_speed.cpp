@@ -73,12 +73,12 @@ CodecSpeedTable::Speeds CodecSpeedTable::calibrate(compress::CompressorId id) {
 
 CodecSpeedTable::Speeds CodecSpeedTable::entry(compress::CompressorId id) {
   {
-    std::lock_guard lk(mu_);
+    sync::MutexLock lk(mu_);
     const auto it = speeds_.find(id);
     if (it != speeds_.end()) return it->second;
   }
   const Speeds s = calibrate(id);  // slow path outside the lock
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   return speeds_.try_emplace(id, s).first->second;
 }
 
@@ -91,7 +91,7 @@ double CodecSpeedTable::compress_bps(compress::CompressorId id) {
 }
 
 void CodecSpeedTable::set_decompress_bps(compress::CompressorId id, double bps) {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   speeds_[id].decompress_bps = bps;
 }
 

@@ -9,10 +9,10 @@
 // constant estimated from samples (§VI-B).
 #pragma once
 
-#include <mutex>
 #include <unordered_map>
 
 #include "compress/compressor.hpp"
+#include "util/sync.hpp"
 
 namespace fanstore::simnet {
 
@@ -41,10 +41,10 @@ class CodecSpeedTable {
     double decompress_bps = 0;
   };
   Speeds calibrate(compress::CompressorId id);
-  Speeds entry(compress::CompressorId id);
+  Speeds entry(compress::CompressorId id) EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::unordered_map<compress::CompressorId, Speeds> speeds_;
+  sync::Mutex mu_{"codec_speed.mu"};
+  std::unordered_map<compress::CompressorId, Speeds> speeds_ GUARDED_BY(mu_);
 };
 
 }  // namespace fanstore::simnet

@@ -2,12 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/sync.hpp"
 
 namespace fanstore {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_emit_mu;
+// Serializes emission only, so interleaved messages stay whole lines.
+sync::Mutex g_emit_mu{"log.emit"};
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -25,7 +27,7 @@ LogLevel log_level() { return g_level.load(); }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
-  std::lock_guard lk(g_emit_mu);
+  sync::MutexLock lk(g_emit_mu);
   std::fprintf(stderr, "[fanstore %s] %s\n", level_name(level), msg.c_str());
 }
 }  // namespace detail

@@ -1,0 +1,166 @@
+// Runtime lock-order checker (see sync.hpp).
+//
+// Model: whenever a thread acquires mutex B while already holding A, the
+// pair (A before B) is recorded as a directed edge in a global graph. Before
+// recording a new edge A->B we ask whether B can already reach A through
+// recorded edges; if it can, some execution acquired the same mutexes in the
+// opposite order and the program can deadlock. The full cycle is reported.
+//
+// The graph keys mutexes by address. Addresses of destroyed mutexes may be
+// reused by later allocations, which can create spurious edges in
+// pathological create/destroy churn; this is a debug facility and the
+// long-lived locks it is aimed at (cache, mailbox, pool) do not churn.
+#include "util/sync.hpp"
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <atomic>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fanstore::sync::lockorder {
+namespace {
+
+// The checker's own lock. Deliberately a raw std::mutex: it must never feed
+// back into the checker.
+std::mutex g_mu;
+std::unordered_map<const void*, std::unordered_set<const void*>> g_edges;
+std::unordered_map<const void*, const char*> g_names;
+std::atomic<std::uint64_t> g_violations{0};
+
+void default_handler(const std::string& report) {
+  std::fprintf(stderr, "%s\n", report.c_str());
+  std::abort();
+}
+
+std::atomic<ViolationHandler> g_handler{&default_handler};
+
+// Per-thread stack of held locks, oldest first.
+thread_local std::vector<const void*> t_held;
+
+std::string lock_label(const void* mu) {
+  std::ostringstream os;
+  const auto it = g_names.find(mu);  // callers hold g_mu
+  if (it != g_names.end() && it->second != nullptr) {
+    os << it->second << " (" << mu << ")";
+  } else {
+    os << mu;
+  }
+  return os.str();
+}
+
+/// DFS from `from` to `to` over g_edges (g_mu held). On success `path`
+/// holds the node sequence from..to inclusive.
+bool find_path(const void* from, const void* to, std::vector<const void*>* path) {
+  std::unordered_set<const void*> visited;
+  std::vector<std::pair<const void*, std::size_t>> stack;  // node, parent idx
+  std::vector<std::pair<const void*, std::size_t>> trail;
+  stack.push_back({from, static_cast<std::size_t>(-1)});
+  while (!stack.empty()) {
+    auto [node, parent] = stack.back();
+    stack.pop_back();
+    if (!visited.insert(node).second) continue;
+    trail.push_back({node, parent});
+    if (node == to) {
+      // Walk parents back to `from`.
+      std::vector<const void*> rev;
+      std::size_t i = trail.size() - 1;
+      for (;;) {
+        rev.push_back(trail[i].first);
+        if (trail[i].second == static_cast<std::size_t>(-1)) break;
+        i = trail[i].second;
+      }
+      path->assign(rev.rbegin(), rev.rend());
+      return true;
+    }
+    const auto it = g_edges.find(node);
+    if (it == g_edges.end()) continue;
+    for (const void* next : it->second) {
+      if (visited.count(next) == 0) stack.push_back({next, trail.size() - 1});
+    }
+  }
+  return false;
+}
+
+void report_violation(std::string report) {
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  ViolationHandler handler = g_handler.load();
+  if (handler == nullptr) handler = &default_handler;
+  handler(report);
+}
+
+}  // namespace
+
+ViolationHandler set_violation_handler(ViolationHandler handler) {
+  return g_handler.exchange(handler != nullptr ? handler : &default_handler);
+}
+
+std::uint64_t violation_count() { return g_violations.load(); }
+
+void reset_for_testing() {
+  std::lock_guard lk(g_mu);
+  g_edges.clear();
+  g_names.clear();
+  g_violations.store(0);
+}
+
+void note_acquire(const void* mu, const char* name) {
+  // Same-thread re-acquisition of a non-recursive mutex: immediate deadlock.
+  for (const void* held : t_held) {
+    if (held == mu) {
+      std::string report;
+      {
+        std::lock_guard lk(g_mu);
+        report = "fanstore lockorder: thread re-acquired mutex " + lock_label(mu) +
+                 " it already holds (self-deadlock)";
+      }
+      report_violation(std::move(report));
+      t_held.push_back(mu);
+      return;
+    }
+  }
+
+  std::string report;
+  {
+    std::lock_guard lk(g_mu);
+    if (name != nullptr) g_names[mu] = name;
+    for (const void* held : t_held) {
+      auto& after = g_edges[held];
+      if (after.count(mu) > 0) continue;  // known-good order
+      std::vector<const void*> path;
+      if (find_path(mu, held, &path)) {
+        // held -> mu is new, but mu already reaches held: inversion.
+        std::ostringstream os;
+        os << "fanstore lockorder: lock-order inversion (potential deadlock)\n"
+           << "  acquiring " << lock_label(mu) << " while holding "
+           << lock_label(held) << ",\n"
+           << "  but the established order is:";
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+          os << "\n    " << lock_label(path[i]) << " -> " << lock_label(path[i + 1]);
+        }
+        report = os.str();
+        break;  // report one cycle per acquisition
+      }
+      after.insert(mu);
+    }
+  }
+  if (!report.empty()) report_violation(std::move(report));
+  t_held.push_back(mu);
+}
+
+void note_release(const void* mu) {
+  // Usually LIFO, but cv waits and hand-over-hand patterns may release out
+  // of order: remove the newest matching entry wherever it is.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (*it == mu) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace fanstore::sync::lockorder

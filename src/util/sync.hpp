@@ -1,0 +1,190 @@
+// Concurrency-correctness primitives.
+//
+// Three layers, in one header so every lock in the tree speaks one idiom:
+//
+//  1. Clang Thread Safety Analysis macros (CAPABILITY, GUARDED_BY, REQUIRES,
+//     EXCLUDES, ...). Under clang the build enables
+//     -Wthread-safety -Werror=thread-safety so an unguarded access to an
+//     annotated member is a compile error; under other compilers the macros
+//     expand to nothing.
+//  2. Annotated primitives: `Mutex` (a std::mutex carrying the capability
+//     attribute), `MutexLock` (RAII scoped capability), and
+//     `AnnotatedCondVar` (condition variable that waits on a `Mutex`).
+//  3. A debug-build lock-order checker (FANSTORE_DEBUG_LOCKORDER): every
+//     Mutex acquisition is recorded against a per-thread held-lock stack and
+//     a global ordering-edge graph; acquiring locks in an order that closes
+//     a cycle (a potential deadlock) reports the cycle and aborts. The
+//     checker core in sync.cpp is always compiled (so it can be unit-tested
+//     in any build); only the Mutex hooks are gated on the macro.
+#pragma once
+
+#include <condition_variable>
+#include <chrono>
+#include <mutex>
+#include <string>
+
+// --- Clang Thread Safety Analysis attribute macros -------------------------
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#if defined(__clang__) && defined(__has_attribute)
+#define FANSTORE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FANSTORE_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) FANSTORE_THREAD_ANNOTATION(capability(x))
+#endif
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY FANSTORE_THREAD_ANNOTATION(scoped_lockable)
+#endif
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) FANSTORE_THREAD_ANNOTATION(guarded_by(x))
+#endif
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) FANSTORE_THREAD_ANNOTATION(pt_guarded_by(x))
+#endif
+#ifndef ACQUIRE
+#define ACQUIRE(...) FANSTORE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#endif
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) FANSTORE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#endif
+#ifndef RELEASE
+#define RELEASE(...) FANSTORE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#endif
+#ifndef REQUIRES
+#define REQUIRES(...) FANSTORE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#endif
+#ifndef EXCLUDES
+#define EXCLUDES(...) FANSTORE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#endif
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) FANSTORE_THREAD_ANNOTATION(lock_returned(x))
+#endif
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) FANSTORE_THREAD_ANNOTATION(assert_capability(x))
+#endif
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS FANSTORE_THREAD_ANNOTATION(no_thread_safety_analysis)
+#endif
+
+namespace fanstore::sync {
+
+// --- Lock-order checker core (always compiled; see file comment) -----------
+namespace lockorder {
+
+/// Called with a human-readable report when an ordering cycle (potential
+/// deadlock) or a same-thread re-acquisition is detected. The default
+/// handler prints the report to stderr and aborts.
+using ViolationHandler = void (*)(const std::string& report);
+
+/// Installs `handler` (nullptr restores the default); returns the previous
+/// handler. Intended for tests.
+ViolationHandler set_violation_handler(ViolationHandler handler);
+
+/// Records that the calling thread acquired `mu` (call *after* the acquire
+/// succeeds). `name` is used in reports; may be null.
+void note_acquire(const void* mu, const char* name = nullptr);
+
+/// Records that the calling thread released `mu`.
+void note_release(const void* mu);
+
+/// Drops every recorded ordering edge and mutex name (not the per-thread
+/// held stacks — run scenarios on fresh threads). Intended for tests.
+void reset_for_testing();
+
+/// Number of violations reported since process start (or last reset).
+std::uint64_t violation_count();
+
+}  // namespace lockorder
+
+// --- Annotated primitives ---------------------------------------------------
+
+/// std::mutex wearing the `capability` attribute, so members can be declared
+/// GUARDED_BY(mu_) and functions REQUIRES(mu_). Satisfies BasicLockable.
+/// With FANSTORE_DEBUG_LOCKORDER defined, every lock/unlock feeds the
+/// lock-order checker.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(const char* name) : name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() {
+    mu_.lock();
+#ifdef FANSTORE_DEBUG_LOCKORDER
+    lockorder::note_acquire(this, name_);
+#endif
+  }
+
+  bool try_lock() TRY_ACQUIRE(true) {
+    const bool got = mu_.try_lock();
+#ifdef FANSTORE_DEBUG_LOCKORDER
+    if (got) lockorder::note_acquire(this, name_);
+#endif
+    return got;
+  }
+
+  void unlock() RELEASE() {
+#ifdef FANSTORE_DEBUG_LOCKORDER
+    lockorder::note_release(this);
+#endif
+    mu_.unlock();
+  }
+
+ private:
+  std::mutex mu_;
+  const char* name_ = nullptr;
+};
+
+/// RAII guard over `Mutex` — the annotated stand-in for std::lock_guard.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable that waits on an annotated `Mutex`. Implemented over
+/// std::condition_variable_any, which unlocks/relocks via Mutex::lock /
+/// Mutex::unlock — so cv waits are visible to the lock-order checker too.
+class AnnotatedCondVar {
+ public:
+  AnnotatedCondVar() = default;
+  AnnotatedCondVar(const AnnotatedCondVar&) = delete;
+  AnnotatedCondVar& operator=(const AnnotatedCondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically releases `mu`, blocks, and re-acquires before returning.
+  void wait(Mutex& mu) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS { cv_.wait(mu); }
+
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) REQUIRES(mu) {
+    while (!pred()) wait(mu);
+  }
+
+  std::cv_status wait_until(Mutex& mu, std::chrono::steady_clock::time_point deadline)
+      REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_until(mu, deadline);
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu, std::chrono::duration<Rep, Period> d)
+      REQUIRES(mu) {
+    return wait_until(mu, std::chrono::steady_clock::now() + d);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace fanstore::sync

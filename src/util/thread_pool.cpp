@@ -4,7 +4,7 @@
 
 namespace fanstore {
 
-ThreadPool::ThreadPool(std::size_t n_threads) {
+ThreadPool::ThreadPool(std::size_t n_threads) : mu_("thread_pool.mu") {
   if (n_threads == 0) n_threads = 1;
   workers_.reserve(n_threads);
   for (std::size_t i = 0; i < n_threads; ++i) {
@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lk(mu_);
+    sync::MutexLock lk(mu_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -23,23 +23,27 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lk(mu_);
+    sync::MutexLock lk(mu_);
     queue_.push_back(std::move(task));
   }
   cv_task_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lk(mu_);
-  cv_idle_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
+  sync::MutexLock lk(mu_);
+  cv_idle_.wait(mu_, [this]() NO_THREAD_SAFETY_ANALYSIS {
+    return queue_.empty() && in_flight_ == 0;
+  });
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lk(mu_);
-      cv_task_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      sync::MutexLock lk(mu_);
+      cv_task_.wait(mu_, [this]() NO_THREAD_SAFETY_ANALYSIS {
+        return stop_ || !queue_.empty();
+      });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -47,7 +51,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard lk(mu_);
+      sync::MutexLock lk(mu_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
     }

@@ -5,14 +5,18 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace fanstore {
 
 /// Simple FIFO thread pool. Tasks must not throw (std::terminate otherwise);
 /// wrap fallible work and capture errors by value.
+///
+/// Shutdown semantics: the destructor drains the queue — every task
+/// submitted before destruction runs to completion before join.
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t n_threads);
@@ -22,23 +26,23 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for execution on some worker.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished.
-  void wait_idle();
+  void wait_idle() EXCLUDES(mu_);
 
   std::size_t size() const { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  sync::Mutex mu_;
+  sync::AnnotatedCondVar cv_task_;
+  sync::AnnotatedCondVar cv_idle_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::size_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // written only in ctor, joined in dtor
 };
 
 /// Runs fn(i) for i in [0, n) across up to `threads` workers; blocks until done.

@@ -25,7 +25,11 @@ namespace fs = std::filesystem;
 #endif
 
 std::string run_probe(const std::string& args, const std::string& backing) {
-  const std::string cmd = "LD_PRELOAD=" + std::string(FANSTORE_WRAPPER_SO) +
+  // verify_asan_link_order=0: in sanitizer builds the wrapper (itself
+  // instrumented) is preloaded ahead of the ASan runtime, which ASan would
+  // otherwise treat as a fatal link-order violation. Harmless elsewhere.
+  const std::string cmd = "ASAN_OPTIONS=verify_asan_link_order=0:detect_leaks=0"
+                          " LD_PRELOAD=" + std::string(FANSTORE_WRAPPER_SO) +
                           " FANSTORE_MOUNT=/fsmount FANSTORE_ROOT=" + backing + " " +
                           std::string(FANSTORE_PROBE_BIN) + " " + args + " 2>/dev/null";
   FILE* pipe = popen(cmd.c_str(), "r");

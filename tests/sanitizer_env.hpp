@@ -1,0 +1,42 @@
+// Compile-time detection of sanitizer instrumentation, for tests whose
+// assertions depend on wall-clock performance. ASan/TSan slow codec inner
+// loops 5-20x and skew *relative* timings too (instrumentation cost scales
+// with memory-access density, not work), so throughput floors and speed-ratio
+// assertions hold only in uninstrumented builds. Correctness assertions must
+// NOT be gated on this: running them under sanitizers is the whole point of
+// the FANSTORE_SANITIZE build matrix.
+#pragma once
+
+#ifndef FANSTORE_TESTS_TSAN
+#if defined(__SANITIZE_THREAD__)
+#define FANSTORE_TESTS_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define FANSTORE_TESTS_TSAN 1
+#endif
+#endif
+#endif
+#ifndef FANSTORE_TESTS_TSAN
+#define FANSTORE_TESTS_TSAN 0
+#endif
+
+#ifndef FANSTORE_TESTS_ASAN
+#if defined(__SANITIZE_ADDRESS__)
+#define FANSTORE_TESTS_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define FANSTORE_TESTS_ASAN 1
+#endif
+#endif
+#endif
+#ifndef FANSTORE_TESTS_ASAN
+#define FANSTORE_TESTS_ASAN 0
+#endif
+
+namespace fanstore::testsupport {
+
+inline constexpr bool kUnderTsan = FANSTORE_TESTS_TSAN != 0;
+inline constexpr bool kUnderSanitizer =
+    FANSTORE_TESTS_TSAN != 0 || FANSTORE_TESTS_ASAN != 0;
+
+}  // namespace fanstore::testsupport

@@ -4,6 +4,7 @@
 
 #include "dlsim/datagen.hpp"
 #include "select/selection.hpp"
+#include "tests/sanitizer_env.hpp"
 
 namespace fanstore::select {
 namespace {
@@ -143,10 +144,13 @@ TEST(ProfileCandidatesTest, MeasuresRealCodecs) {
     EXPECT_GT(s.decompress_s_per_file, 0) << s.name;
   }
   // The central Fig. 7 trade-off: lzma has a higher ratio but a much
-  // higher decompression cost than the byte-LZ codecs.
+  // higher decompression cost than the byte-LZ codecs. Ratios are size-based
+  // and always hold; the 5x speed gap only holds uninstrumented.
   EXPECT_GT(stats[2].ratio, stats[0].ratio);
-  EXPECT_GT(stats[2].decompress_s_per_file, stats[0].decompress_s_per_file * 5);
-  EXPECT_GT(stats[2].decompress_s_per_file, stats[1].decompress_s_per_file * 5);
+  if (!testsupport::kUnderSanitizer) {
+    EXPECT_GT(stats[2].decompress_s_per_file, stats[0].decompress_s_per_file * 5);
+    EXPECT_GT(stats[2].decompress_s_per_file, stats[1].decompress_s_per_file * 5);
+  }
 }
 
 TEST(ProfileCandidatesTest, RejectsBadInput) {

@@ -8,6 +8,7 @@
 #include "simnet/codec_speed.hpp"
 #include "simnet/models.hpp"
 #include "simnet/virtual_clock.hpp"
+#include "tests/sanitizer_env.hpp"
 
 namespace fanstore::simnet {
 namespace {
@@ -101,8 +102,10 @@ TEST(CodecSpeedTest, CalibratesAndOrdersCodecs) {
   const auto& reg = compress::Registry::instance();
   const auto fast = table.decompress_bps(reg.id_by_name("lzsse8"));
   const auto slow = table.decompress_bps(reg.id_by_name("lzma"));
-  EXPECT_GT(fast, 200e6);       // byte-LZ: hundreds of MB/s or more
-  EXPECT_GT(fast, slow * 5);    // range coder is far slower
+  if (!testsupport::kUnderSanitizer) {
+    EXPECT_GT(fast, 200e6);     // byte-LZ: hundreds of MB/s or more
+    EXPECT_GT(fast, slow * 5);  // range coder is far slower
+  }
   // Derived per-byte cost is consistent.
   EXPECT_NEAR(table.decompress_seconds(reg.id_by_name("lzsse8"), 1 << 20),
               (1 << 20) / fast, 1e-9);

@@ -9,6 +9,7 @@
 #include "compress/registry.hpp"
 #include "core/instance.hpp"
 #include "prep/prepare.hpp"
+#include "tests/sanitizer_env.hpp"
 #include "tests/test_data.hpp"
 #include "util/timer.hpp"
 
@@ -81,8 +82,12 @@ TEST(StressTest, MetadataStormFrom96Threads) {
               static_cast<std::uint64_t>(kThreads) * kSweepsPerThread * kFiles);
     // All in-RAM: the aggregate stat rate must be far beyond what any
     // metadata server sustains (paper's motivation for localization).
+    // Sanitizer builds keep the correctness assertions above but not this
+    // throughput floor — instrumentation costs an order of magnitude.
     const double rate = static_cast<double>(stats_done.load()) / elapsed;
-    EXPECT_GT(rate, 200000.0) << "aggregate stat rate " << rate << "/s";
+    if (!testsupport::kUnderSanitizer) {
+      EXPECT_GT(rate, 200000.0) << "aggregate stat rate " << rate << "/s";
+    }
   });
 }
 

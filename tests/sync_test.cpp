@@ -1,0 +1,235 @@
+// Tests for the concurrency-correctness layer: the lock-order checker in
+// util/sync.cpp (cycle detection over the global ordering graph) and the
+// ThreadPool shutdown contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tests/sanitizer_env.hpp"
+#include "util/sync.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fanstore {
+namespace {
+
+using sync::lockorder::note_acquire;
+using sync::lockorder::note_release;
+using sync::lockorder::reset_for_testing;
+using sync::lockorder::set_violation_handler;
+using sync::lockorder::violation_count;
+
+// The default violation handler aborts; tests capture reports instead.
+std::mutex g_capture_mu;
+std::vector<std::string> g_captured;
+
+void capture_handler(const std::string& report) {
+  std::lock_guard lk(g_capture_mu);
+  g_captured.push_back(report);
+}
+
+class LockOrderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_for_testing();
+    {
+      std::lock_guard lk(g_capture_mu);
+      g_captured.clear();
+    }
+    previous_ = set_violation_handler(&capture_handler);
+  }
+  void TearDown() override { set_violation_handler(previous_); }
+
+  /// Runs `fn` on a fresh thread so its held-lock stack starts empty.
+  static void on_fresh_thread(const std::function<void()>& fn) {
+    std::thread t(fn);
+    t.join();
+  }
+
+  static std::vector<std::string> captured() {
+    std::lock_guard lk(g_capture_mu);
+    return g_captured;
+  }
+
+  sync::lockorder::ViolationHandler previous_ = nullptr;
+};
+
+TEST_F(LockOrderTest, ConsistentOrderPasses) {
+  int a = 0, b = 0, c = 0;
+  for (int round = 0; round < 3; ++round) {
+    on_fresh_thread([&] {
+      note_acquire(&a, "A");
+      note_acquire(&b, "B");
+      note_acquire(&c, "C");
+      note_release(&c);
+      note_release(&b);
+      note_release(&a);
+      // Skipping the middle lock is still consistent with A -> B -> C.
+      note_acquire(&a, "A");
+      note_acquire(&c, "C");
+      note_release(&c);
+      note_release(&a);
+    });
+  }
+  EXPECT_EQ(violation_count(), 0u);
+  EXPECT_TRUE(captured().empty());
+}
+
+TEST_F(LockOrderTest, DetectsAbBaInversion) {
+  int a = 0, b = 0;
+  on_fresh_thread([&] {
+    note_acquire(&a, "A");
+    note_acquire(&b, "B");  // records A -> B
+    note_release(&b);
+    note_release(&a);
+    note_acquire(&b, "B");
+    note_acquire(&a, "A");  // B held while acquiring A: inversion
+    note_release(&a);
+    note_release(&b);
+  });
+  ASSERT_EQ(violation_count(), 1u);
+  const auto reports = captured();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_NE(reports[0].find("inversion"), std::string::npos);
+  EXPECT_NE(reports[0].find("A"), std::string::npos);
+  EXPECT_NE(reports[0].find("B"), std::string::npos);
+}
+
+TEST_F(LockOrderTest, DetectsInversionAcrossThreads) {
+  int a = 0, b = 0;
+  on_fresh_thread([&] {
+    note_acquire(&a, "A");
+    note_acquire(&b, "B");
+    note_release(&b);
+    note_release(&a);
+  });
+  on_fresh_thread([&] {
+    note_acquire(&b, "B");
+    note_acquire(&a, "A");  // opposite order on a different thread
+    note_release(&a);
+    note_release(&b);
+  });
+  EXPECT_EQ(violation_count(), 1u);
+}
+
+TEST_F(LockOrderTest, DetectsTransitiveCycle) {
+  int a = 0, b = 0, c = 0;
+  on_fresh_thread([&] {
+    note_acquire(&a, "A");
+    note_acquire(&b, "B");  // A -> B
+    note_release(&b);
+    note_release(&a);
+    note_acquire(&b, "B");
+    note_acquire(&c, "C");  // B -> C
+    note_release(&c);
+    note_release(&b);
+    note_acquire(&c, "C");
+    note_acquire(&a, "A");  // closes C -> A: cycle through A -> B -> C
+    note_release(&a);
+    note_release(&c);
+  });
+  ASSERT_EQ(violation_count(), 1u);
+  const auto reports = captured();
+  ASSERT_EQ(reports.size(), 1u);
+  // The report walks the established path from A back to the held lock C.
+  EXPECT_NE(reports[0].find("->"), std::string::npos);
+}
+
+TEST_F(LockOrderTest, DetectsSelfReacquire) {
+  int a = 0;
+  on_fresh_thread([&] {
+    note_acquire(&a, "A");
+    note_acquire(&a, "A");  // non-recursive mutex: self-deadlock
+    note_release(&a);
+    note_release(&a);
+  });
+  ASSERT_EQ(violation_count(), 1u);
+  const auto reports = captured();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_NE(reports[0].find("re-acquired"), std::string::npos);
+}
+
+TEST_F(LockOrderTest, CvStyleOutOfOrderReleaseIsFine) {
+  int a = 0, b = 0;
+  on_fresh_thread([&] {
+    note_acquire(&a, "A");
+    note_acquire(&b, "B");
+    note_release(&a);  // released before the newer lock, as a cv wait does
+    note_release(&b);
+    note_acquire(&a, "A");
+    note_acquire(&b, "B");  // still the recorded A -> B order
+    note_release(&b);
+    note_release(&a);
+  });
+  EXPECT_EQ(violation_count(), 0u);
+}
+
+#ifdef FANSTORE_DEBUG_LOCKORDER
+TEST_F(LockOrderTest, InstrumentedMutexFeedsChecker) {
+  // With the hooks compiled in, real Mutex objects report inversions too.
+  if (testsupport::kUnderTsan) {
+    // TSan's own deadlock detector flags the deliberate A->B/B->A inversion
+    // below before our checker's verdict can be asserted (which is itself
+    // evidence both detectors agree). The note_* tests above cover the
+    // checker logic under TSan without taking real locks out of order.
+    GTEST_SKIP() << "deliberate inversion trips TSan's deadlock detector";
+  }
+  sync::Mutex a("test.A"), b("test.B");
+  on_fresh_thread([&]() NO_THREAD_SAFETY_ANALYSIS {
+    a.lock();
+    b.lock();
+    b.unlock();
+    a.unlock();
+    b.lock();
+    a.lock();
+    a.unlock();
+    b.unlock();
+  });
+  EXPECT_EQ(violation_count(), 1u);
+}
+#endif
+
+TEST(ThreadPoolShutdownTest, DestructorDrainsQueueWhileBusy) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1);
+      });
+    }
+    // Destroyed immediately: most tasks are still queued or in flight.
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolShutdownTest, ConcurrentSubmittersThenWaitIdle) {
+  std::atomic<int> ran{0};
+  ThreadPool pool(4);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) pool.submit([&ran] { ran.fetch_add(1); });
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 400);
+}
+
+TEST(ThreadPoolShutdownTest, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+}  // namespace
+}  // namespace fanstore

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# One-command CI matrix:
+#   1. tier-1: default configure + build + ctest (the ROADMAP verify step)
+#   2. ASan/UBSan: FANSTORE_SANITIZE=address;undefined configure + ctest
+#   3. TSan: FANSTORE_SANITIZE=thread + FANSTORE_DEBUG_LOCKORDER=ON + ctest
+#   4. clang-tidy over src/ (skipped when clang-tidy is not installed)
+#
+# Usage: tools/ci.sh [--tier1-only]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+jobs="$(nproc 2> /dev/null || echo 4)"
+
+run_pass() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==== [$name] configure ($dir) ===="
+  cmake -B "$dir" -S . "$@"
+  echo "==== [$name] build ===="
+  cmake --build "$dir" -j "$jobs"
+  echo "==== [$name] ctest ===="
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+run_pass "tier-1" build -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+
+if [ "${1:-}" = "--tier1-only" ]; then
+  echo "ci.sh: tier-1 pass complete (sanitizer matrix skipped)"
+  exit 0
+fi
+
+# Dense-interleaving stress tests give the sanitizers something to bite on;
+# the whole suite runs under each sanitizer regardless.
+ASAN_OPTIONS="detect_leaks=0" UBSAN_OPTIONS="halt_on_error=1" \
+  run_pass "asan+ubsan" build-asan "-DFANSTORE_SANITIZE=address;undefined"
+
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  run_pass "tsan" build-tsan "-DFANSTORE_SANITIZE=thread" \
+  -DFANSTORE_DEBUG_LOCKORDER=ON
+
+tools/run-clang-tidy.sh build
+
+echo "ci.sh: all passes green"

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# translation unit in src/, using the compile database exported by CMake.
+#
+# Usage: tools/run-clang-tidy.sh [build-dir] [extra clang-tidy args...]
+#   build-dir defaults to "build"; it must contain compile_commands.json
+#   (the top-level CMakeLists.txt sets CMAKE_EXPORT_COMPILE_COMMANDS ON).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-build}"
+shift || true
+case "$build_dir" in
+  /*) ;;
+  *) build_dir="$repo_root/$build_dir" ;;
+esac
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "run-clang-tidy: clang-tidy not found on PATH; skipping (not an error)" >&2
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run-clang-tidy: $build_dir/compile_commands.json missing." >&2
+  echo "  Configure first: cmake -B $build_dir -S $repo_root" >&2
+  exit 1
+fi
+
+cd "$repo_root"
+mapfile -t sources < <(find src -name '*.cpp' | sort)
+echo "run-clang-tidy: ${#sources[@]} files, database $build_dir"
+
+status=0
+for src in "${sources[@]}"; do
+  clang-tidy -p "$build_dir" --quiet "$@" "$src" || status=1
+done
+exit $status
