@@ -1,87 +1,190 @@
 #include "core/cache.hpp"
 
+#include <thread>
+
 namespace fanstore::core {
 
-PlainCache::PlainCache(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
+namespace {
 
-std::shared_ptr<const Bytes> PlainCache::acquire(const std::string& path,
-                                                 const std::function<Bytes()>& loader,
-                                                 bool* loaded) {
-  {
-    sync::MutexLock lk(mu_);
-    const auto it = entries_.find(path);
-    if (it != entries_.end()) {
-      it->second.open_count++;
-      stats_.hits++;
-      if (loaded != nullptr) *loaded = false;
-      return it->second.data;
-    }
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::size_t pick_shards(std::size_t capacity_bytes, std::size_t requested) {
+  if (requested != 0) return round_up_pow2(requested);
+  // Auto policy: enough stripes to spread I/O threads, but never so many
+  // that a shard's budget drops below 1 MiB — a 250-byte unit-test cache
+  // must behave exactly like the classic single-pool FIFO.
+  const std::size_t by_budget = capacity_bytes >> 20;  // capacity / 1 MiB
+  std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  std::size_t shards = round_up_pow2(hw * 2);
+  shards = std::min(shards, std::size_t{32});
+  while (shards > 1 && shards > by_budget) shards >>= 1;
+  return shards;
+}
+
+}  // namespace
+
+PlainCache::PlainCache(std::size_t capacity_bytes, std::size_t shards)
+    : capacity_(capacity_bytes) {
+  const std::size_t n = pick_shards(capacity_bytes, shards);
+  shard_mask_ = n - 1;
+  shards_.reserve(n);
+  const std::size_t base = capacity_bytes / n;
+  const std::size_t extra = capacity_bytes % n;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto s = std::make_unique<Shard>();
+    s->budget = base + (i < extra ? 1 : 0);
+    shards_.push_back(std::move(s));
   }
-  // Miss: run the (potentially slow) loader without holding the lock.
-  // Concurrent misses on the same path may both load; the second insert
-  // simply adopts the existing entry.
-  auto data = std::make_shared<const Bytes>(loader());
-  if (loaded != nullptr) *loaded = true;
-  sync::MutexLock lk(mu_);
-  stats_.misses++;
-  const auto it = entries_.find(path);
-  if (it != entries_.end()) {
-    it->second.open_count++;
-    return it->second.data;
-  }
+}
+
+PlainCache::Shard& PlainCache::shard_for(const std::string& path) const {
+  return *shards_[std::hash<std::string>{}(path) & shard_mask_];
+}
+
+std::size_t PlainCache::shard_of(const std::string& path) const {
+  return std::hash<std::string>{}(path) & shard_mask_;
+}
+
+std::shared_ptr<const Bytes> PlainCache::insert_pinned_locked(
+    Shard& s, const std::string& path, std::shared_ptr<const Bytes> data) {
   Entry e;
-  e.data = data;
+  e.data = std::move(data);
   e.open_count = 1;
-  fifo_.push_back(path);
-  e.fifo_pos = std::prev(fifo_.end());
+  s.fifo.push_back(path);
+  e.fifo_pos = std::prev(s.fifo.end());
   e.in_fifo = true;
-  bytes_used_ += data->size();
-  entries_.emplace(path, std::move(e));
-  evict_if_needed_locked();
-  return data;
+  s.bytes_used += e.data->size();
+  auto result = e.data;
+  s.entries.emplace(path, std::move(e));
+  evict_if_needed_locked(s);
+  return result;
+}
+
+std::shared_ptr<const Bytes> PlainCache::acquire(
+    const std::string& path, const std::function<Bytes()>& loader,
+    bool* loaded) {
+  Shard& s = shard_for(path);
+  std::shared_ptr<InFlight> flight;
+  {
+    sync::MutexLock lk(s.mu);
+    for (;;) {
+      const auto it = s.entries.find(path);
+      if (it != s.entries.end()) {
+        it->second.open_count++;
+        s.hits.fetch_add(1, std::memory_order_relaxed);
+        if (loaded != nullptr) *loaded = false;
+        return it->second.data;
+      }
+      const auto fit = s.inflight.find(path);
+      if (fit == s.inflight.end()) break;  // we become the loader
+      // Another thread is already loading this path: wait for it instead
+      // of duplicating the fetch+decompress (single-flight).
+      flight = fit->second;
+      s.waits.fetch_add(1, std::memory_order_relaxed);
+      s.load_done.wait(s.mu, [&] { return flight->done; });
+      if (flight->error != nullptr) std::rethrow_exception(flight->error);
+      s.hits.fetch_add(1, std::memory_order_relaxed);
+      if (loaded != nullptr) *loaded = false;
+      const auto again = s.entries.find(path);
+      if (again != s.entries.end()) {
+        again->second.open_count++;
+        return again->second.data;
+      }
+      // Narrow window: the loader's entry was already evicted (the loader's
+      // caller released its pin before we woke). Re-admit the bytes we were
+      // handed so pin/release stays balanced for this caller.
+      return insert_pinned_locked(s, path, flight->data);
+    }
+    flight = std::make_shared<InFlight>();
+    s.inflight.emplace(path, flight);
+  }
+  // Miss: run the (potentially slow) loader without holding any lock.
+  std::shared_ptr<const Bytes> data;
+  try {
+    data = std::make_shared<const Bytes>(loader());
+  } catch (...) {
+    sync::MutexLock lk(s.mu);
+    flight->error = std::current_exception();
+    flight->done = true;
+    s.inflight.erase(path);
+    s.load_done.notify_all();
+    throw;
+  }
+  if (loaded != nullptr) *loaded = true;
+  sync::MutexLock lk(s.mu);
+  s.misses.fetch_add(1, std::memory_order_relaxed);
+  flight->data = data;
+  flight->done = true;
+  s.inflight.erase(path);
+  s.load_done.notify_all();
+  return insert_pinned_locked(s, path, std::move(data));
 }
 
 void PlainCache::release(const std::string& path) {
-  sync::MutexLock lk(mu_);
-  const auto it = entries_.find(path);
-  if (it == entries_.end()) return;
+  Shard& s = shard_for(path);
+  sync::MutexLock lk(s.mu);
+  const auto it = s.entries.find(path);
+  if (it == s.entries.end()) return;
   if (it->second.open_count > 0) it->second.open_count--;
-  evict_if_needed_locked();
+  evict_if_needed_locked(s);
 }
 
-void PlainCache::evict_if_needed_locked() {
+void PlainCache::evict_if_needed_locked(Shard& s) {
   // FIFO scan, skipping pinned entries (the paper's "variant of FIFO").
-  auto pos = fifo_.begin();
-  while (bytes_used_ > capacity_ && pos != fifo_.end()) {
-    const auto it = entries_.find(*pos);
-    if (it == entries_.end()) {
-      pos = fifo_.erase(pos);
+  auto pos = s.fifo.begin();
+  while (s.bytes_used > s.budget && pos != s.fifo.end()) {
+    const auto it = s.entries.find(*pos);
+    if (it == s.entries.end()) {
+      pos = s.fifo.erase(pos);
       continue;
     }
     if (it->second.open_count > 0) {
       ++pos;  // in use by some I/O thread: skip
       continue;
     }
-    bytes_used_ -= it->second.data->size();
-    stats_.evictions++;
-    pos = fifo_.erase(pos);
-    entries_.erase(it);
+    s.bytes_used -= it->second.data->size();
+    s.evictions.fetch_add(1, std::memory_order_relaxed);
+    pos = s.fifo.erase(pos);
+    s.entries.erase(it);
   }
 }
 
 bool PlainCache::contains(const std::string& path) const {
-  sync::MutexLock lk(mu_);
-  return entries_.count(path) > 0;
+  Shard& s = shard_for(path);
+  sync::MutexLock lk(s.mu);
+  return s.entries.count(path) > 0;
+}
+
+int PlainCache::open_count(const std::string& path) const {
+  Shard& s = shard_for(path);
+  sync::MutexLock lk(s.mu);
+  const auto it = s.entries.find(path);
+  return it == s.entries.end() ? 0 : it->second.open_count;
 }
 
 std::size_t PlainCache::bytes_used() const {
-  sync::MutexLock lk(mu_);
-  return bytes_used_;
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    sync::MutexLock lk(s->mu);  // one shard at a time: never two held
+    total += s->bytes_used;
+  }
+  return total;
 }
 
 PlainCache::CacheStats PlainCache::stats() const {
-  sync::MutexLock lk(mu_);
-  return stats_;
+  CacheStats out;
+  for (const auto& s : shards_) {
+    out.hits += s->hits.load(std::memory_order_relaxed);
+    out.misses += s->misses.load(std::memory_order_relaxed);
+    out.evictions += s->evictions.load(std::memory_order_relaxed);
+    out.single_flight_waits += s->waits.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 }  // namespace fanstore::core

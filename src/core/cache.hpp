@@ -3,14 +3,25 @@
 // read each iteration, so FIFO is as good as LRU at a fraction of the
 // bookkeeping; the one exception is files currently opened by one or more
 // I/O threads, which eviction must skip.
+//
+// Concurrency (hot path, see DESIGN.md "Hot path"): the pool is split into
+// N lock-striped shards (N a power of two, keyed by path hash). Each shard
+// owns its FIFO, byte budget, and in-flight-load table, so unrelated opens
+// never contend. Misses are *single-flight*: concurrent acquires of one
+// path run the loader exactly once — the winner loads with no lock held,
+// everyone else blocks on the shard's condvar and adopts the result (or the
+// loader's exception). Stats are per-shard relaxed atomics aggregated on
+// read.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "util/bytes.hpp"
 #include "util/sync.hpp"
@@ -19,32 +30,50 @@ namespace fanstore::core {
 
 class PlainCache {
  public:
-  /// `capacity_bytes` bounds the pool; a single entry larger than the
-  /// capacity is still admitted while pinned (it is evicted on release).
-  explicit PlainCache(std::size_t capacity_bytes);
+  /// `capacity_bytes` bounds the pool; a single entry larger than its
+  /// shard's budget is still admitted while pinned (it is evicted on
+  /// release). `shards` is rounded up to a power of two; 0 picks a default
+  /// that keeps each shard's budget at least 1 MiB (so small caches — unit
+  /// tests, tiny configs — degenerate to one shard with exactly the classic
+  /// single-pool FIFO semantics).
+  explicit PlainCache(std::size_t capacity_bytes, std::size_t shards = 0);
 
   /// Returns the decompressed contents of `path`, pinning the entry
-  /// (open-counter + 1). On miss, `loader` is invoked outside the lock and
-  /// may throw; the miss is then not cached. `loaded` (if non-null) is set
-  /// to true when the loader ran (a cache miss).
+  /// (open-counter + 1). On miss, `loader` is invoked outside any lock and
+  /// may throw; the miss is then not cached and every thread waiting on the
+  /// same in-flight load observes the exception. Concurrent misses on one
+  /// path run `loader` exactly once (single-flight). `loaded` (if non-null)
+  /// is set to true only in the thread whose call ran the loader.
   std::shared_ptr<const Bytes> acquire(const std::string& path,
                                        const std::function<Bytes()>& loader,
-                                       bool* loaded = nullptr) EXCLUDES(mu_);
+                                       bool* loaded = nullptr);
 
   /// Drops one pin (close()); the entry stays cached FIFO-style until
   /// capacity pressure evicts it.
-  void release(const std::string& path) EXCLUDES(mu_);
+  void release(const std::string& path);
 
-  bool contains(const std::string& path) const EXCLUDES(mu_);
-  std::size_t bytes_used() const EXCLUDES(mu_);
+  bool contains(const std::string& path) const;
+  std::size_t bytes_used() const;
   std::size_t capacity() const { return capacity_; }
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Which shard `path` lives in — introspection for tests/benches that
+  /// need colliding or non-colliding key sets.
+  std::size_t shard_of(const std::string& path) const;
+
+  /// Current pin count of `path` (0 if absent) — introspection for tests
+  /// (e.g. asserting the prefetcher leaks no pins).
+  int open_count(const std::string& path) const;
 
   struct CacheStats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    /// Acquires that blocked on another thread's in-flight load of the
+    /// same path instead of duplicating it (counted as hits above).
+    std::uint64_t single_flight_waits = 0;
   };
-  CacheStats stats() const EXCLUDES(mu_);
+  CacheStats stats() const;
 
  private:
   struct Entry {
@@ -54,14 +83,40 @@ class PlainCache {
     bool in_fifo = false;
   };
 
-  void evict_if_needed_locked() REQUIRES(mu_);
+  /// One in-flight miss load; waiters sleep on the shard condvar until
+  /// `done`, then take `data` or rethrow `error`.
+  struct InFlight {
+    bool done = false;
+    std::shared_ptr<const Bytes> data;
+    std::exception_ptr error;
+  };
+
+  struct Shard {
+    mutable sync::Mutex mu{"cache.shard.mu"};
+    sync::AnnotatedCondVar load_done;  // single-flight completion signal
+    std::unordered_map<std::string, Entry> entries GUARDED_BY(mu);
+    std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight
+        GUARDED_BY(mu);
+    std::list<std::string> fifo GUARDED_BY(mu);  // insertion order, oldest first
+    std::size_t bytes_used GUARDED_BY(mu) = 0;
+    std::size_t budget = 0;  // immutable after construction
+    // Hot counters: relaxed atomics so the hit path takes exactly one lock.
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> waits{0};
+  };
+
+  Shard& shard_for(const std::string& path) const;
+  /// Inserts a freshly loaded entry pinned once; applies FIFO pressure.
+  std::shared_ptr<const Bytes> insert_pinned_locked(
+      Shard& s, const std::string& path, std::shared_ptr<const Bytes> data)
+      REQUIRES(s.mu);
+  static void evict_if_needed_locked(Shard& s) REQUIRES(s.mu);
 
   const std::size_t capacity_;
-  mutable sync::Mutex mu_{"cache.mu"};
-  std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mu_);
-  std::list<std::string> fifo_ GUARDED_BY(mu_);  // insertion order, oldest first
-  std::size_t bytes_used_ GUARDED_BY(mu_) = 0;
-  CacheStats stats_ GUARDED_BY(mu_);
+  std::size_t shard_mask_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace fanstore::core

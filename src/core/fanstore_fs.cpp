@@ -15,7 +15,7 @@ FanStoreFs::FanStoreFs(mpi::Comm comm, MetadataStore* meta,
       meta_(meta),
       backend_(backend),
       options_(options),
-      cache_(options.cache_bytes) {}
+      cache_(options.cache_bytes, options.cache_shards) {}
 
 int FanStoreFs::home_rank(std::string_view path) const {
   return static_cast<int>(std::hash<std::string_view>{}(path) %
@@ -24,6 +24,22 @@ int FanStoreFs::home_rank(std::string_view path) const {
 
 std::optional<Blob> FanStoreFs::fetch_from(int rank, const std::string& path,
                                            const format::FileStat& stat) {
+  // Node-local fast path: a peer registered in the PeerDirectory is read
+  // directly — no request encode, reply buffer, or daemon-thread hop. The
+  // network cost model is still charged: ranks model nodes, the directory
+  // only removes the simulation's copy overhead.
+  if (options_.peers != nullptr) {
+    if (const CompressedBackend* peer = options_.peers->find(rank)) {
+      std::optional<Blob> direct = peer->get(path);
+      if (!direct) return std::nullopt;
+      charge(options_.cost.network.transfer_time(direct->data.size(),
+                                                 options_.cost.nodes));
+      bump(stats_.remote_fetches);
+      bump(stats_.direct_fetches);
+      bump(stats_.remote_bytes, direct->data.size());
+      return direct;
+    }
+  }
   const std::uint32_t reply_tag =
       static_cast<std::uint32_t>(kReplyTagBase) +
       (reply_seq_.fetch_add(1, std::memory_order_relaxed) % 1000000u);
@@ -49,36 +65,36 @@ std::optional<Blob> FanStoreFs::fetch_from(int rank, const std::string& path,
   fetched.data.assign(reply->payload.begin() + 11, reply->payload.end());
   if (raw_size != stat.size) return std::nullopt;
   charge(options_.cost.network.transfer_time(fetched.data.size(), options_.cost.nodes));
-  {
-    sync::MutexLock lk(stats_mu_);
-    stats_.remote_fetches++;
-    stats_.remote_bytes += fetched.data.size();
-  }
+  bump(stats_.remote_fetches);
+  bump(stats_.remote_bytes, fetched.data.size());
   return fetched;
+}
+
+std::optional<Blob> FanStoreFs::fetch_remote(const std::string& path,
+                                             const format::FileStat& stat) {
+  // Remote fetch from the owner's daemon (Fig. 2, remote branch); on
+  // timeout or miss, fail over around the ring where replicate_ring()
+  // may have placed copies.
+  const int owner = static_cast<int>(stat.owner_rank);
+  std::optional<Blob> blob;
+  for (int hop = 0; hop <= options_.failover_hops && !blob; ++hop) {
+    const int candidate = (owner + hop) % comm_.size();
+    if (candidate == comm_.rank()) continue;  // local backend already missed
+    blob = fetch_from(candidate, path, stat);
+    if (blob && hop > 0) bump(stats_.failovers);
+  }
+  return blob;
 }
 
 Bytes FanStoreFs::load_plain(const std::string& path, const format::FileStat& stat) {
   std::optional<Blob> blob = backend_->get(path);
   if (!blob && static_cast<int>(stat.owner_rank) != comm_.rank()) {
-    // Remote fetch from the owner's daemon (Fig. 2, remote branch); on
-    // timeout or miss, fail over around the ring where replicate_ring()
-    // may have placed copies.
-    const int owner = static_cast<int>(stat.owner_rank);
-    for (int hop = 0; hop <= options_.failover_hops && !blob; ++hop) {
-      const int candidate = (owner + hop) % comm_.size();
-      if (candidate == comm_.rank()) continue;  // local backend already missed
-      blob = fetch_from(candidate, path, stat);
-      if (blob && hop > 0) {
-        sync::MutexLock lk(stats_mu_);
-        stats_.failovers++;
-      }
-    }
+    blob = fetch_remote(path, stat);
     if (!blob) {
       throw std::runtime_error("fanstore: remote fetch failed for " + path);
     }
   } else if (blob) {
-    sync::MutexLock lk(stats_mu_);
-    stats_.local_misses++;
+    bump(stats_.local_misses);
   }
   if (!blob) {
     throw std::runtime_error("fanstore: owner rank has no data for " + path);
@@ -99,6 +115,27 @@ Bytes FanStoreFs::load_plain(const std::string& path, const format::FileStat& st
   return plain;
 }
 
+bool FanStoreFs::prefetch_compressed(std::string_view path_in) {
+  const std::string path = posixfs::normalize_path(path_in);
+  if (path.empty()) return false;
+  const auto stat = meta_->lookup(path);
+  if (!stat || stat->type != format::FileType::kRegular) return false;
+  if (cache_.contains(path)) return true;   // already decompressed
+  if (backend_->contains(path)) return true;  // compressed blob already local
+  if (static_cast<int>(stat->owner_rank) == comm_.rank()) return false;
+  try {
+    std::optional<Blob> blob = fetch_remote(path, *stat);
+    if (!blob) return false;
+    // Stage the compressed bytes locally; open() decompresses later with
+    // the network already off its critical path.
+    backend_->put(path, std::move(*blob));
+    return true;
+  } catch (const std::exception& e) {
+    FANSTORE_LOG_WARN("fanstore prefetch_compressed(", path, "): ", e.what());
+    return false;
+  }
+}
+
 int FanStoreFs::open(std::string_view path_in, posixfs::OpenMode mode) {
   const std::string path = posixfs::normalize_path(path_in);
   if (path.empty()) return -EINVAL;
@@ -109,10 +146,16 @@ int FanStoreFs::open(std::string_view path_in, posixfs::OpenMode mode) {
     if (meta_->lookup(path) && meta_->lookup(path)->type == format::FileType::kRegular) {
       return -EEXIST;
     }
-    sync::MutexLock lk(mu_);
-    if (!writing_.insert(path).second) return -EBUSY;
+    {
+      sync::MutexLock lk(writer_mu_);
+      if (!writing_.insert(path).second) return -EBUSY;
+    }
+    auto of = std::make_shared<OpenFile>();
+    of->path = path;
+    of->mode = mode;
+    sync::MutexLock lk(fd_mu_);
     const int fd = next_fd_++;
-    open_files_[fd] = OpenFile{path, mode, nullptr, {}, 0};
+    open_files_[fd] = std::move(of);
     return fd;
   }
 
@@ -124,122 +167,142 @@ int FanStoreFs::open(std::string_view path_in, posixfs::OpenMode mode) {
   std::shared_ptr<const Bytes> pinned;
   bool was_miss = false;
   try {
+    // The loader (fetch + decompress) runs inside the cache's single-flight
+    // slot with no FanStoreFs lock held; concurrent opens of one path load
+    // it once and share the result.
     pinned = cache_.acquire(path, [&] { return load_plain(path, *stat); }, &was_miss);
   } catch (const std::exception& e) {
     FANSTORE_LOG_WARN("fanstore open(", path, "): ", e.what());
     return -EIO;
   }
-  {
-    sync::MutexLock lk(stats_mu_);
-    stats_.opens++;
-    if (!was_miss) stats_.cache_hits++;
-  }
-  sync::MutexLock lk(mu_);
+  bump(stats_.opens);
+  if (!was_miss) bump(stats_.cache_hits);
+  auto of = std::make_shared<OpenFile>();
+  of->path = path;
+  of->mode = mode;
+  of->pinned = std::move(pinned);
+  sync::MutexLock lk(fd_mu_);
   const int fd = next_fd_++;
-  open_files_[fd] = OpenFile{path, mode, std::move(pinned), {}, 0};
+  open_files_[fd] = std::move(of);
   return fd;
 }
 
 int FanStoreFs::close(int fd) {
-  OpenFile of;
+  std::shared_ptr<OpenFile> of;
   {
-    sync::MutexLock lk(mu_);
+    sync::MutexLock lk(fd_mu_);
     const auto it = open_files_.find(fd);
     if (it == open_files_.end()) return -EBADF;
     of = std::move(it->second);
     open_files_.erase(it);
   }
-  if (of.mode == posixfs::OpenMode::kRead) {
-    cache_.release(of.path);
+  if (of->mode == posixfs::OpenMode::kRead) {
+    cache_.release(of->path);
     return 0;
   }
   // Write close: dump to the local backend and forward metadata (§V-D).
   const compress::Compressor* codec =
       compress::Registry::instance().by_id(options_.write_compressor);
   if (codec == nullptr) return -EIO;
+  Bytes plain;
+  {
+    sync::MutexLock flk(of->mu);
+    plain = std::move(of->buffer);
+  }
   Blob blob;
   blob.compressor = options_.write_compressor;
-  blob.data = codec->compress(as_view(of.buffer));
+  blob.data = codec->compress(as_view(plain));
 
   format::FileStat stat;
-  stat.size = of.buffer.size();
+  stat.size = plain.size();
   stat.compressed_size = blob.data.size();
-  stat.crc = crc32(as_view(of.buffer));
+  stat.crc = crc32(as_view(plain));
   stat.type = format::FileType::kRegular;
   stat.owner_rank = static_cast<std::uint32_t>(comm_.rank());
 
   charge(options_.cost.read_path.file_write_time(blob.data.size()));
-  backend_->put(of.path, std::move(blob));
-  meta_->insert(of.path, stat);
-  const int home = home_rank(of.path);
+  backend_->put(of->path, std::move(blob));
+  meta_->insert(of->path, stat);
+  const int home = home_rank(of->path);
   if (home != comm_.rank()) {
-    comm_.send(home, kTagWriteMeta, encode_write_meta(of.path, stat));
-    charge(options_.cost.network.transfer_time(of.path.size() + format::kStatBytes,
+    comm_.send(home, kTagWriteMeta, encode_write_meta(of->path, stat));
+    charge(options_.cost.network.transfer_time(of->path.size() + format::kStatBytes,
                                                options_.cost.nodes));
   }
   {
-    sync::MutexLock lk(mu_);
-    writing_.erase(of.path);
+    sync::MutexLock lk(writer_mu_);
+    writing_.erase(of->path);
   }
-  {
-    sync::MutexLock lk(stats_mu_);
-    stats_.bytes_written += stat.size;
-  }
+  bump(stats_.bytes_written, stat.size);
   return 0;
 }
 
 std::int64_t FanStoreFs::read(int fd, MutByteView buf) {
-  sync::MutexLock lk(mu_);
-  const auto it = open_files_.find(fd);
-  if (it == open_files_.end()) return -EBADF;
-  OpenFile& of = it->second;
-  if (of.mode != posixfs::OpenMode::kRead) return -EBADF;
-  const Bytes& data = *of.pinned;
-  if (of.offset >= static_cast<std::int64_t>(data.size())) return 0;
-  const std::size_t n =
-      std::min(buf.size(), data.size() - static_cast<std::size_t>(of.offset));
-  std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(of.offset), n, buf.begin());
-  of.offset += static_cast<std::int64_t>(n);
-  charge(static_cast<double>(n) / options_.cost.read_path.bandwidth_bps);
+  std::shared_ptr<OpenFile> of;
   {
-    sync::MutexLock slk(stats_mu_);
-    stats_.bytes_read += n;
+    sync::MutexLock lk(fd_mu_);
+    const auto it = open_files_.find(fd);
+    if (it == open_files_.end()) return -EBADF;
+    of = it->second;
   }
+  if (of->mode != posixfs::OpenMode::kRead) return -EBADF;
+  const Bytes& data = *of->pinned;
+  std::size_t n = 0;
+  {
+    // Copy under the per-file lock only: reads of different fds proceed in
+    // parallel (the seed serialized every copy behind the global fs lock).
+    sync::MutexLock flk(of->mu);
+    if (of->offset >= static_cast<std::int64_t>(data.size())) return 0;
+    n = std::min(buf.size(), data.size() - static_cast<std::size_t>(of->offset));
+    std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(of->offset), n,
+                buf.begin());
+    of->offset += static_cast<std::int64_t>(n);
+  }
+  charge(static_cast<double>(n) / options_.cost.read_path.bandwidth_bps);
+  bump(stats_.bytes_read, n);
   return static_cast<std::int64_t>(n);
 }
 
 std::int64_t FanStoreFs::write(int fd, ByteView buf) {
-  sync::MutexLock lk(mu_);
-  const auto it = open_files_.find(fd);
-  if (it == open_files_.end()) return -EBADF;
-  OpenFile& of = it->second;
-  if (of.mode != posixfs::OpenMode::kWrite) return -EBADF;
-  const auto end = static_cast<std::size_t>(of.offset) + buf.size();
-  if (end > of.buffer.size()) of.buffer.resize(end);
+  std::shared_ptr<OpenFile> of;
+  {
+    sync::MutexLock lk(fd_mu_);
+    const auto it = open_files_.find(fd);
+    if (it == open_files_.end()) return -EBADF;
+    of = it->second;
+  }
+  if (of->mode != posixfs::OpenMode::kWrite) return -EBADF;
+  sync::MutexLock flk(of->mu);
+  const auto end = static_cast<std::size_t>(of->offset) + buf.size();
+  if (end > of->buffer.size()) of->buffer.resize(end);
   std::copy(buf.begin(), buf.end(),
-            of.buffer.begin() + static_cast<std::ptrdiff_t>(of.offset));
-  of.offset += static_cast<std::int64_t>(buf.size());
+            of->buffer.begin() + static_cast<std::ptrdiff_t>(of->offset));
+  of->offset += static_cast<std::int64_t>(buf.size());
   return static_cast<std::int64_t>(buf.size());
 }
 
 std::int64_t FanStoreFs::lseek(int fd, std::int64_t offset, posixfs::Whence whence) {
-  sync::MutexLock lk(mu_);
-  const auto it = open_files_.find(fd);
-  if (it == open_files_.end()) return -EBADF;
-  OpenFile& of = it->second;
+  std::shared_ptr<OpenFile> of;
+  {
+    sync::MutexLock lk(fd_mu_);
+    const auto it = open_files_.find(fd);
+    if (it == open_files_.end()) return -EBADF;
+    of = it->second;
+  }
+  sync::MutexLock flk(of->mu);
   std::int64_t base = 0;
   switch (whence) {
     case posixfs::Whence::kSet: base = 0; break;
-    case posixfs::Whence::kCur: base = of.offset; break;
+    case posixfs::Whence::kCur: base = of->offset; break;
     case posixfs::Whence::kEnd:
-      base = of.mode == posixfs::OpenMode::kRead
-                 ? static_cast<std::int64_t>(of.pinned->size())
-                 : static_cast<std::int64_t>(of.buffer.size());
+      base = of->mode == posixfs::OpenMode::kRead
+                 ? static_cast<std::int64_t>(of->pinned->size())
+                 : static_cast<std::int64_t>(of->buffer.size());
       break;
   }
   const std::int64_t pos = base + offset;
   if (pos < 0) return -EINVAL;
-  of.offset = pos;
+  of->offset = pos;
   return pos;
 }
 
@@ -257,7 +320,7 @@ int FanStoreFs::opendir(std::string_view path_in) {
   charge_metadata();
   if (!meta_->dir_exists(path)) return -ENOENT;
   auto entries = meta_->list(path);
-  sync::MutexLock lk(mu_);
+  sync::MutexLock lk(dir_mu_);
   const int h = next_dir_++;
   open_dirs_[h] = OpenDir{std::move(entries), 0};
   return h;
@@ -265,7 +328,7 @@ int FanStoreFs::opendir(std::string_view path_in) {
 
 std::optional<posixfs::Dirent> FanStoreFs::readdir(int dir_handle) {
   charge_metadata();
-  sync::MutexLock lk(mu_);
+  sync::MutexLock lk(dir_mu_);
   const auto it = open_dirs_.find(dir_handle);
   if (it == open_dirs_.end()) return std::nullopt;
   if (it->second.next >= it->second.entries.size()) return std::nullopt;
@@ -273,13 +336,22 @@ std::optional<posixfs::Dirent> FanStoreFs::readdir(int dir_handle) {
 }
 
 int FanStoreFs::closedir(int dir_handle) {
-  sync::MutexLock lk(mu_);
+  sync::MutexLock lk(dir_mu_);
   return open_dirs_.erase(dir_handle) > 0 ? 0 : -EBADF;
 }
 
 FanStoreFs::IoStats FanStoreFs::stats() const {
-  sync::MutexLock lk(stats_mu_);
-  return stats_;
+  IoStats out;
+  out.opens = stats_.opens.load(std::memory_order_relaxed);
+  out.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);
+  out.local_misses = stats_.local_misses.load(std::memory_order_relaxed);
+  out.remote_fetches = stats_.remote_fetches.load(std::memory_order_relaxed);
+  out.direct_fetches = stats_.direct_fetches.load(std::memory_order_relaxed);
+  out.bytes_read = stats_.bytes_read.load(std::memory_order_relaxed);
+  out.bytes_written = stats_.bytes_written.load(std::memory_order_relaxed);
+  out.remote_bytes = stats_.remote_bytes.load(std::memory_order_relaxed);
+  out.failovers = stats_.failovers.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace fanstore::core

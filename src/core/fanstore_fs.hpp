@@ -9,6 +9,13 @@
 //           close the data is dumped to the local backend and the metadata
 //           forwarded to the path's home rank (§V-D).
 //
+// Hot-path concurrency (see DESIGN.md "Hot path"): unrelated opens never
+// serialize on one lock. The fd table, dir table, and writer set each have
+// their own mutex; per-fd read/write/seek state is guarded by a per-file
+// mutex so read() copies proceed in parallel; IoStats counters are relaxed
+// atomics; and fetch+decompress runs with no FanStoreFs lock held (inside
+// the cache's single-flight loader).
+//
 // Device/network time is charged to an optional VirtualClock via the cost
 // models; all data movement is real.
 #pragma once
@@ -44,6 +51,8 @@ class FanStoreFs final : public posixfs::Vfs {
  public:
   struct Options {
     std::size_t cache_bytes = std::size_t{64} << 20;
+    /// Lock stripes for the decompressed cache; 0 = auto (see PlainCache).
+    std::size_t cache_shards = 0;
     /// Codec for output files; default "store" — checkpoints/logs are
     /// written once and rarely re-read (§II-B3).
     compress::CompressorId write_compressor = 0;
@@ -56,13 +65,19 @@ class FanStoreFs final : public posixfs::Vfs {
     int fetch_timeout_ms = 10000;
     /// How many ring successors of the owner to try after a failed fetch.
     int failover_hops = 2;
+    /// Optional direct-access table: peers registered here are read
+    /// without the daemon round-trip (same cost charged). nullptr keeps
+    /// the pure message-passing path.
+    const PeerDirectory* peers = nullptr;
   };
 
+  /// Plain snapshot of the I/O counters (see stats()).
   struct IoStats {
     std::uint64_t opens = 0;
     std::uint64_t cache_hits = 0;
     std::uint64_t local_misses = 0;   // decompressed from the local backend
-    std::uint64_t remote_fetches = 0;  // fetched from a peer daemon
+    std::uint64_t remote_fetches = 0;  // fetched from a peer (daemon or direct)
+    std::uint64_t direct_fetches = 0;  // subset of remote_fetches: PeerDirectory
     std::uint64_t bytes_read = 0;
     std::uint64_t bytes_written = 0;
     std::uint64_t remote_bytes = 0;  // compressed bytes over the wire
@@ -83,6 +98,14 @@ class FanStoreFs final : public posixfs::Vfs {
   std::optional<posixfs::Dirent> readdir(int dir_handle) override;
   int closedir(int dir_handle) override;
 
+  /// Stages `path`'s *compressed* blob into the local backend without
+  /// decompressing — the fetch half of the prefetch pipeline. Returns true
+  /// when the data is now local (or already was, or is already decompressed
+  /// in cache); a later open() completes decompression off the network
+  /// critical path. Never throws; a failed fetch just leaves the slow path
+  /// to open().
+  bool prefetch_compressed(std::string_view path);
+
   IoStats stats() const;
   PlainCache& cache() { return cache_; }
   const PlainCache& cache() const { return cache_; }
@@ -92,16 +115,34 @@ class FanStoreFs final : public posixfs::Vfs {
   int home_rank(std::string_view path) const;
 
  private:
+  /// Per-fd state. `path`, `mode`, and `pinned` are immutable after open;
+  /// the seek cursor and write buffer are guarded by the per-file mutex so
+  /// concurrent reads of different fds never share a lock.
   struct OpenFile {
     std::string path;
     posixfs::OpenMode mode;
     std::shared_ptr<const Bytes> pinned;  // read mode
-    Bytes buffer;                         // write mode
-    std::int64_t offset = 0;
+    mutable sync::Mutex mu{"fanstore_fs.file.mu"};
+    Bytes buffer GUARDED_BY(mu);  // write mode
+    std::int64_t offset GUARDED_BY(mu) = 0;
   };
   struct OpenDir {
     std::vector<posixfs::Dirent> entries;
     std::size_t next = 0;
+  };
+
+  /// Relaxed-atomic twin of IoStats: the hot path increments without any
+  /// lock; stats() takes a (torn-but-monotonic) snapshot.
+  struct AtomicIoStats {
+    std::atomic<std::uint64_t> opens{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> local_misses{0};
+    std::atomic<std::uint64_t> remote_fetches{0};
+    std::atomic<std::uint64_t> direct_fetches{0};
+    std::atomic<std::uint64_t> bytes_read{0};
+    std::atomic<std::uint64_t> bytes_written{0};
+    std::atomic<std::uint64_t> remote_bytes{0};
+    std::atomic<std::uint64_t> failovers{0};
   };
 
   void charge(double sec) const {
@@ -112,11 +153,19 @@ class FanStoreFs final : public posixfs::Vfs {
   void charge_metadata() const {
     charge(options_.cost.read_path.metadata_op_s);
   }
+  void bump(std::atomic<std::uint64_t>& counter, std::uint64_t n = 1) const {
+    counter.fetch_add(n, std::memory_order_relaxed);
+  }
 
   /// Loads + decompresses `path` (Fig. 2), charging fetch/decompress costs.
   Bytes load_plain(const std::string& path, const format::FileStat& stat);
 
-  /// One fetch attempt against `rank`'s daemon; nullopt on timeout/miss.
+  /// Owner fetch + ring failover; nullopt when every candidate missed.
+  std::optional<Blob> fetch_remote(const std::string& path,
+                                   const format::FileStat& stat);
+
+  /// One fetch attempt against `rank`: direct PeerDirectory read when
+  /// registered, daemon round-trip otherwise; nullopt on timeout/miss.
   std::optional<Blob> fetch_from(int rank, const std::string& path,
                                  const format::FileStat& stat);
 
@@ -126,18 +175,21 @@ class FanStoreFs final : public posixfs::Vfs {
   Options options_;
   PlainCache cache_;
 
-  // Lock order (see DESIGN.md "Concurrency invariants"): mu_ may be held
-  // when stats_mu_ is acquired, never the reverse. Neither lock is held
-  // across cache_, backend_, meta_, or comm_ calls.
-  mutable sync::Mutex mu_{"fanstore_fs.mu"};
-  std::map<int, OpenFile> open_files_ GUARDED_BY(mu_);
-  std::map<int, OpenDir> open_dirs_ GUARDED_BY(mu_);
-  std::set<std::string> writing_ GUARDED_BY(mu_);  // in-flight writers
-  int next_fd_ GUARDED_BY(mu_) = 3;
-  int next_dir_ GUARDED_BY(mu_) = 1;
+  // Lock order (see DESIGN.md "Concurrency invariants"): fd_mu_, dir_mu_,
+  // and writer_mu_ are independent leaves — never nested with each other,
+  // with a per-file mu, or held across cache_/backend_/meta_/comm_ calls.
+  // A per-file mu is only taken with no table lock held (lookup copies the
+  // shared_ptr out first).
+  mutable sync::Mutex fd_mu_{"fanstore_fs.fd_mu"};
+  std::map<int, std::shared_ptr<OpenFile>> open_files_ GUARDED_BY(fd_mu_);
+  int next_fd_ GUARDED_BY(fd_mu_) = 3;
+  mutable sync::Mutex dir_mu_{"fanstore_fs.dir_mu"};
+  std::map<int, OpenDir> open_dirs_ GUARDED_BY(dir_mu_);
+  int next_dir_ GUARDED_BY(dir_mu_) = 1;
+  mutable sync::Mutex writer_mu_{"fanstore_fs.writer_mu"};
+  std::set<std::string> writing_ GUARDED_BY(writer_mu_);  // in-flight writers
   std::atomic<std::uint32_t> reply_seq_{0};
-  mutable sync::Mutex stats_mu_{"fanstore_fs.stats_mu"};
-  IoStats stats_ GUARDED_BY(stats_mu_);
+  AtomicIoStats stats_;
 };
 
 }  // namespace fanstore::core

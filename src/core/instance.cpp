@@ -15,6 +15,10 @@ Instance::Instance(mpi::Comm comm, Options options)
     backend_ = std::make_unique<RamBackend>();
   }
   options_.fs.cost.nodes = comm_.size();
+  if (options_.peers != nullptr) {
+    options_.peers->add(comm_.rank(), backend_.get());
+    options_.fs.peers = options_.peers;
+  }
   fs_ = std::make_unique<FanStoreFs>(comm_, &meta_, backend_.get(), options_.fs);
   daemon_ = std::make_unique<Daemon>(comm_, &meta_, backend_.get());
 }
@@ -141,13 +145,15 @@ std::string Instance::stats_report() const {
   char buf[512];
   std::snprintf(
       buf, sizeof(buf),
-      "rank %d: opens=%llu hits=%llu local=%llu remote=%llu failover=%llu | "
+      "rank %d: opens=%llu hits=%llu local=%llu remote=%llu (direct=%llu) "
+      "failover=%llu | "
       "read=%.1fMB wire=%.1fMB written=%.1fMB | cache %.1f/%.1fMB evict=%llu | "
       "backend %zu objs %.1fMB | daemon served=%llu meta_fwd=%llu",
       comm_.rank(), static_cast<unsigned long long>(io.opens),
       static_cast<unsigned long long>(io.cache_hits),
       static_cast<unsigned long long>(io.local_misses),
       static_cast<unsigned long long>(io.remote_fetches),
+      static_cast<unsigned long long>(io.direct_fetches),
       static_cast<unsigned long long>(io.failovers),
       static_cast<double>(io.bytes_read) / 1e6,
       static_cast<double>(io.remote_bytes) / 1e6,
@@ -164,6 +170,9 @@ std::string Instance::stats_report() const {
 void Instance::start_daemon() { daemon_->start(); }
 
 void Instance::stop() {
+  // Deregister from the peer table before tearing anything down so no
+  // other rank's direct fetch can race our backend's destruction.
+  if (options_.peers != nullptr) options_.peers->remove(comm_.rank());
   if (daemon_) daemon_->stop();
 }
 

@@ -26,6 +26,11 @@ class Instance {
     /// If set, use a disk backend rooted here on `local_fs`; RAM otherwise.
     posixfs::Vfs* local_fs = nullptr;
     std::string backend_root = ".fanstore";
+    /// Optional shared rank→backend table: when every Instance of a world
+    /// registers here, remote fetches between them skip the daemon
+    /// round-trip (FanStoreFs direct fast path). The directory must
+    /// outlive every Instance registered in it.
+    PeerDirectory* peers = nullptr;
   };
 
   Instance(mpi::Comm comm, Options options);

@@ -5,22 +5,46 @@ namespace fanstore::dlsim {
 Prefetcher::Prefetcher(posixfs::Vfs& fs, std::size_t threads)
     : fs_(fs), pool_(threads) {}
 
+Prefetcher::Prefetcher(core::FanStoreFs& fs, std::size_t threads,
+                       std::size_t fetch_threads)
+    : fs_(fs),
+      fanstore_(&fs),
+      pool_(threads),
+      fetch_pool_(std::make_unique<ThreadPool>(
+          fetch_threads == 0 ? 1 : fetch_threads)) {}
+
+void Prefetcher::warm(const std::string& path) {
+  // open() pulls the file through (any remaining) fetch + decompress into
+  // the cache; close() drops the pin but leaves the plain data cached.
+  const int fd = fs_.open(path, posixfs::OpenMode::kRead);
+  if (fd < 0) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  fs_.close(fd);
+  warmed_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void Prefetcher::prefetch(const std::vector<std::string>& paths) {
   for (const auto& path : paths) {
-    pool_.submit([this, path] {
-      // open() pulls the file through fetch + decompress into the cache;
-      // close() drops the pin but leaves the plain data cached.
-      const int fd = fs_.open(path, posixfs::OpenMode::kRead);
-      if (fd < 0) {
-        failures_.fetch_add(1, std::memory_order_relaxed);
-        return;
-      }
-      fs_.close(fd);
-      warmed_.fetch_add(1, std::memory_order_relaxed);
-    });
+    if (fanstore_ != nullptr) {
+      // Stage 1 (fetch pool): land the compressed bytes locally. Stage 2
+      // (decompress pool) starts per file the moment its fetch finishes,
+      // so later fetches overlap earlier decompressions.
+      fetch_pool_->submit([this, path] {
+        fanstore_->prefetch_compressed(path);
+        pool_.submit([this, path] { warm(path); });
+      });
+    } else {
+      pool_.submit([this, path] { warm(path); });
+    }
   }
 }
 
-void Prefetcher::wait() { pool_.wait_idle(); }
+void Prefetcher::wait() {
+  // Fetch stage first: once it idles, every decompress task is enqueued.
+  if (fetch_pool_) fetch_pool_->wait_idle();
+  pool_.wait_idle();
+}
 
 }  // namespace fanstore::dlsim

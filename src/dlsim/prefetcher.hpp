@@ -5,6 +5,13 @@
 // the training thread's open() calls are hits. The prefetcher runs a small
 // thread pool issuing open()+close() for upcoming files (the open performs
 // fetch + decompress + cache insert; close leaves the entry cached).
+//
+// When constructed against a FanStoreFs the warm-up is *pipelined*: a
+// dedicated fetch stage pulls compressed blobs off the network
+// (FanStoreFs::prefetch_compressed) and hands each file to the decompress
+// stage as soon as its bytes land, so the network fetches of batch i+1
+// overlap the decompression of batch i instead of serializing inside one
+// fused open() per file.
 #pragma once
 
 #include <atomic>
@@ -12,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fanstore_fs.hpp"
 #include "posixfs/vfs.hpp"
 #include "util/thread_pool.hpp"
 
@@ -19,10 +27,18 @@ namespace fanstore::dlsim {
 
 class Prefetcher {
  public:
-  /// `fs` must outlive the prefetcher.
+  /// Generic warm-up via fused open()+close(). `fs` must outlive the
+  /// prefetcher.
   Prefetcher(posixfs::Vfs& fs, std::size_t threads);
 
-  /// Queues the batch for background warming; returns immediately.
+  /// Pipelined warm-up: `fetch_threads` stage network fetches while
+  /// `threads` decompress. `fs` must outlive the prefetcher.
+  Prefetcher(core::FanStoreFs& fs, std::size_t threads,
+             std::size_t fetch_threads = 2);
+
+  /// Queues the batch for background warming; returns immediately. Every
+  /// warmed entry ends up cached but *unpinned* (each open is paired with
+  /// a close), so prefetching never defeats eviction.
   void prefetch(const std::vector<std::string>& paths);
 
   /// Blocks until every queued path has been processed.
@@ -32,8 +48,12 @@ class Prefetcher {
   std::uint64_t failures() const { return failures_.load(); }
 
  private:
+  void warm(const std::string& path);
+
   posixfs::Vfs& fs_;
-  ThreadPool pool_;
+  core::FanStoreFs* fanstore_ = nullptr;  // non-null: pipelined mode
+  ThreadPool pool_;                        // decompress / cache-insert stage
+  std::unique_ptr<ThreadPool> fetch_pool_;  // network fetch stage
   std::atomic<std::uint64_t> warmed_{0};
   std::atomic<std::uint64_t> failures_{0};
 };

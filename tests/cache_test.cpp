@@ -1,8 +1,13 @@
-// Tests for the refcount-aware FIFO cache (§IV-C3, Fig. 4).
+// Tests for the refcount-aware FIFO cache (§IV-C3, Fig. 4) and its
+// sharded single-flight concurrency layer. Small-capacity caches
+// auto-degenerate to one shard, so the classic FIFO tests below exercise
+// exactly the seed semantics.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
+#include <vector>
 
 #include "core/cache.hpp"
 
@@ -134,6 +139,155 @@ TEST(PlainCacheTest, ConcurrentAcquireReleaseIsSafe) {
   for (auto& th : threads) th.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_LE(cache.bytes_used(), 10u * 1024u + 512u);
+}
+
+// --- Sharding -----------------------------------------------------------
+
+// Returns `count` distinct paths that all hash into `shard`.
+std::vector<std::string> paths_in_shard(const PlainCache& cache,
+                                        std::size_t shard, std::size_t count) {
+  std::vector<std::string> out;
+  for (int i = 0; out.size() < count; ++i) {
+    std::string p = "p" + std::to_string(i);
+    if (cache.shard_of(p) == shard) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+TEST(ShardedCacheTest, SmallCapacityDegeneratesToOneShard) {
+  PlainCache cache(1024);  // < 1 MiB: exactly the classic single pool
+  EXPECT_EQ(cache.shard_count(), 1u);
+}
+
+TEST(ShardedCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  PlainCache cache(64 << 20, 5);
+  EXPECT_EQ(cache.shard_count(), 8u);
+}
+
+TEST(ShardedCacheTest, CapacityEnforcedPerShardAndGlobally) {
+  PlainCache cache(4096, 4);  // 1024 B budget per shard
+  ASSERT_EQ(cache.shard_count(), 4u);
+  // Overfill shard 0: the third 400 B entry pushes past its 1024 B budget
+  // and must evict that shard's oldest unpinned entry...
+  const auto in0 = paths_in_shard(cache, 0, 3);
+  // ...while an entry in another shard feels no pressure at all.
+  const auto other = paths_in_shard(cache, 1, 1);
+  cache.acquire(other[0], [] { return blob(400, 9); });
+  cache.release(other[0]);
+  for (const auto& p : in0) {
+    cache.acquire(p, [] { return blob(400, 1); });
+    cache.release(p);
+  }
+  EXPECT_FALSE(cache.contains(in0[0]));  // oldest in shard 0: evicted
+  EXPECT_TRUE(cache.contains(in0[1]));
+  EXPECT_TRUE(cache.contains(in0[2]));
+  EXPECT_TRUE(cache.contains(other[0]));  // untouched shard
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.bytes_used(), cache.capacity());
+}
+
+TEST(ShardedCacheTest, PinnedEntriesSkipEvictionAcrossShards) {
+  PlainCache cache(4096, 4);
+  const auto in0 = paths_in_shard(cache, 0, 3);
+  auto pin = cache.acquire(in0[0], [] { return blob(400, 1); });  // stays pinned
+  for (std::size_t i = 1; i < in0.size(); ++i) {
+    cache.acquire(in0[i], [] { return blob(400, 2); });
+    cache.release(in0[i]);
+  }
+  EXPECT_TRUE(cache.contains(in0[0]));   // pinned: skipped under pressure
+  EXPECT_FALSE(cache.contains(in0[1]));  // oldest unpinned: evicted
+  EXPECT_TRUE(cache.contains(in0[2]));
+  cache.release(in0[0]);
+}
+
+TEST(ShardedCacheTest, OversizedPinnedEntryEvictedOnRelease) {
+  PlainCache cache(4096, 4);  // 1024 B budget per shard
+  const auto p = paths_in_shard(cache, 2, 1);
+  auto pin = cache.acquire(p[0], [] { return blob(3000, 7); });
+  EXPECT_TRUE(cache.contains(p[0]));  // over budget but pinned: admitted
+  cache.release(p[0]);
+  EXPECT_FALSE(cache.contains(p[0]));  // evicted the moment the pin drops
+  EXPECT_EQ(cache.bytes_used(), 0u);
+}
+
+TEST(ShardedCacheTest, OpenCountTracksPins) {
+  PlainCache cache(4096);
+  EXPECT_EQ(cache.open_count("f"), 0);
+  cache.acquire("f", [] { return blob(10, 1); });
+  cache.acquire("f", [] { return blob(10, 1); });
+  EXPECT_EQ(cache.open_count("f"), 2);
+  cache.release("f");
+  EXPECT_EQ(cache.open_count("f"), 1);
+  cache.release("f");
+  EXPECT_EQ(cache.open_count("f"), 0);  // cached but unpinned
+  EXPECT_TRUE(cache.contains("f"));
+}
+
+// --- Single-flight ------------------------------------------------------
+
+// Regression for the seed's duplicate-work window: two threads missing the
+// same path both ran the loader and the loser's insert double-charged the
+// pool. Under single-flight the loader must run exactly once however many
+// threads race the miss.
+TEST(SingleFlightTest, LoaderRunsOnceUnderConcurrentAcquires) {
+  PlainCache cache(1 << 20);
+  std::atomic<int> loader_runs{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const Bytes>> results(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      results[static_cast<std::size_t>(t)] = cache.acquire("hot", [&] {
+        loader_runs.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return blob(4096, 5);
+      });
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(loader_runs.load(), 1);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, static_cast<std::uint64_t>(kThreads) - 1);
+  EXPECT_GE(s.single_flight_waits, 1u);
+  for (const auto& r : results) {
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r.get(), results[0].get());  // all adopted the one load
+  }
+  EXPECT_EQ(cache.open_count("hot"), kThreads);  // every caller holds a pin
+  EXPECT_EQ(cache.bytes_used(), 4096u);          // charged exactly once
+  for (int t = 0; t < kThreads; ++t) cache.release("hot");
+}
+
+TEST(SingleFlightTest, LoaderFailurePropagatesToAllWaiters) {
+  PlainCache cache(1 << 20);
+  std::atomic<int> loader_runs{0};
+  std::atomic<int> caught{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      try {
+        cache.acquire("bad", [&]() -> Bytes {
+          loader_runs.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          throw std::runtime_error("io");
+        });
+      } catch (const std::runtime_error&) {
+        caught.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Every thread observed a failure; a thread that arrived after one
+  // in-flight load failed may have started its own, so the loader may run
+  // more than once — but never cached anything.
+  EXPECT_EQ(caught.load(), 6);
+  EXPECT_GE(loader_runs.load(), 1);
+  EXPECT_FALSE(cache.contains("bad"));
+  // A later successful load still works.
+  auto ok = cache.acquire("bad", [] { return blob(10, 1); });
+  EXPECT_EQ(ok->size(), 10u);
+  cache.release("bad");
 }
 
 }  // namespace

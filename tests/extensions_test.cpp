@@ -116,6 +116,85 @@ TEST(PrefetcherTest, WarmsTheCache) {
   });
 }
 
+TEST(PrefetcherTest, LeavesEntriesCachedButUnpinned) {
+  // Warm-up must not leak pins: every prefetch open is paired with a close,
+  // so `open_count` returns to zero and eviction still works afterwards.
+  mpi::run_world(1, [&](mpi::Comm& comm) {
+    core::Instance inst(comm, {});
+    const auto& reg = compress::Registry::instance();
+    const auto* codec = reg.by_name("lz4");
+    format::PartitionWriter w;
+    std::vector<std::string> paths;
+    for (int i = 0; i < 12; ++i) {
+      const std::string p = "ds/f" + std::to_string(i);
+      w.add(format::make_record(p, *codec, reg.id_of(*codec),
+                                as_view(testdata::random_bytes(4096, i))));
+      paths.push_back(p);
+    }
+    const Bytes blob = w.serialize();
+    inst.load_partition_blob(as_view(blob), 0);
+    inst.exchange_metadata();
+
+    dlsim::Prefetcher prefetcher(inst.fs(), 3);
+    prefetcher.prefetch(paths);
+    prefetcher.wait();
+    EXPECT_EQ(prefetcher.files_warmed(), 12u);
+    auto& cache = inst.fs().cache();
+    for (const auto& p : paths) {
+      EXPECT_TRUE(cache.contains(p)) << p;
+      EXPECT_EQ(cache.open_count(p), 0) << p;  // no refcount leak
+    }
+  });
+}
+
+TEST(PrefetcherTest, PipelinedRemoteWarmupStagesThenDecompresses) {
+  // Two ranks: rank 1 prefetches rank 0's files. The fetch stage lands the
+  // compressed blobs in rank 1's local backend (one remote fetch each);
+  // the decompress stage then fills the cache, so training-thread opens
+  // are pure hits with no further network traffic.
+  mpi::run_world(2, [&](mpi::Comm& comm) {
+    core::Instance inst(comm, {});
+    const auto& reg = compress::Registry::instance();
+    const auto* codec = reg.by_name("lz4hc");
+    std::vector<std::string> paths;
+    if (comm.rank() == 0) {
+      format::PartitionWriter w;
+      for (int i = 0; i < 8; ++i) {
+        const std::string p = "ds/r0_" + std::to_string(i);
+        w.add(format::make_record(p, *codec, reg.id_of(*codec),
+                                  as_view(testdata::text_like(6000, i))));
+      }
+      const Bytes blob = w.serialize();
+      inst.load_partition_blob(as_view(blob), 0);
+    }
+    for (int i = 0; i < 8; ++i) paths.push_back("ds/r0_" + std::to_string(i));
+    inst.exchange_metadata();
+    inst.start_daemon();
+    comm.barrier();
+
+    if (comm.rank() == 1) {
+      dlsim::Prefetcher prefetcher(inst.fs(), 2, /*fetch_threads=*/2);
+      prefetcher.prefetch(paths);
+      prefetcher.wait();
+      EXPECT_EQ(prefetcher.files_warmed(), 8u);
+      EXPECT_EQ(prefetcher.failures(), 0u);
+      const auto mid = inst.fs().stats();
+      EXPECT_EQ(mid.remote_fetches, 8u);  // one wire transfer per file
+      // The compressed bytes were staged locally by the fetch stage.
+      EXPECT_EQ(inst.backend().object_count(), 8u);
+      for (const auto& p : paths) {
+        (void)posixfs::read_file(inst.fs(), p);
+        EXPECT_EQ(inst.fs().cache().open_count(p), 0) << p;
+      }
+      const auto after = inst.fs().stats();
+      EXPECT_EQ(after.cache_hits - mid.cache_hits, 8u);    // all hits
+      EXPECT_EQ(after.remote_fetches, mid.remote_fetches);  // no refetch
+    }
+    comm.barrier();
+    inst.stop();
+  });
+}
+
 TEST(PrefetcherTest, MissingFilesCountAsFailures) {
   posixfs::MemVfs fs;
   posixfs::write_file(fs, "real", as_view(Bytes{1}));

@@ -51,10 +51,50 @@ TEST(RaceStressTest, CacheInsertEvictLookup) {
   const auto stats = cache.stats();
   EXPECT_EQ(stats.hits + stats.misses,
             static_cast<std::uint64_t>(kThreads) * kIters);
-  // Concurrent misses on one path may both run the loader, but only cached
-  // inserts count as misses; evictions must have kept the pool bounded once
-  // every pin is dropped.
-  EXPECT_GE(loader_runs.load(), static_cast<int>(stats.misses));
+  // Single-flight: every miss ran the loader exactly once — concurrent
+  // misses on one path coalesce; evictions must have kept the pool bounded
+  // once every pin is dropped.
+  EXPECT_EQ(loader_runs.load(), static_cast<int>(stats.misses));
+  EXPECT_LE(cache.bytes_used(), cache.capacity());
+}
+
+TEST(RaceStressTest, ShardedSingleFlightStress) {
+  // 8 threads over 12 hot paths in an 8-shard cache whose per-shard budget
+  // forces constant eviction: miss coalescing, shard FIFO pressure, waiter
+  // wake-ups, and the introspection calls all interleave densely (the TSan
+  // leg of tools/ci.sh runs this with FANSTORE_SANITIZE=thread).
+  core::PlainCache cache(96 * 1024, 8);
+  ASSERT_EQ(cache.shard_count(), 8u);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::atomic<int> loader_runs{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        // Low path cardinality: most iterations collide with another
+        // thread's in-flight load or pinned entry.
+        const std::string path = "hot" + std::to_string((t + i) % 12);
+        const auto data = cache.acquire(path, [&] {
+          loader_runs.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+          return Bytes(4096, static_cast<std::uint8_t>(path.back()));
+        });
+        ASSERT_EQ(data->size(), 4096u);
+        ASSERT_EQ((*data)[0], static_cast<std::uint8_t>(path.back()));
+        if (i % 3 == 0) cache.contains(path);
+        if (i % 5 == 0) cache.bytes_used();
+        if (i % 7 == 0) cache.open_count(path);
+        cache.release(path);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  // Structural single-flight invariant: a loader run is exactly a miss.
+  EXPECT_EQ(loader_runs.load(), static_cast<int>(stats.misses));
   EXPECT_LE(cache.bytes_used(), cache.capacity());
 }
 

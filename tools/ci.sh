@@ -25,6 +25,12 @@ run_pass() {
 
 run_pass "tier-1" build -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 
+# Hot-path perf smoke: quick sharded-vs-legacy cache sweep. Catches gross
+# concurrency regressions and refreshes BENCH_hotpath.json at the repo root
+# (run `build/bench/bench_hotpath` without --quick for the recorded numbers).
+echo "==== [bench] bench_hotpath --quick ===="
+build/bench/bench_hotpath --quick --json "$repo_root/BENCH_hotpath.json"
+
 if [ "${1:-}" = "--tier1-only" ]; then
   echo "ci.sh: tier-1 pass complete (sanitizer matrix skipped)"
   exit 0
