@@ -14,6 +14,11 @@
 // Emits BENCH_hotpath.json (threads-vs-throughput, both implementations)
 // — the repo's recorded perf trajectory. tools/ci.sh runs `--quick` as a
 // smoke test.
+//
+// Doubles as a metrics cross-check: the sharded cache's registry counters
+// are compared phase-by-phase against the bench's own bookkeeping (loader
+// invocations, issued ops) and the process exits non-zero on any mismatch,
+// so a silently dropped or double-counted metric fails CI.
 #include <atomic>
 #include <cstring>
 #include <functional>
@@ -27,6 +32,7 @@
 
 #include "bench/bench_util.hpp"
 #include "compress/registry.hpp"
+#include "obs/metrics.hpp"
 #include "core/cache.hpp"
 #include "core/instance.hpp"
 #include "mpi/comm.hpp"
@@ -246,9 +252,12 @@ int main(int argc, char** argv) {
   const std::size_t miss_capacity = files * kFileBytes / 4;  // 4x over-subscribed
 
   Series hit, miss;
+  bool metrics_ok = true;
   bench::section("Hot path: shared-epoch hit-heavy mix (open/read/close per sec)");
   bench::Table hit_table({"threads", "legacy 1-mutex kops/s", "sharded+SF kops/s",
                           "speedup", "loads legacy", "loads sharded"});
+  bench::Table hit_metrics_table(
+      {"threads", "cache.hits", "cache.misses", "sf-waits", "evictions"});
   for (const int t : thread_counts) {
     const std::size_t total_ops = static_cast<std::size_t>(t) * epoch_len;
 
@@ -311,8 +320,34 @@ int main(int argc, char** argv) {
                    bench::fmt("%.2fx", sharded_kops / legacy_kops),
                    std::to_string(legacy_loads.load()),
                    std::to_string(sharded_loads.load())});
+
+    // Cross-check the cache's registry counters against the bench's own
+    // bookkeeping: every loader invocation is a miss, everything else a hit.
+    const auto cstats = sharded.stats();
+    hit_metrics_table.row({std::to_string(t), std::to_string(cstats.hits),
+                           std::to_string(cstats.misses),
+                           std::to_string(cstats.single_flight_waits),
+                           std::to_string(cstats.evictions)});
+    if (cstats.misses != sharded_loads.load()) {
+      std::fprintf(stderr,
+                   "METRICS MISMATCH: cache.misses=%llu but the bench ran "
+                   "%llu loaders (t=%d)\n",
+                   static_cast<unsigned long long>(cstats.misses),
+                   static_cast<unsigned long long>(sharded_loads.load()), t);
+      metrics_ok = false;
+    }
+    if (cstats.hits + cstats.misses != total_ops) {
+      std::fprintf(stderr,
+                   "METRICS MISMATCH: hits+misses=%llu but the bench issued "
+                   "%zu acquires (t=%d)\n",
+                   static_cast<unsigned long long>(cstats.hits + cstats.misses),
+                   total_ops, t);
+      metrics_ok = false;
+    }
   }
   hit_table.print();
+  bench::section("Per-phase cache metric deltas (fresh cache per row)");
+  hit_metrics_table.print();
 
   bench::section("Hot path: miss-heavy mix, 4x over-subscribed cache");
   bench::Table miss_table(
@@ -336,7 +371,8 @@ int main(int argc, char** argv) {
 
   // --- End-to-end FanStoreFs open/read/close (post-PR path) --------------
   bench::section("FanStoreFs end-to-end open/read/close, warm cache");
-  bench::Table fs_table({"threads", "kops/s"});
+  bench::Table fs_table(
+      {"threads", "kops/s", "d fs.opens", "d cache.hits", "d fs.bytes_read"});
   std::vector<int> fs_threads;
   std::vector<double> fs_kops;
   mpi::run_world(1, [&](mpi::Comm& comm) {
@@ -357,6 +393,7 @@ int main(int argc, char** argv) {
 
     for (const int t : thread_counts) {
       const std::size_t per_thread = epoch_len;
+      const auto before = inst.metrics().snapshot();
       const double sec = timed_threads(t, [&](int tid) {
         Bytes buf(kFileBytes);
         std::size_t x = static_cast<std::size_t>(tid) * 40503u + 11;
@@ -370,11 +407,30 @@ int main(int argc, char** argv) {
           inst.fs().close(fd);
         }
       });
+      const auto after = inst.metrics().snapshot();
       const double kops =
           static_cast<double>(static_cast<std::size_t>(t) * per_thread) / sec / 1e3;
+      const std::uint64_t d_opens =
+          after.counter("fs.opens") - before.counter("fs.opens");
+      const std::uint64_t d_hits =
+          after.counter("cache.hits") - before.counter("cache.hits");
       fs_threads.push_back(t);
       fs_kops.push_back(kops);
-      fs_table.row({std::to_string(t), bench::fmt("%.1f", kops)});
+      fs_table.row(
+          {std::to_string(t), bench::fmt("%.1f", kops), std::to_string(d_opens),
+           std::to_string(d_hits),
+           std::to_string(after.counter("fs.bytes_read") -
+                          before.counter("fs.bytes_read"))});
+      // Warm cache + all paths valid: every issued open must land, as a hit.
+      const std::size_t issued = static_cast<std::size_t>(t) * per_thread;
+      if (d_opens != issued || d_hits != issued) {
+        std::fprintf(stderr,
+                     "METRICS MISMATCH: fs phase issued %zu opens but "
+                     "d(fs.opens)=%llu d(cache.hits)=%llu (t=%d)\n",
+                     issued, static_cast<unsigned long long>(d_opens),
+                     static_cast<unsigned long long>(d_hits), t);
+        metrics_ok = false;
+      }
     }
   });
   fs_table.print();
@@ -427,5 +483,12 @@ int main(int argc, char** argv) {
                json_array(fs_threads).c_str(), json_array(fs_kops).c_str());
   std::fclose(out);
   std::printf("wrote %s\n", json_path.c_str());
+  if (!metrics_ok) {
+    std::fprintf(stderr,
+                 "bench_hotpath: registry counters disagree with bench "
+                 "bookkeeping (see METRICS MISMATCH above)\n");
+    return 1;
+  }
+  std::printf("metrics cross-check: OK\n");
   return 0;
 }

@@ -6,6 +6,11 @@
 // the metadata-storm-free enumeration step.
 //
 // Run: ./imagenet_resnet [--nodes=8] [--epochs=2] [--batch=16]
+//                         [--trace=trace.json] [--metrics]
+//
+// --trace=PATH records every fs/cache/daemon/trainer span into a Chrome
+// trace (open chrome://tracing or https://ui.perfetto.dev and load the
+// file); --metrics dumps rank 0's metric registry after training.
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
@@ -13,6 +18,8 @@
 #include "dlsim/apps.hpp"
 #include "dlsim/datagen.hpp"
 #include "dlsim/trainer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "posixfs/interceptor.hpp"
 #include "posixfs/mem_vfs.hpp"
 #include "prep/prepare.hpp"
@@ -26,6 +33,9 @@ int main(int argc, char** argv) {
   const int nodes = static_cast<int>(args.get_int("nodes", 8));
   const int epochs = static_cast<int>(args.get_int("epochs", 2));
   const std::size_t batch = static_cast<std::size_t>(args.get_int("batch", 16));
+  const std::string trace_path = args.get("trace", "");
+  const bool dump_metrics = args.get_bool("metrics", false);
+  if (!trace_path.empty()) obs::TraceRecorder::global().enable(true);
 
   const auto app = dlsim::resnet50_gtx();
   const auto cluster = simnet::gtx_cluster();
@@ -58,6 +68,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<double> tput(static_cast<std::size_t>(nodes), 0.0);
+  std::string metrics_text;  // rank 0's registry dump, printed after the world
   mpi::run_world(nodes, [&](mpi::Comm& comm) {
     simnet::VirtualClock clock;
     core::Instance::Options opt;
@@ -91,6 +102,7 @@ int main(int argc, char** argv) {
     topt.io_parallelism = 4;
     topt.io_clock = &clock;
     topt.comm = &comm;
+    topt.metrics = &inst.metrics();
     const auto result = dlsim::run_training(posix, files, topt);
     tput[static_cast<std::size_t>(comm.rank())] = result.items_per_s;
 
@@ -114,8 +126,18 @@ int main(int argc, char** argv) {
       std::printf("wrote %d checkpoints (write-once, metadata forwarded)\n", epochs);
     }
     comm.barrier();
+    if (comm.rank() == 0) metrics_text = inst.metrics_dump();
     inst.stop();
   });
+
+  if (!trace_path.empty()) {
+    obs::TraceRecorder::global().write_chrome_json(trace_path);
+    std::printf("wrote %zu trace events to %s (load in chrome://tracing)\n",
+                obs::TraceRecorder::global().event_count(), trace_path.c_str());
+  }
+  if (dump_metrics) {
+    std::printf("\n--- rank 0 metrics ---\n%s", metrics_text.c_str());
+  }
 
   double total = 0;
   for (double t : tput) total += t;

@@ -28,8 +28,19 @@ std::size_t pick_shards(std::size_t capacity_bytes, std::size_t requested) {
 
 }  // namespace
 
-PlainCache::PlainCache(std::size_t capacity_bytes, std::size_t shards)
+PlainCache::PlainCache(std::size_t capacity_bytes, std::size_t shards,
+                       obs::MetricsRegistry* metrics)
     : capacity_(capacity_bytes) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  hits_ = &metrics->counter("cache.hits");
+  misses_ = &metrics->counter("cache.misses");
+  evictions_ = &metrics->counter("cache.evictions");
+  waits_ = &metrics->counter("cache.single_flight_waits");
+  bytes_gauge_ = &metrics->gauge("cache.bytes_used");
   const std::size_t n = pick_shards(capacity_bytes, shards);
   shard_mask_ = n - 1;
   shards_.reserve(n);
@@ -59,6 +70,7 @@ std::shared_ptr<const Bytes> PlainCache::insert_pinned_locked(
   e.fifo_pos = std::prev(s.fifo.end());
   e.in_fifo = true;
   s.bytes_used += e.data->size();
+  bytes_gauge_->add(static_cast<std::int64_t>(e.data->size()));
   auto result = e.data;
   s.entries.emplace(path, std::move(e));
   evict_if_needed_locked(s);
@@ -76,7 +88,7 @@ std::shared_ptr<const Bytes> PlainCache::acquire(
       const auto it = s.entries.find(path);
       if (it != s.entries.end()) {
         it->second.open_count++;
-        s.hits.fetch_add(1, std::memory_order_relaxed);
+        hits_->inc();
         if (loaded != nullptr) *loaded = false;
         return it->second.data;
       }
@@ -85,10 +97,10 @@ std::shared_ptr<const Bytes> PlainCache::acquire(
       // Another thread is already loading this path: wait for it instead
       // of duplicating the fetch+decompress (single-flight).
       flight = fit->second;
-      s.waits.fetch_add(1, std::memory_order_relaxed);
+      waits_->inc();
       s.load_done.wait(s.mu, [&] { return flight->done; });
       if (flight->error != nullptr) std::rethrow_exception(flight->error);
-      s.hits.fetch_add(1, std::memory_order_relaxed);
+      hits_->inc();
       if (loaded != nullptr) *loaded = false;
       const auto again = s.entries.find(path);
       if (again != s.entries.end()) {
@@ -117,7 +129,7 @@ std::shared_ptr<const Bytes> PlainCache::acquire(
   }
   if (loaded != nullptr) *loaded = true;
   sync::MutexLock lk(s.mu);
-  s.misses.fetch_add(1, std::memory_order_relaxed);
+  misses_->inc();
   flight->data = data;
   flight->done = true;
   s.inflight.erase(path);
@@ -148,7 +160,8 @@ void PlainCache::evict_if_needed_locked(Shard& s) {
       continue;
     }
     s.bytes_used -= it->second.data->size();
-    s.evictions.fetch_add(1, std::memory_order_relaxed);
+    bytes_gauge_->add(-static_cast<std::int64_t>(it->second.data->size()));
+    evictions_->inc();
     pos = s.fifo.erase(pos);
     s.entries.erase(it);
   }
@@ -178,12 +191,10 @@ std::size_t PlainCache::bytes_used() const {
 
 PlainCache::CacheStats PlainCache::stats() const {
   CacheStats out;
-  for (const auto& s : shards_) {
-    out.hits += s->hits.load(std::memory_order_relaxed);
-    out.misses += s->misses.load(std::memory_order_relaxed);
-    out.evictions += s->evictions.load(std::memory_order_relaxed);
-    out.single_flight_waits += s->waits.load(std::memory_order_relaxed);
-  }
+  out.hits = hits_->value();
+  out.misses = misses_->value();
+  out.evictions = evictions_->value();
+  out.single_flight_waits = waits_->value();
   return out;
 }
 

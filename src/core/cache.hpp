@@ -10,11 +10,11 @@
 // never contend. Misses are *single-flight*: concurrent acquires of one
 // path run the loader exactly once — the winner loads with no lock held,
 // everyone else blocks on the shard's condvar and adopts the result (or the
-// loader's exception). Stats are per-shard relaxed atomics aggregated on
-// read.
+// loader's exception). Stats live in an obs::MetricsRegistry (names
+// "cache.*", see DESIGN.md §7): relaxed-atomic counters the shards bump
+// lock-free; CacheStats/stats() remain as thin read shims over them.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/bytes.hpp"
 #include "util/sync.hpp"
 
@@ -35,8 +36,11 @@ class PlainCache {
   /// release). `shards` is rounded up to a power of two; 0 picks a default
   /// that keeps each shard's budget at least 1 MiB (so small caches — unit
   /// tests, tiny configs — degenerate to one shard with exactly the classic
-  /// single-pool FIFO semantics).
-  explicit PlainCache(std::size_t capacity_bytes, std::size_t shards = 0);
+  /// single-pool FIFO semantics). `metrics` receives the "cache.*" counters
+  /// and the "cache.bytes_used" gauge; nullptr gives the cache a private
+  /// registry (standalone uses keep working unchanged).
+  explicit PlainCache(std::size_t capacity_bytes, std::size_t shards = 0,
+                      obs::MetricsRegistry* metrics = nullptr);
 
   /// Returns the decompressed contents of `path`, pinning the entry
   /// (open-counter + 1). On miss, `loader` is invoked outside any lock and
@@ -65,6 +69,8 @@ class PlainCache {
   /// (e.g. asserting the prefetcher leaks no pins).
   int open_count(const std::string& path) const;
 
+  /// Read shim over the "cache.*" registry counters (the one authoritative
+  /// home of these stats since the observability PR).
   struct CacheStats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -74,6 +80,9 @@ class PlainCache {
     std::uint64_t single_flight_waits = 0;
   };
   CacheStats stats() const;
+
+  /// The registry holding this cache's metrics (injected or private).
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
 
  private:
   struct Entry {
@@ -100,11 +109,6 @@ class PlainCache {
     std::list<std::string> fifo GUARDED_BY(mu);  // insertion order, oldest first
     std::size_t bytes_used GUARDED_BY(mu) = 0;
     std::size_t budget = 0;  // immutable after construction
-    // Hot counters: relaxed atomics so the hit path takes exactly one lock.
-    std::atomic<std::uint64_t> hits{0};
-    std::atomic<std::uint64_t> misses{0};
-    std::atomic<std::uint64_t> evictions{0};
-    std::atomic<std::uint64_t> waits{0};
   };
 
   Shard& shard_for(const std::string& path) const;
@@ -112,11 +116,21 @@ class PlainCache {
   std::shared_ptr<const Bytes> insert_pinned_locked(
       Shard& s, const std::string& path, std::shared_ptr<const Bytes> data)
       REQUIRES(s.mu);
-  static void evict_if_needed_locked(Shard& s) REQUIRES(s.mu);
+  void evict_if_needed_locked(Shard& s) REQUIRES(s.mu);
 
   const std::size_t capacity_;
   std::size_t shard_mask_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Registry-homed stats (the hit path still does exactly one lock plus
+  // one relaxed atomic add; Counter is cache-line padded).
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // when not injected
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
+  obs::Counter* waits_ = nullptr;
+  obs::Gauge* bytes_gauge_ = nullptr;
 };
 
 }  // namespace fanstore::core

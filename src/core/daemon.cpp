@@ -1,6 +1,8 @@
 #include "core/daemon.hpp"
 
+#include "obs/trace.hpp"
 #include "util/log.hpp"
+#include "util/timer.hpp"
 
 namespace fanstore::core {
 
@@ -29,8 +31,18 @@ Bytes encode_write_meta(std::string_view path, const format::FileStat& stat) {
   return out;
 }
 
-Daemon::Daemon(mpi::Comm comm, MetadataStore* meta, CompressedBackend* backend)
-    : comm_(comm), meta_(meta), backend_(backend) {}
+Daemon::Daemon(mpi::Comm comm, MetadataStore* meta, CompressedBackend* backend,
+               obs::MetricsRegistry* metrics)
+    : comm_(comm), meta_(meta), backend_(backend) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  fetches_served_ = &metrics->counter("daemon.fetches_served");
+  meta_received_ = &metrics->counter("daemon.meta_forwards");
+  fetch_bytes_ = &metrics->counter("daemon.fetch_bytes");
+  serve_us_ = &metrics->histogram("daemon.serve_us");
+}
 
 Daemon::~Daemon() { stop(); }
 
@@ -71,6 +83,8 @@ void Daemon::serve() {
 }
 
 void Daemon::handle_fetch(const mpi::Message& msg) {
+  obs::TraceSpan span("daemon.fetch");
+  WallTimer timer;
   if (msg.payload.size() < 4) {
     // Cannot even parse the reply tag; nothing sensible to do but log.
     FANSTORE_LOG_WARN("daemon rank ", comm_.rank(), ": malformed fetch request");
@@ -92,12 +106,15 @@ void Daemon::handle_fetch(const mpi::Message& msg) {
   }
   const auto stat = meta_->lookup(path);
   const std::uint64_t raw_size = stat ? stat->size : 0;
+  fetch_bytes_->inc(blob->data.size());
   comm_.send(msg.source, static_cast<int>(reply_tag),
              encode_fetch_reply(kFetchOk, &*blob, raw_size));
-  fetches_served_.fetch_add(1, std::memory_order_relaxed);
+  fetches_served_->inc();
+  serve_us_->record(static_cast<std::uint64_t>(timer.elapsed_us()));
 }
 
 void Daemon::handle_write_meta(const mpi::Message& msg) {
+  obs::TraceSpan span("daemon.write_meta");
   if (msg.payload.size() < 2) {
     FANSTORE_LOG_WARN("daemon rank ", comm_.rank(), ": malformed write-meta");
     return;
@@ -110,7 +127,7 @@ void Daemon::handle_write_meta(const mpi::Message& msg) {
   const std::string path(reinterpret_cast<const char*>(msg.payload.data()) + 2, len);
   const auto stat = format::FileStat::deserialize(msg.payload.data() + 2 + len);
   meta_->insert(path, stat);
-  meta_received_.fetch_add(1, std::memory_order_relaxed);
+  meta_received_->inc();
 }
 
 }  // namespace fanstore::core

@@ -9,11 +9,13 @@
 #pragma once
 
 #include <atomic>
+#include <memory>
 #include <thread>
 
 #include "core/backend.hpp"
 #include "core/metadata_store.hpp"
 #include "mpi/comm.hpp"
+#include "obs/metrics.hpp"
 #include "util/sync.hpp"
 
 namespace fanstore::core {
@@ -41,7 +43,12 @@ Bytes encode_write_meta(std::string_view path, const format::FileStat& stat);
 
 class Daemon {
  public:
-  Daemon(mpi::Comm comm, MetadataStore* meta, CompressedBackend* backend);
+  /// `metrics` receives the "daemon.*" counters and the request-service
+  /// latency histogram; nullptr gives the daemon a private registry.
+  /// Instance injects its per-rank registry so one snapshot covers
+  /// fs + cache + daemon.
+  Daemon(mpi::Comm comm, MetadataStore* meta, CompressedBackend* backend,
+         obs::MetricsRegistry* metrics = nullptr);
   ~Daemon();
 
   Daemon(const Daemon&) = delete;
@@ -52,8 +59,9 @@ class Daemon {
   /// Idempotent; sends a self-addressed shutdown message and joins.
   void stop() EXCLUDES(lifecycle_mu_);
 
-  std::uint64_t fetches_served() const { return fetches_served_.load(); }
-  std::uint64_t meta_forwards_received() const { return meta_received_.load(); }
+  // Thin shims over the "daemon.*" registry counters.
+  std::uint64_t fetches_served() const { return fetches_served_->value(); }
+  std::uint64_t meta_forwards_received() const { return meta_received_->value(); }
 
  private:
   void serve();
@@ -69,8 +77,11 @@ class Daemon {
   sync::Mutex lifecycle_mu_{"daemon.lifecycle_mu"};
   std::thread thread_ GUARDED_BY(lifecycle_mu_);
   std::atomic<bool> running_{false};
-  std::atomic<std::uint64_t> fetches_served_{0};
-  std::atomic<std::uint64_t> meta_received_{0};
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // when not injected
+  obs::Counter* fetches_served_;
+  obs::Counter* meta_received_;
+  obs::Counter* fetch_bytes_;
+  obs::Histogram* serve_us_;
 };
 
 }  // namespace fanstore::core

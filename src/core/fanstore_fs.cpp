@@ -6,8 +6,24 @@
 #include "compress/registry.hpp"
 #include "util/crc32.hpp"
 #include "util/log.hpp"
+#include "util/timer.hpp"
 
 namespace fanstore::core {
+
+FanStoreFs::IoMetrics::IoMetrics(obs::MetricsRegistry& m)
+    : opens(m.counter("fs.opens")),
+      cache_hits(m.counter("cache.hits")),
+      local_misses(m.counter("fs.local_misses")),
+      remote_fetches(m.counter("fs.remote_fetches")),
+      direct_fetches(m.counter("fs.direct_fetches")),
+      bytes_read(m.counter("fs.bytes_read")),
+      bytes_written(m.counter("fs.bytes_written")),
+      remote_bytes(m.counter("fs.remote_bytes")),
+      failovers(m.counter("fs.failovers")),
+      open_us(m.histogram("fs.open_us")),
+      read_us(m.histogram("fs.read_us")),
+      load_us(m.histogram("fs.load_us")),
+      fetch_us(m.histogram("fs.fetch_us")) {}
 
 FanStoreFs::FanStoreFs(mpi::Comm comm, MetadataStore* meta,
                        CompressedBackend* backend, Options options)
@@ -15,7 +31,13 @@ FanStoreFs::FanStoreFs(mpi::Comm comm, MetadataStore* meta,
       meta_(meta),
       backend_(backend),
       options_(options),
-      cache_(options.cache_bytes, options.cache_shards) {}
+      owned_metrics_(options.metrics != nullptr
+                         ? nullptr
+                         : std::make_unique<obs::MetricsRegistry>()),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : owned_metrics_.get()),
+      cache_(options.cache_bytes, options.cache_shards, metrics_),
+      io_(*metrics_) {}
 
 int FanStoreFs::home_rank(std::string_view path) const {
   return static_cast<int>(std::hash<std::string_view>{}(path) %
@@ -24,6 +46,7 @@ int FanStoreFs::home_rank(std::string_view path) const {
 
 std::optional<Blob> FanStoreFs::fetch_from(int rank, const std::string& path,
                                            const format::FileStat& stat) {
+  obs::TraceSpan span("fs.fetch", options_.clock);
   // Node-local fast path: a peer registered in the PeerDirectory is read
   // directly — no request encode, reply buffer, or daemon-thread hop. The
   // network cost model is still charged: ranks model nodes, the directory
@@ -34,9 +57,9 @@ std::optional<Blob> FanStoreFs::fetch_from(int rank, const std::string& path,
       if (!direct) return std::nullopt;
       charge(options_.cost.network.transfer_time(direct->data.size(),
                                                  options_.cost.nodes));
-      bump(stats_.remote_fetches);
-      bump(stats_.direct_fetches);
-      bump(stats_.remote_bytes, direct->data.size());
+      io_.remote_fetches.inc();
+      io_.direct_fetches.inc();
+      io_.remote_bytes.inc(direct->data.size());
       return direct;
     }
   }
@@ -65,8 +88,8 @@ std::optional<Blob> FanStoreFs::fetch_from(int rank, const std::string& path,
   fetched.data.assign(reply->payload.begin() + 11, reply->payload.end());
   if (raw_size != stat.size) return std::nullopt;
   charge(options_.cost.network.transfer_time(fetched.data.size(), options_.cost.nodes));
-  bump(stats_.remote_fetches);
-  bump(stats_.remote_bytes, fetched.data.size());
+  io_.remote_fetches.inc();
+  io_.remote_bytes.inc(fetched.data.size());
   return fetched;
 }
 
@@ -76,17 +99,21 @@ std::optional<Blob> FanStoreFs::fetch_remote(const std::string& path,
   // timeout or miss, fail over around the ring where replicate_ring()
   // may have placed copies.
   const int owner = static_cast<int>(stat.owner_rank);
+  WallTimer timer;
   std::optional<Blob> blob;
   for (int hop = 0; hop <= options_.failover_hops && !blob; ++hop) {
     const int candidate = (owner + hop) % comm_.size();
     if (candidate == comm_.rank()) continue;  // local backend already missed
     blob = fetch_from(candidate, path, stat);
-    if (blob && hop > 0) bump(stats_.failovers);
+    if (blob && hop > 0) io_.failovers.inc();
   }
+  io_.fetch_us.record(static_cast<std::uint64_t>(timer.elapsed_us()));
   return blob;
 }
 
 Bytes FanStoreFs::load_plain(const std::string& path, const format::FileStat& stat) {
+  obs::TraceSpan span("fs.load", options_.clock);
+  WallTimer timer;
   std::optional<Blob> blob = backend_->get(path);
   if (!blob && static_cast<int>(stat.owner_rank) != comm_.rank()) {
     blob = fetch_remote(path, stat);
@@ -94,7 +121,7 @@ Bytes FanStoreFs::load_plain(const std::string& path, const format::FileStat& st
       throw std::runtime_error("fanstore: remote fetch failed for " + path);
     }
   } else if (blob) {
-    bump(stats_.local_misses);
+    io_.local_misses.inc();
   }
   if (!blob) {
     throw std::runtime_error("fanstore: owner rank has no data for " + path);
@@ -112,6 +139,7 @@ Bytes FanStoreFs::load_plain(const std::string& path, const format::FileStat& st
     charge(simnet::CodecSpeedTable::shared().decompress_seconds(blob->compressor,
                                                                 plain.size()));
   }
+  io_.load_us.record(static_cast<std::uint64_t>(timer.elapsed_us()));
   return plain;
 }
 
@@ -137,6 +165,8 @@ bool FanStoreFs::prefetch_compressed(std::string_view path_in) {
 }
 
 int FanStoreFs::open(std::string_view path_in, posixfs::OpenMode mode) {
+  obs::TraceSpan span("fs.open", options_.clock);
+  WallTimer timer;
   const std::string path = posixfs::normalize_path(path_in);
   if (path.empty()) return -EINVAL;
   charge_metadata();
@@ -165,18 +195,17 @@ int FanStoreFs::open(std::string_view path_in, posixfs::OpenMode mode) {
   charge(options_.cost.read_path.per_op_s);
 
   std::shared_ptr<const Bytes> pinned;
-  bool was_miss = false;
   try {
     // The loader (fetch + decompress) runs inside the cache's single-flight
     // slot with no FanStoreFs lock held; concurrent opens of one path load
-    // it once and share the result.
-    pinned = cache_.acquire(path, [&] { return load_plain(path, *stat); }, &was_miss);
+    // it once and share the result. Hit/miss accounting lives in the
+    // cache's own "cache.*" counters (same registry).
+    pinned = cache_.acquire(path, [&] { return load_plain(path, *stat); });
   } catch (const std::exception& e) {
     FANSTORE_LOG_WARN("fanstore open(", path, "): ", e.what());
     return -EIO;
   }
-  bump(stats_.opens);
-  if (!was_miss) bump(stats_.cache_hits);
+  io_.opens.inc();
   auto of = std::make_shared<OpenFile>();
   of->path = path;
   of->mode = mode;
@@ -184,10 +213,12 @@ int FanStoreFs::open(std::string_view path_in, posixfs::OpenMode mode) {
   sync::MutexLock lk(fd_mu_);
   const int fd = next_fd_++;
   open_files_[fd] = std::move(of);
+  io_.open_us.record(static_cast<std::uint64_t>(timer.elapsed_us()));
   return fd;
 }
 
 int FanStoreFs::close(int fd) {
+  obs::TraceSpan span("fs.close", options_.clock);
   std::shared_ptr<OpenFile> of;
   {
     sync::MutexLock lk(fd_mu_);
@@ -233,11 +264,13 @@ int FanStoreFs::close(int fd) {
     sync::MutexLock lk(writer_mu_);
     writing_.erase(of->path);
   }
-  bump(stats_.bytes_written, stat.size);
+  io_.bytes_written.inc(stat.size);
   return 0;
 }
 
 std::int64_t FanStoreFs::read(int fd, MutByteView buf) {
+  obs::TraceSpan span("fs.read", options_.clock);
+  WallTimer timer;
   std::shared_ptr<OpenFile> of;
   {
     sync::MutexLock lk(fd_mu_);
@@ -259,7 +292,8 @@ std::int64_t FanStoreFs::read(int fd, MutByteView buf) {
     of->offset += static_cast<std::int64_t>(n);
   }
   charge(static_cast<double>(n) / options_.cost.read_path.bandwidth_bps);
-  bump(stats_.bytes_read, n);
+  io_.bytes_read.inc(n);
+  io_.read_us.record(static_cast<std::uint64_t>(timer.elapsed_us()));
   return static_cast<std::int64_t>(n);
 }
 
@@ -341,16 +375,18 @@ int FanStoreFs::closedir(int dir_handle) {
 }
 
 FanStoreFs::IoStats FanStoreFs::stats() const {
+  // Thin shim over the registry — the counters themselves are the source
+  // of truth (fanstore_metrics_dump() and stats() can never disagree).
   IoStats out;
-  out.opens = stats_.opens.load(std::memory_order_relaxed);
-  out.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);
-  out.local_misses = stats_.local_misses.load(std::memory_order_relaxed);
-  out.remote_fetches = stats_.remote_fetches.load(std::memory_order_relaxed);
-  out.direct_fetches = stats_.direct_fetches.load(std::memory_order_relaxed);
-  out.bytes_read = stats_.bytes_read.load(std::memory_order_relaxed);
-  out.bytes_written = stats_.bytes_written.load(std::memory_order_relaxed);
-  out.remote_bytes = stats_.remote_bytes.load(std::memory_order_relaxed);
-  out.failovers = stats_.failovers.load(std::memory_order_relaxed);
+  out.opens = io_.opens.value();
+  out.cache_hits = io_.cache_hits.value();
+  out.local_misses = io_.local_misses.value();
+  out.remote_fetches = io_.remote_fetches.value();
+  out.direct_fetches = io_.direct_fetches.value();
+  out.bytes_read = io_.bytes_read.value();
+  out.bytes_written = io_.bytes_written.value();
+  out.remote_bytes = io_.remote_bytes.value();
+  out.failovers = io_.failovers.value();
   return out;
 }
 

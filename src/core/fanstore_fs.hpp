@@ -12,9 +12,13 @@
 // Hot-path concurrency (see DESIGN.md "Hot path"): unrelated opens never
 // serialize on one lock. The fd table, dir table, and writer set each have
 // their own mutex; per-fd read/write/seek state is guarded by a per-file
-// mutex so read() copies proceed in parallel; IoStats counters are relaxed
-// atomics; and fetch+decompress runs with no FanStoreFs lock held (inside
-// the cache's single-flight loader).
+// mutex so read() copies proceed in parallel; I/O counters are lock-free
+// obs::MetricsRegistry counters ("fs.*"/"cache.*", DESIGN.md §7) with
+// IoStats/stats() kept as a thin read shim; and fetch+decompress runs with
+// no FanStoreFs lock held (inside the cache's single-flight loader).
+//
+// Observability: every open/read/close emits a TraceSpan (wall + virtual
+// clock) and open/read/load/fetch latencies feed log-scale histograms.
 //
 // Device/network time is charged to an optional VirtualClock via the cost
 // models; all data movement is real.
@@ -22,6 +26,7 @@
 
 #include <atomic>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "core/backend.hpp"
@@ -29,6 +34,8 @@
 #include "core/daemon.hpp"
 #include "core/metadata_store.hpp"
 #include "mpi/comm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "posixfs/vfs.hpp"
 #include "simnet/codec_speed.hpp"
 #include "simnet/models.hpp"
@@ -69,9 +76,15 @@ class FanStoreFs final : public posixfs::Vfs {
     /// without the daemon round-trip (same cost charged). nullptr keeps
     /// the pure message-passing path.
     const PeerDirectory* peers = nullptr;
+    /// Registry receiving the "fs.*" and "cache.*" metrics. nullptr gives
+    /// the fs a private registry (one per FanStoreFs; Instance injects a
+    /// per-rank registry shared with its daemon).
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
-  /// Plain snapshot of the I/O counters (see stats()).
+  /// Plain snapshot of the I/O counters (see stats()) — a read shim over
+  /// the metrics registry, kept so pre-observability callers compile
+  /// unchanged.
   struct IoStats {
     std::uint64_t opens = 0;
     std::uint64_t cache_hits = 0;
@@ -110,6 +123,9 @@ class FanStoreFs final : public posixfs::Vfs {
   PlainCache& cache() { return cache_; }
   const PlainCache& cache() const { return cache_; }
 
+  /// The registry holding this fs's metrics (injected or private).
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
+
   /// Home rank for a path's write metadata (§V-D "node with the
   /// corresponding rank").
   int home_rank(std::string_view path) const;
@@ -131,18 +147,25 @@ class FanStoreFs final : public posixfs::Vfs {
     std::size_t next = 0;
   };
 
-  /// Relaxed-atomic twin of IoStats: the hot path increments without any
-  /// lock; stats() takes a (torn-but-monotonic) snapshot.
-  struct AtomicIoStats {
-    std::atomic<std::uint64_t> opens{0};
-    std::atomic<std::uint64_t> cache_hits{0};
-    std::atomic<std::uint64_t> local_misses{0};
-    std::atomic<std::uint64_t> remote_fetches{0};
-    std::atomic<std::uint64_t> direct_fetches{0};
-    std::atomic<std::uint64_t> bytes_read{0};
-    std::atomic<std::uint64_t> bytes_written{0};
-    std::atomic<std::uint64_t> remote_bytes{0};
-    std::atomic<std::uint64_t> failovers{0};
+  /// Stable references into the registry, bound once at construction so
+  /// the hot path never does a name lookup. `cache_hits` aliases the
+  /// cache's own "cache.hits" counter — the former near-duplicate fs copy
+  /// is gone.
+  struct IoMetrics {
+    explicit IoMetrics(obs::MetricsRegistry& m);
+    obs::Counter& opens;
+    obs::Counter& cache_hits;  // alias of "cache.hits"
+    obs::Counter& local_misses;
+    obs::Counter& remote_fetches;
+    obs::Counter& direct_fetches;
+    obs::Counter& bytes_read;
+    obs::Counter& bytes_written;
+    obs::Counter& remote_bytes;
+    obs::Counter& failovers;
+    obs::Histogram& open_us;
+    obs::Histogram& read_us;
+    obs::Histogram& load_us;
+    obs::Histogram& fetch_us;
   };
 
   void charge(double sec) const {
@@ -152,9 +175,6 @@ class FanStoreFs final : public posixfs::Vfs {
   }
   void charge_metadata() const {
     charge(options_.cost.read_path.metadata_op_s);
-  }
-  void bump(std::atomic<std::uint64_t>& counter, std::uint64_t n = 1) const {
-    counter.fetch_add(n, std::memory_order_relaxed);
   }
 
   /// Loads + decompresses `path` (Fig. 2), charging fetch/decompress costs.
@@ -173,7 +193,10 @@ class FanStoreFs final : public posixfs::Vfs {
   MetadataStore* meta_;
   CompressedBackend* backend_;
   Options options_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // when not injected
+  obs::MetricsRegistry* metrics_;
   PlainCache cache_;
+  IoMetrics io_;
 
   // Lock order (see DESIGN.md "Concurrency invariants"): fd_mu_, dir_mu_,
   // and writer_mu_ are independent leaves — never nested with each other,
@@ -189,7 +212,6 @@ class FanStoreFs final : public posixfs::Vfs {
   mutable sync::Mutex writer_mu_{"fanstore_fs.writer_mu"};
   std::set<std::string> writing_ GUARDED_BY(writer_mu_);  // in-flight writers
   std::atomic<std::uint32_t> reply_seq_{0};
-  AtomicIoStats stats_;
 };
 
 }  // namespace fanstore::core

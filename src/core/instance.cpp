@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace fanstore::core {
@@ -19,8 +20,15 @@ Instance::Instance(mpi::Comm comm, Options options)
     options_.peers->add(comm_.rank(), backend_.get());
     options_.fs.peers = options_.peers;
   }
+  // One registry per rank, shared by the fs (and its cache) and the
+  // daemon, so a single snapshot tells the rank's whole I/O story.
+  if (options_.fs.metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    options_.fs.metrics = owned_metrics_.get();
+  }
   fs_ = std::make_unique<FanStoreFs>(comm_, &meta_, backend_.get(), options_.fs);
-  daemon_ = std::make_unique<Daemon>(comm_, &meta_, backend_.get());
+  daemon_ = std::make_unique<Daemon>(comm_, &meta_, backend_.get(),
+                                     options_.fs.metrics);
 }
 
 Instance::~Instance() { stop(); }
@@ -165,6 +173,10 @@ std::string Instance::stats_report() const {
       static_cast<unsigned long long>(daemon_->fetches_served()),
       static_cast<unsigned long long>(daemon_->meta_forwards_received()));
   return buf;
+}
+
+std::string Instance::metrics_dump(bool json) const {
+  return obs::metrics_dump(fs_->metrics(), json);
 }
 
 void Instance::start_daemon() { daemon_->start(); }

@@ -32,6 +32,9 @@ class Instance {
     /// outlive every Instance registered in it.
     PeerDirectory* peers = nullptr;
   };
+  // Observability: set `fs.metrics` to inject a registry; otherwise the
+  // Instance creates one per rank and shares it across fs + cache + daemon
+  // (see metrics() / metrics_dump()).
 
   Instance(mpi::Comm comm, Options options);
   ~Instance();
@@ -68,6 +71,13 @@ class Instance {
   /// traffic, cache occupancy, backend size, daemon counters).
   std::string stats_report() const;
 
+  /// This rank's metric registry (fs + cache + daemon counters and
+  /// latency histograms).
+  obs::MetricsRegistry& metrics() const { return fs_->metrics(); }
+
+  /// Full metric snapshot, text or JSON (obs::metrics_dump).
+  std::string metrics_dump(bool json = false) const;
+
   FanStoreFs& fs() { return *fs_; }
   MetadataStore& metadata() { return meta_; }
   CompressedBackend& backend() { return *backend_; }
@@ -77,6 +87,7 @@ class Instance {
  private:
   mpi::Comm comm_;
   Options options_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // when not injected
   MetadataStore meta_;
   std::unique_ptr<CompressedBackend> backend_;
   std::unique_ptr<FanStoreFs> fs_;

@@ -1,9 +1,19 @@
 #include "dlsim/prefetcher.hpp"
 
+#include "obs/trace.hpp"
+
 namespace fanstore::dlsim {
 
+void Prefetcher::bind_metrics(obs::MetricsRegistry& m) {
+  warmed_ = &m.counter("prefetch.warmed");
+  failures_ = &m.counter("prefetch.failures");
+  fetch_staged_ = &m.counter("prefetch.fetch_staged");
+}
+
 Prefetcher::Prefetcher(posixfs::Vfs& fs, std::size_t threads)
-    : fs_(fs), pool_(threads) {}
+    : fs_(fs), pool_(threads) {
+  bind_metrics(obs::MetricsRegistry::global());
+}
 
 Prefetcher::Prefetcher(core::FanStoreFs& fs, std::size_t threads,
                        std::size_t fetch_threads)
@@ -11,18 +21,21 @@ Prefetcher::Prefetcher(core::FanStoreFs& fs, std::size_t threads,
       fanstore_(&fs),
       pool_(threads),
       fetch_pool_(std::make_unique<ThreadPool>(
-          fetch_threads == 0 ? 1 : fetch_threads)) {}
+          fetch_threads == 0 ? 1 : fetch_threads)) {
+  bind_metrics(fs.metrics());
+}
 
 void Prefetcher::warm(const std::string& path) {
+  obs::TraceSpan span("prefetch.warm");
   // open() pulls the file through (any remaining) fetch + decompress into
   // the cache; close() drops the pin but leaves the plain data cached.
   const int fd = fs_.open(path, posixfs::OpenMode::kRead);
   if (fd < 0) {
-    failures_.fetch_add(1, std::memory_order_relaxed);
+    failures_->inc();
     return;
   }
   fs_.close(fd);
-  warmed_.fetch_add(1, std::memory_order_relaxed);
+  warmed_->inc();
 }
 
 void Prefetcher::prefetch(const std::vector<std::string>& paths) {
@@ -32,7 +45,10 @@ void Prefetcher::prefetch(const std::vector<std::string>& paths) {
       // (decompress pool) starts per file the moment its fetch finishes,
       // so later fetches overlap earlier decompressions.
       fetch_pool_->submit([this, path] {
-        fanstore_->prefetch_compressed(path);
+        {
+          obs::TraceSpan span("prefetch.fetch");
+          if (fanstore_->prefetch_compressed(path)) fetch_staged_->inc();
+        }
         pool_.submit([this, path] { warm(path); });
       });
     } else {

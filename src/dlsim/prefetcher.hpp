@@ -14,12 +14,12 @@
 // fused open() per file.
 #pragma once
 
-#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/fanstore_fs.hpp"
+#include "obs/metrics.hpp"
 #include "posixfs/vfs.hpp"
 #include "util/thread_pool.hpp"
 
@@ -44,18 +44,22 @@ class Prefetcher {
   /// Blocks until every queued path has been processed.
   void wait();
 
-  std::uint64_t files_warmed() const { return warmed_.load(); }
-  std::uint64_t failures() const { return failures_.load(); }
+  /// Read shims over the "prefetch.*" registry counters (pipelined mode
+  /// shares the FanStoreFs registry; generic mode uses the global one).
+  std::uint64_t files_warmed() const { return warmed_->value(); }
+  std::uint64_t failures() const { return failures_->value(); }
 
  private:
   void warm(const std::string& path);
+  void bind_metrics(obs::MetricsRegistry& m);
 
   posixfs::Vfs& fs_;
   core::FanStoreFs* fanstore_ = nullptr;  // non-null: pipelined mode
   ThreadPool pool_;                        // decompress / cache-insert stage
   std::unique_ptr<ThreadPool> fetch_pool_;  // network fetch stage
-  std::atomic<std::uint64_t> warmed_{0};
-  std::atomic<std::uint64_t> failures_{0};
+  obs::Counter* warmed_ = nullptr;          // "prefetch.warmed"
+  obs::Counter* failures_ = nullptr;        // "prefetch.failures"
+  obs::Counter* fetch_staged_ = nullptr;    // "prefetch.fetch_staged"
 };
 
 }  // namespace fanstore::dlsim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace fanstore::dlsim {
@@ -31,6 +32,13 @@ TrainerResult run_training(posixfs::Vfs& fs, const std::vector<std::string>& fil
   if (options.global_shuffle && options.comm == nullptr) {
     throw std::invalid_argument("trainer: global_shuffle requires comm");
   }
+  obs::MetricsRegistry& metrics = options.metrics != nullptr
+                                      ? *options.metrics
+                                      : obs::MetricsRegistry::global();
+  obs::Counter& files_ctr = metrics.counter("trainer.files_read");
+  obs::Counter& bytes_ctr = metrics.counter("trainer.bytes_read");
+  obs::Counter& iters_ctr = metrics.counter("trainer.iterations");
+
   std::vector<std::string> order = files;
   // Global shuffle: every rank must derive the identical permutation, so
   // the RNG is seeded without any rank-dependent input.
@@ -50,8 +58,10 @@ TrainerResult run_training(posixfs::Vfs& fs, const std::vector<std::string>& fil
 
   bool done = false;
   for (int epoch = 0; epoch < options.epochs && !done; ++epoch) {
+    obs::TraceSpan epoch_span("trainer.epoch", options.io_clock);
     shuffle_files(order, rng);
     for (std::size_t it = 0; it < iters_per_epoch && !done; ++it) {
+      obs::TraceSpan step_span("trainer.step", options.io_clock);
       // ---- I/O phase: read the batch through the POSIX surface ----
       const double io_start = options.io_clock->now_sec();
       // This rank's slice of the (global) batch window.
@@ -79,6 +89,8 @@ TrainerResult run_training(posixfs::Vfs& fs, const std::vector<std::string>& fil
         fs.close(fd);
         result.files_read++;
         result.bytes_read += file_bytes;
+        files_ctr.inc();
+        bytes_ctr.inc(file_bytes);
       }
       // Parallel readers: the paper divides the serial decompression/read
       // cost by the I/O thread count (§VII-E1).
@@ -110,6 +122,7 @@ TrainerResult run_training(posixfs::Vfs& fs, const std::vector<std::string>& fil
           options.async_io ? std::max(0.0, io_time - options.t_iter_s) : io_time;
       result.compute_s += options.t_iter_s;
       result.iterations++;
+      iters_ctr.inc();
       if (options.max_iterations > 0 && result.iterations >= options.max_iterations) {
         done = true;
       }

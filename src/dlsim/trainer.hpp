@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "mpi/comm.hpp"
+#include "obs/metrics.hpp"
 #include "posixfs/vfs.hpp"
 #include "simnet/virtual_clock.hpp"
 
@@ -50,6 +51,10 @@ struct TrainerOptions {
   /// so every sample is visited once per epoch across the job. Requires
   /// `comm`. When false, each rank samples its list independently.
   bool global_shuffle = false;
+  /// Registry receiving the "trainer.*" counters and per-epoch/step trace
+  /// spans stamp `io_clock` virtual time. nullptr uses the process-global
+  /// registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct TrainerResult {

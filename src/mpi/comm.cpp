@@ -1,5 +1,7 @@
 #include "mpi/comm.hpp"
 
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <cstring>
@@ -40,9 +42,15 @@ std::optional<Message> Comm::recv_timeout(int source, int tag, int timeout_ms) c
                                timeout_ms);
 }
 
-void Comm::barrier() const { world_->barrier_impl(); }
+void Comm::barrier() const {
+  obs::TraceSpan span("mpi.barrier");
+  world_->collectives_.inc();
+  world_->barrier_impl();
+}
 
 std::vector<Bytes> Comm::allgather(ByteView mine) const {
+  obs::TraceSpan span("mpi.allgather");
+  world_->collectives_.inc();
   return world_->allgather_impl(rank_, mine);
 }
 
@@ -85,7 +93,11 @@ double Comm::allreduce_max(double mine) const {
   return best;
 }
 
-World::World(int nranks) : nranks_(nranks) {
+World::World(int nranks)
+    : nranks_(nranks),
+      messages_sent_(obs::MetricsRegistry::global().counter("mpi.messages_sent")),
+      bytes_sent_(obs::MetricsRegistry::global().counter("mpi.bytes_sent")),
+      collectives_(obs::MetricsRegistry::global().counter("mpi.collectives")) {
   if (nranks <= 0) throw std::invalid_argument("World: nranks must be positive");
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int i = 0; i < nranks; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
@@ -94,6 +106,8 @@ World::World(int nranks) : nranks_(nranks) {
 
 void World::deliver(int dest, Message msg) {
   if (dest < 0 || dest >= nranks_) throw std::out_of_range("send: bad destination rank");
+  messages_sent_.inc();
+  bytes_sent_.inc(msg.payload.size());
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dest)];
   {
     sync::MutexLock lk(mb.mu);

@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/bytes.hpp"
 #include "util/sync.hpp"
 
@@ -105,6 +106,12 @@ class World {
 
   int nranks_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  // Interconnect observability ("mpi.*" in the global registry): message
+  // and byte totals the wire would carry; bumped lock-free on deliver.
+  obs::Counter& messages_sent_;
+  obs::Counter& bytes_sent_;
+  obs::Counter& collectives_;
 
   // Generation-counted rendezvous shared by all collectives.
   sync::Mutex coll_mu_{"mpi.coll_mu"};

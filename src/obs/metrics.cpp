@@ -1,0 +1,245 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace fanstore::obs {
+
+// --- Histogram --------------------------------------------------------------
+
+int Histogram::bucket_of(std::uint64_t v) {
+  if (v < static_cast<std::uint64_t>(kSub)) return static_cast<int>(v);
+  const int e = 63 - std::countl_zero(v);  // floor(log2 v), >= kSubBits
+  const int sub = static_cast<int>((v >> (e - kSubBits)) & (kSub - 1));
+  return (e - kSubBits + 1) * kSub + sub;
+}
+
+HistogramSnapshot::Bounds Histogram::bucket_bounds(int i) {
+  if (i < kSub) {
+    return {static_cast<std::uint64_t>(i), static_cast<std::uint64_t>(i)};
+  }
+  const int e = i / kSub + kSubBits - 1;
+  const int sub = i % kSub;
+  const std::uint64_t width = std::uint64_t{1} << (e - kSubBits);
+  const std::uint64_t lo = static_cast<std::uint64_t>(kSub + sub) << (e - kSubBits);
+  return {lo, lo + width - 1};
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.counts.resize(kBuckets);
+  for (int i = 0; i < kBuckets; ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    snap.count += snap.counts[i];
+  }
+  // Use the summed bucket counts (not count_) so the snapshot is internally
+  // consistent under concurrent record()s.
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+HistogramSnapshot::Bounds HistogramSnapshot::quantile_bounds(double p) const {
+  if (count == 0) return {0, 0};
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cum += counts[i];
+    if (cum >= rank) return Histogram::bucket_bounds(static_cast<int>(i));
+  }
+  return {0, 0};  // unreachable: cum reaches count
+}
+
+double HistogramSnapshot::quantile(double p) const {
+  if (count == 0) return 0.0;
+  const Bounds b = quantile_bounds(p);
+  return (static_cast<double>(b.lo) + static_cast<double>(b.hi)) / 2.0;
+}
+
+// --- MetricsSnapshot --------------------------------------------------------
+
+const MetricsSnapshot::Entry* MetricsSnapshot::find(const std::string& name) const {
+  for (const Entry& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  const Entry* e = find(name);
+  return e != nullptr && e->kind == Kind::kCounter ? e->counter : 0;
+}
+
+std::int64_t MetricsSnapshot::gauge(const std::string& name) const {
+  const Entry* e = find(name);
+  return e != nullptr && e->kind == Kind::kGauge ? e->gauge : 0;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_text() const {
+  std::string out;
+  for (const Entry& e : entries) {
+    out += e.name;
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += " " + std::to_string(e.counter);
+        break;
+      case Kind::kGauge:
+        out += " " + std::to_string(e.gauge);
+        break;
+      case Kind::kHistogram:
+        out += " count=" + std::to_string(e.hist.count) +
+               " mean=" + fmt_double(e.hist.mean()) +
+               " p50=" + fmt_double(e.hist.quantile(50)) +
+               " p95=" + fmt_double(e.hist.quantile(95)) +
+               " p99=" + fmt_double(e.hist.quantile(99));
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{";
+  bool first = true;
+  for (const Entry& e : entries) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  \"" + json_escape(e.name) + "\": ";
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += std::to_string(e.counter);
+        break;
+      case Kind::kGauge:
+        out += std::to_string(e.gauge);
+        break;
+      case Kind::kHistogram:
+        out += "{\"count\": " + std::to_string(e.hist.count) +
+               ", \"mean\": " + fmt_double(e.hist.mean()) +
+               ", \"p50\": " + fmt_double(e.hist.quantile(50)) +
+               ", \"p95\": " + fmt_double(e.hist.quantile(95)) +
+               ", \"p99\": " + fmt_double(e.hist.quantile(99)) + "}";
+        break;
+    }
+  }
+  out += "\n}\n";
+  return out;
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+MetricsRegistry::Slot& MetricsRegistry::slot(const std::string& name,
+                                             MetricsSnapshot::Kind kind) {
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    Slot s;
+    s.kind = kind;
+    switch (kind) {
+      case MetricsSnapshot::Kind::kCounter:
+        s.counter = std::make_unique<Counter>();
+        break;
+      case MetricsSnapshot::Kind::kGauge:
+        s.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricsSnapshot::Kind::kHistogram:
+        s.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = slots_.emplace(name, std::move(s)).first;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("obs: metric '" + name +
+                           "' re-registered with a different type");
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  sync::MutexLock lk(mu_);
+  return *slot(name, MetricsSnapshot::Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  sync::MutexLock lk(mu_);
+  return *slot(name, MetricsSnapshot::Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  sync::MutexLock lk(mu_);
+  return *slot(name, MetricsSnapshot::Kind::kHistogram).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  sync::MutexLock lk(mu_);
+  snap.entries.reserve(slots_.size());
+  for (const auto& [name, s] : slots_) {  // std::map: already name-sorted
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.kind = s.kind;
+    switch (s.kind) {
+      case MetricsSnapshot::Kind::kCounter:
+        e.counter = s.counter->value();
+        break;
+      case MetricsSnapshot::Kind::kGauge:
+        e.gauge = s.gauge->value();
+        break;
+      case MetricsSnapshot::Kind::kHistogram:
+        e.hist = s.histogram->snapshot();
+        break;
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // never destroyed
+  return *reg;
+}
+
+std::string metrics_dump(const MetricsRegistry& registry, bool json) {
+  const MetricsSnapshot snap = registry.snapshot();
+  return json ? snap.to_json() : snap.to_text();
+}
+
+}  // namespace fanstore::obs
+
+std::string fanstore_metrics_dump(bool json) {
+  return fanstore::obs::metrics_dump(fanstore::obs::MetricsRegistry::global(), json);
+}

@@ -1,0 +1,175 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fanstore::obs {
+
+namespace {
+
+std::uint64_t next_recorder_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Thread-local cache of (recorder id -> ring). Entries hold the ring
+/// alive, so a ring outlives both its recorder (ids are never reused;
+/// stale entries are just never looked up again) and the serializing side.
+struct TlsEntry {
+  std::uint64_t recorder_id;
+  std::shared_ptr<void> ring;  // type-erased Ring
+  void* raw;
+};
+
+thread_local std::vector<TlsEntry> tls_rings;
+
+/// JSON string escaping for event names. Names are documented as string
+/// literals, but the file must stay parseable even if one contains quotes
+/// or control characters.
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      id_(next_recorder_id()),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t TraceRecorder::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+TraceRecorder::Ring& TraceRecorder::thread_ring() {
+  for (const TlsEntry& e : tls_rings) {
+    if (e.recorder_id == id_) return *static_cast<Ring*>(e.raw);
+  }
+  std::shared_ptr<Ring> ring;
+  {
+    sync::MutexLock lk(mu_);
+    ring = std::make_shared<Ring>(static_cast<std::uint32_t>(rings_.size()),
+                                  ring_capacity_);
+    rings_.push_back(ring);
+  }
+  tls_rings.push_back({id_, ring, ring.get()});
+  return *ring;
+}
+
+void TraceRecorder::record(const char* name, std::uint64_t ts_ns,
+                           std::uint64_t dur_ns, std::uint64_t vts_ns,
+                           std::uint64_t vdur_ns) {
+  Ring& ring = thread_ring();
+  sync::MutexLock lk(ring.mu);
+  ring.events[ring.next] = Event{name, ts_ns, dur_ns, vts_ns, vdur_ns};
+  ring.next = (ring.next + 1) % ring.events.size();
+  if (ring.size < ring.events.size()) ring.size++;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::size_t total = 0;
+  sync::MutexLock lk(mu_);
+  for (const auto& ring : rings_) {
+    sync::MutexLock rlk(ring->mu);
+    total += ring->size;
+  }
+  return total;
+}
+
+void TraceRecorder::clear() {
+  sync::MutexLock lk(mu_);
+  for (const auto& ring : rings_) {
+    sync::MutexLock rlk(ring->mu);
+    ring->next = 0;
+    ring->size = 0;
+  }
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  struct Flat {
+    Event ev;
+    std::uint32_t tid;
+  };
+  std::vector<Flat> flat;
+  {
+    sync::MutexLock lk(mu_);
+    for (const auto& ring : rings_) {
+      sync::MutexLock rlk(ring->mu);
+      // Oldest-first: the ring holds `size` events ending just before
+      // `next` (wrapping).
+      const std::size_t cap = ring->events.size();
+      const std::size_t first = (ring->next + cap - ring->size) % cap;
+      for (std::size_t i = 0; i < ring->size; ++i) {
+        flat.push_back({ring->events[(first + i) % cap], ring->tid});
+      }
+    }
+  }
+  // Chrome sorts internally, but emitting start-ordered events keeps the
+  // file diffable and makes the nesting test's job straightforward.
+  std::stable_sort(flat.begin(), flat.end(), [](const Flat& a, const Flat& b) {
+    return a.ev.ts_ns < b.ev.ts_ns;
+  });
+
+  std::string out = "{\"traceEvents\": [";
+  char buf[256];
+  bool first = true;
+  for (const Flat& f : flat) {
+    if (!first) out += ",";
+    first = false;
+    const std::string name = json_escape(f.ev.name != nullptr ? f.ev.name : "?");
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"name\": \"%s\", \"ph\": \"X\", \"pid\": 0, "
+                  "\"tid\": %u, \"ts\": %.3f, \"dur\": %.3f",
+                  name.c_str(), f.tid,
+                  static_cast<double>(f.ev.ts_ns) / 1e3,
+                  static_cast<double>(f.ev.dur_ns) / 1e3);
+    out += buf;
+    if (f.ev.vts_ns != kNoVirtualTime) {
+      std::snprintf(buf, sizeof(buf),
+                    ", \"args\": {\"vts_us\": %.3f, \"vdur_us\": %.3f}",
+                    static_cast<double>(f.ev.vts_ns) / 1e3,
+                    static_cast<double>(f.ev.vdur_ns) / 1e3);
+      out += buf;
+    }
+    out += "}";
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+bool TraceRecorder::write_chrome_json(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_chrome_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* rec = new TraceRecorder();  // never destroyed
+  return *rec;
+}
+
+}  // namespace fanstore::obs

@@ -1,0 +1,146 @@
+// Observability: per-thread ring-buffer trace recorder with RAII spans,
+// serialized as Chrome trace-event JSON (open chrome://tracing or
+// https://ui.perfetto.dev and load the file).
+//
+// Every completed span becomes one Chrome "complete" event (ph "X") with
+// two time bases:
+//   ts/dur        wall time (microseconds since recorder construction)
+//   args.vts_us / args.vdur_us
+//                 simnet virtual-clock time, when the span was given a
+//                 VirtualClock — so simulated device/network cost shows up
+//                 on the same timeline as the real work it annotates.
+//
+// Cost model: when the recorder is disabled (the default) a TraceSpan is
+// one relaxed atomic load. When enabled, recording locks only the calling
+// thread's own ring (uncontended except against a concurrent serializer)
+// and never allocates after the ring exists. Rings are fixed-capacity and
+// overwrite their oldest events, so tracing is safe to leave on in long
+// runs: you keep the most recent window per thread.
+//
+// Span names must be string literals (or otherwise outlive the recorder):
+// events store the pointer, not a copy.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simnet/virtual_clock.hpp"
+#include "util/sync.hpp"
+
+namespace fanstore::obs {
+
+class TraceRecorder {
+ public:
+  /// `ring_capacity` = events retained per thread (oldest overwritten).
+  explicit TraceRecorder(std::size_t ring_capacity = 4096);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records one complete event on the calling thread's ring.
+  /// `vts_ns`/`vdur_ns` are virtual-clock stamps (kNoVirtualTime = none).
+  static constexpr std::uint64_t kNoVirtualTime = ~std::uint64_t{0};
+  void record(const char* name, std::uint64_t ts_ns, std::uint64_t dur_ns,
+              std::uint64_t vts_ns = kNoVirtualTime, std::uint64_t vdur_ns = 0)
+      EXCLUDES(mu_);
+
+  /// Nanoseconds since recorder construction (the trace epoch).
+  std::uint64_t now_ns() const;
+
+  /// Chrome trace JSON: {"traceEvents": [...]}. Gathers every thread's
+  /// ring; safe to call while other threads keep recording.
+  std::string to_chrome_json() const EXCLUDES(mu_);
+
+  /// Writes to_chrome_json() to `path`; false on I/O error.
+  bool write_chrome_json(const std::string& path) const;
+
+  /// Events currently retained across all rings (for tests).
+  std::size_t event_count() const EXCLUDES(mu_);
+
+  /// Drops all retained events (rings stay registered).
+  void clear() EXCLUDES(mu_);
+
+  /// Process-wide recorder used by default at every instrumented site.
+  static TraceRecorder& global();
+
+ private:
+  struct Event {
+    const char* name = nullptr;
+    std::uint64_t ts_ns = 0;
+    std::uint64_t dur_ns = 0;
+    std::uint64_t vts_ns = kNoVirtualTime;
+    std::uint64_t vdur_ns = 0;
+  };
+
+  /// One thread's event ring. The owning thread appends; a serializer
+  /// thread copies — both under `mu` (uncontended in steady state).
+  struct Ring {
+    explicit Ring(std::uint32_t tid_in, std::size_t capacity)
+        : tid(tid_in), events(capacity) {}
+    const std::uint32_t tid;
+    mutable sync::Mutex mu{"obs.trace_ring.mu"};
+    std::vector<Event> events GUARDED_BY(mu);  // fixed capacity
+    std::size_t next GUARDED_BY(mu) = 0;       // ring head
+    std::size_t size GUARDED_BY(mu) = 0;       // valid events (<= capacity)
+  };
+
+  Ring& thread_ring() EXCLUDES(mu_);
+
+  const std::size_t ring_capacity_;
+  const std::uint64_t id_;  // process-unique, keys the thread-local cache
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable sync::Mutex mu_{"obs.trace_recorder.mu"};
+  std::vector<std::shared_ptr<Ring>> rings_ GUARDED_BY(mu_);
+};
+
+/// RAII scope: stamps wall (and optionally virtual-clock) time at
+/// construction, records one complete event at destruction. Nested spans
+/// nest on the timeline. Near-zero cost while the recorder is disabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name,
+                     const simnet::VirtualClock* vclock = nullptr,
+                     TraceRecorder& recorder = TraceRecorder::global()) {
+    if (!recorder.enabled()) return;
+    recorder_ = &recorder;
+    name_ = name;
+    vclock_ = vclock;
+    start_ns_ = recorder.now_ns();
+    if (vclock_ != nullptr) {
+      vstart_ns_ = static_cast<std::uint64_t>(vclock_->now_sec() * 1e9);
+    }
+  }
+
+  ~TraceSpan() {
+    if (recorder_ == nullptr) return;
+    const std::uint64_t end_ns = recorder_->now_ns();
+    std::uint64_t vts = TraceRecorder::kNoVirtualTime;
+    std::uint64_t vdur = 0;
+    if (vclock_ != nullptr) {
+      const auto vend = static_cast<std::uint64_t>(vclock_->now_sec() * 1e9);
+      vts = vstart_ns_;
+      vdur = vend >= vstart_ns_ ? vend - vstart_ns_ : 0;
+    }
+    recorder_->record(name_, start_ns_, end_ns - start_ns_, vts, vdur);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_ = nullptr;
+  const char* name_ = nullptr;
+  const simnet::VirtualClock* vclock_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t vstart_ns_ = 0;
+};
+
+}  // namespace fanstore::obs

@@ -16,6 +16,8 @@
 #include "ipc/uds_client.hpp"
 #include "ipc/uds_server.hpp"
 #include "mpi/comm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "posixfs/mem_vfs.hpp"
 #include "tests/test_data.hpp"
 #include "util/thread_pool.hpp"
@@ -170,6 +172,58 @@ TEST(RaceStressTest, ConcurrentUdsRequestsAndStop) {
   ASSERT_TRUE(idle.connect());
   server.stop();
   EXPECT_EQ(idle.open("d/f0", posixfs::OpenMode::kRead), -EIO);
+}
+
+TEST(RaceStressTest, MetricsAndTraceRecordingVsSnapshot) {
+  // Writers hammer one registry (shared counters/gauges/histograms plus a
+  // steady trickle of new registrations) and an enabled trace recorder
+  // (per-thread rings) while two readers continuously snapshot and
+  // serialize. TSan sees recording racing snapshotting, ring appends racing
+  // the JSON flattener, and registration racing both.
+  obs::MetricsRegistry reg;
+  obs::TraceRecorder rec(/*ring_capacity=*/64);
+  rec.enable(true);
+  obs::Counter& ops = reg.counter("stress.ops");
+  obs::Gauge& depth = reg.gauge("stress.depth");
+  obs::Histogram& lat = reg.histogram("stress.lat_us");
+
+  constexpr int kWriters = 6;
+  constexpr int kIters = 400;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        obs::TraceSpan span("stress.op", nullptr, rec);
+        ops.inc();
+        depth.add(i % 2 == 0 ? 1 : -1);
+        lat.record(static_cast<std::uint64_t>(t) * 100 + (i % 13));
+        if (i % 16 == 0) {
+          // Late registration: takes the registry mutex against snapshots.
+          reg.counter("stress.dyn" + std::to_string((t * 31 + i) % 24)).inc();
+        }
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto snap = reg.snapshot();
+        (void)snap.to_text();
+        (void)rec.to_chrome_json();
+        (void)rec.event_count();
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(ops.value(), static_cast<std::uint64_t>(kWriters) * kIters);
+  EXPECT_EQ(lat.count(), static_cast<std::uint64_t>(kWriters) * kIters);
+  // Rings are bounded: at most capacity events retained per writer thread.
+  EXPECT_LE(rec.event_count(), static_cast<std::size_t>(kWriters) * 64);
 }
 
 TEST(RaceStressTest, ThreadPoolChurn) {

@@ -25,9 +25,17 @@ run_pass() {
 
 run_pass "tier-1" build -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 
+# Labeled quick pass: the observability + stress subset on its own, as the
+# fast signal to rerun while iterating on obs/ (`ctest -L obs` / `-L stress`).
+echo "==== [labels] ctest -L 'obs|stress' ===="
+ctest --test-dir build --output-on-failure -j "$jobs" -L 'obs|stress'
+
 # Hot-path perf smoke: quick sharded-vs-legacy cache sweep. Catches gross
 # concurrency regressions and refreshes BENCH_hotpath.json at the repo root
 # (run `build/bench/bench_hotpath` without --quick for the recorded numbers).
+# Since the observability PR it also cross-checks the metrics registry
+# against the bench's own op/loader bookkeeping and exits non-zero on any
+# disagreement.
 echo "==== [bench] bench_hotpath --quick ===="
 build/bench/bench_hotpath --quick --json "$repo_root/BENCH_hotpath.json"
 
