@@ -59,6 +59,31 @@ class BitReader {
 
   std::uint32_t get1() { return get(1); }
 
+  /// Returns the next `bits` bits without consuming them, zero-padded when
+  /// the stream has fewer bits left (bits in [1, 32]). Pair with skip():
+  /// a lookup that resolved to an n-bit code consumes exactly n bits, and
+  /// skip() still faults if those n bits were padding.
+  std::uint32_t peek(int bits) {
+    while (nbits_ < bits && p_ != end_) {
+      acc_ = (acc_ << 8) | *p_++;
+      nbits_ += 8;
+    }
+    if (nbits_ >= bits) {
+      return static_cast<std::uint32_t>((acc_ >> (nbits_ - bits)) & mask(bits));
+    }
+    return static_cast<std::uint32_t>((acc_ << (bits - nbits_)) & mask(bits));
+  }
+
+  /// Consumes `bits` bits; throws CorruptDataError when fewer remain.
+  void skip(int bits) {
+    while (nbits_ < bits) {
+      if (p_ == end_) throw CorruptDataError("bit stream truncated");
+      acc_ = (acc_ << 8) | *p_++;
+      nbits_ += 8;
+    }
+    nbits_ -= bits;
+  }
+
   /// Discards buffered bits up to the next byte boundary.
   void align() { nbits_ -= nbits_ % 8; }
 

@@ -126,9 +126,39 @@ CanonicalDecoder::CanonicalDecoder(const std::vector<std::uint8_t>& lengths) {
       if (lengths[s] == len) sorted_.push_back(static_cast<std::uint32_t>(s));
     }
   }
+
+  // First-level table: every code of length <= table_bits_ owns the
+  // 2^(table_bits_ - len) slots sharing its prefix; an entry packs
+  // (symbol << 8) | len, 0 meaning "code longer than the table".
+  table_bits_ = std::min(max_len_, kTableBits);
+  if (table_bits_ > 0) {
+    table_.assign(std::size_t{1} << table_bits_, 0);
+    for (int len = 1; len <= table_bits_; ++len) {
+      const std::uint32_t fc_len = first_code_[static_cast<std::size_t>(len)];
+      const std::uint32_t fi_len = first_index_[static_cast<std::size_t>(len)];
+      const std::uint32_t cnt = count_[static_cast<std::size_t>(len)];
+      for (std::uint32_t k = 0; k < cnt; ++k) {
+        // Corrupted length vectors can over-subscribe the code space
+        // (Kraft sum > 1), pushing codes past len bits; the bit-serial
+        // decoder tolerates that but the table fill would write out of
+        // bounds.
+        if ((fc_len + k) >> len != 0) {
+          throw CorruptDataError("huffman: over-subscribed code lengths");
+        }
+        const std::uint32_t sym = sorted_[fi_len + k];
+        const std::uint32_t base = (fc_len + k) << (table_bits_ - len);
+        const std::uint32_t span = std::uint32_t{1} << (table_bits_ - len);
+        const std::uint32_t entry =
+            (sym << 8) | static_cast<std::uint32_t>(len);
+        for (std::uint32_t slot = 0; slot < span; ++slot) {
+          table_[base + slot] = entry;
+        }
+      }
+    }
+  }
 }
 
-std::uint32_t CanonicalDecoder::decode(BitReader& br) const {
+std::uint32_t CanonicalDecoder::decode_slow(BitReader& br) const {
   std::uint32_t code = 0;
   for (int len = 1; len <= max_len_; ++len) {
     code = (code << 1) | br.get1();

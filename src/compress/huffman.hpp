@@ -28,14 +28,35 @@ class CanonicalEncoder {
   std::vector<std::uint32_t> codes_;
 };
 
-/// Bit-serial canonical decoder (first-code/offset tables per length).
+/// Canonical decoder. The hot path is a single first-level table lookup of
+/// kTableBits bits (peek + skip, one probe resolves every code of length
+/// <= kTableBits); longer codes fall back to the bit-serial
+/// first-code/offset walk.
 class CanonicalDecoder {
  public:
+  /// First-level lookup width. Nibble-serialized lengths cap codes at 15
+  /// bits, so an 11-bit table resolves the vast majority of symbols in one
+  /// probe while staying at 2^11 entries (8 KiB) per decoder.
+  static constexpr int kTableBits = 11;
+
   explicit CanonicalDecoder(const std::vector<std::uint8_t>& lengths);
-  std::uint32_t decode(BitReader& br) const;
+  std::uint32_t decode(BitReader& br) const {
+    if (table_bits_ > 0) {
+      const std::uint32_t entry = table_[br.peek(table_bits_)];
+      if ((entry & 0xFF) != 0) {
+        br.skip(static_cast<int>(entry & 0xFF));
+        return entry >> 8;
+      }
+    }
+    return decode_slow(br);
+  }
 
  private:
+  std::uint32_t decode_slow(BitReader& br) const;
+
   int max_len_ = 0;
+  int table_bits_ = 0;                      // min(max_len_, kTableBits)
+  std::vector<std::uint32_t> table_;        // (symbol << 8) | code length
   std::vector<std::uint32_t> first_code_;   // per length
   std::vector<std::uint32_t> first_index_;  // per length, into sorted_
   std::vector<std::uint32_t> count_;        // per length

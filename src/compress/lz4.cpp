@@ -65,9 +65,9 @@ class Lz4Compressor final : public Compressor {
   }
 
   Bytes decompress(ByteView src, std::size_t original_size) const override {
-    // Over-allocate by 8 so the match copier can use unconditional 8-byte
-    // strides (trimmed before returning).
-    Bytes out(original_size + 8);
+    // Over-allocate by kCopySlack so copy_match can use wide strides
+    // (trimmed before returning).
+    Bytes out(original_size + kCopySlack);
     std::size_t o = 0;
     std::size_t i = 0;
     const std::size_t n = src.size();
@@ -102,15 +102,7 @@ class Lz4Compressor final : public Compressor {
       if (o + match_len > original_size) {
         throw CorruptDataError("lz4: overlong match");
       }
-      std::uint8_t* dst = out.data() + o;
-      const std::uint8_t* from = dst - distance;
-      if (distance >= 8) {
-        for (std::size_t k = 0; k < match_len; k += 8) {
-          std::memcpy(dst + k, from + k, 8);
-        }
-      } else {
-        for (std::size_t k = 0; k < match_len; ++k) dst[k] = from[k];
-      }
+      copy_match(out.data() + o, distance, match_len);
       o += match_len;
     }
     out.resize(original_size);

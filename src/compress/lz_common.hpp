@@ -57,6 +57,33 @@ inline std::size_t match_length(const std::uint8_t* a, const std::uint8_t* b,
   return static_cast<std::size_t>(a - start);
 }
 
+/// Slack every decoder's output buffer must carry past original_size so
+/// copy_match() may over-write in wide strides.
+inline constexpr std::size_t kCopySlack = 16;
+
+/// Expands an LZ match: copies `length` bytes from `dst - distance` to
+/// `dst`. The ranges may overlap (distance < length replicates a run).
+/// Wide strides are overlap-safe because a 16 (resp. 8) byte block read at
+/// dst - distance + k never reaches dst + k when distance >= 16 (resp. 8);
+/// shorter distances take the scalar path. The caller must guarantee
+/// kCopySlack writable bytes past dst + length (decoders over-allocate and
+/// truncate at the end).
+inline void copy_match(std::uint8_t* dst, std::size_t distance,
+                       std::size_t length) {
+  const std::uint8_t* src = dst - distance;
+  if (distance >= 16) {
+    for (std::size_t k = 0; k < length; k += 16) {
+      std::memcpy(dst + k, src + k, 16);
+    }
+  } else if (distance >= 8) {
+    for (std::size_t k = 0; k < length; k += 8) {
+      std::memcpy(dst + k, src + k, 8);
+    }
+  } else {
+    for (std::size_t k = 0; k < length; ++k) dst[k] = src[k];
+  }
+}
+
 /// A match candidate: `length` bytes at distance `distance` behind `pos`.
 struct Match {
   std::size_t length = 0;

@@ -73,8 +73,8 @@ class LzfCompressor final : public Compressor {
   }
 
   Bytes decompress(ByteView src, std::size_t original_size) const override {
-    // Over-allocated by 8 for unconditional 8-byte match copies.
-    Bytes out(original_size + 8);
+    // Over-allocated by kCopySlack so copy_match can use wide strides.
+    Bytes out(original_size + kCopySlack);
     std::size_t o = 0;
     std::size_t i = 0;
     while (o < original_size) {
@@ -99,13 +99,7 @@ class LzfCompressor final : public Compressor {
         off = (off | src[i++]) + 1;
         if (off > o) throw CorruptDataError("lzf: offset before start");
         if (o + len > original_size) throw CorruptDataError("lzf: overlong output");
-        std::uint8_t* dst = out.data() + o;
-        const std::uint8_t* from = dst - off;
-        if (off >= 8) {
-          for (std::size_t k = 0; k < len; k += 8) std::memcpy(dst + k, from + k, 8);
-        } else {
-          for (std::size_t k = 0; k < len; ++k) dst[k] = from[k];
-        }
+        copy_match(out.data() + o, off, len);
         o += len;
       }
     }

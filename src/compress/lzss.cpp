@@ -51,23 +51,25 @@ class LzssCompressor final : public Compressor {
   }
 
   Bytes decompress(ByteView src, std::size_t original_size) const override {
-    Bytes out;
-    out.reserve(original_size);
+    // Over-allocated by kCopySlack so copy_match can use wide strides.
+    Bytes out(original_size + kCopySlack);
+    std::size_t o = 0;
     BitReader br(src);
-    while (out.size() < original_size) {
+    while (o < original_size) {
       if (br.get1()) {
         const std::size_t distance = br.get(window_bits_) + 1;
         const std::size_t length = br.get(len_bits_) + kMinMatch;
-        if (distance > out.size()) throw CorruptDataError("lzss: bad distance");
-        if (out.size() + length > original_size) {
+        if (distance > o) throw CorruptDataError("lzss: bad distance");
+        if (o + length > original_size) {
           throw CorruptDataError("lzss: overlong match");
         }
-        const std::size_t from = out.size() - distance;
-        for (std::size_t k = 0; k < length; ++k) out.push_back(out[from + k]);
+        copy_match(out.data() + o, distance, length);
+        o += length;
       } else {
-        out.push_back(static_cast<std::uint8_t>(br.get(8)));
+        out[o++] = static_cast<std::uint8_t>(br.get(8));
       }
     }
+    out.resize(original_size);
     return out;
   }
 

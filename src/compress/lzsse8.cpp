@@ -63,10 +63,10 @@ class Lzsse8Compressor final : public Compressor {
   }
 
   Bytes decompress(ByteView src, std::size_t original_size) const override {
-    // Over-allocate by one literal run so the hot path can always copy 8
-    // bytes unconditionally, then trim.
+    // Over-allocate by kCopySlack (>= one literal run) so the hot path can
+    // always copy in wide strides, then trim.
     Bytes out;
-    out.resize(original_size + kLiteralRun);
+    out.resize(original_size + kCopySlack);
     std::size_t o = 0;
     std::size_t i = 0;
     const std::size_t n = src.size();
@@ -88,13 +88,7 @@ class Lzsse8Compressor final : public Compressor {
         i += 3;
         if (distance == 0 || distance > o) throw CorruptDataError("lzsse8: bad distance");
         if (o + length > original_size) throw CorruptDataError("lzsse8: overlong match");
-        std::uint8_t* dst = out.data() + o;
-        const std::uint8_t* from = dst - distance;
-        if (distance >= 8) {
-          for (std::size_t k = 0; k < length; k += 8) std::memcpy(dst + k, from + k, 8);
-        } else {
-          for (std::size_t k = 0; k < length; ++k) dst[k] = from[k];
-        }
+        copy_match(out.data() + o, distance, length);
         o += length;
       } else {
         const std::size_t len = std::min(kLiteralRun, original_size - o);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "compress/chunked.hpp"
 #include "compress/codecs.hpp"
 
 namespace fanstore::compress {
@@ -162,13 +163,70 @@ Registry::Registry() {
 }
 
 const Compressor* Registry::by_id(CompressorId id) const {
+  if (is_chunked_id(id)) return chunked_by_id(id);
   for (const auto& e : entries_) {
     if (e.id == id) return e.codec;
   }
   return nullptr;
 }
 
+const Compressor* Registry::chunked_by_id(CompressorId id) const {
+  // Validate the structural fields before synthesizing: the inner id must be
+  // a registered flat codec and the size bits must round-trip.
+  const CompressorId inner_id = chunked_inner_id(id);
+  const std::size_t chunk_size = chunked_chunk_size(id);
+  const Compressor* inner = nullptr;
+  for (const auto& e : entries_) {
+    if (e.id == inner_id) {
+      inner = e.codec;
+      break;
+    }
+  }
+  if (inner == nullptr) return nullptr;
+
+  sync::MutexLock lk(chunked_mu_);
+  auto it = chunked_.find(id);
+  if (it == chunked_.end()) {
+    it = chunked_
+             .emplace(id, std::make_unique<ChunkedCompressor>(inner, inner_id,
+                                                              chunk_size))
+             .first;
+  }
+  return it->second.get();
+}
+
 const Compressor* Registry::by_name(std::string_view name) const {
+  // "chunked-<size>+<inner>": parse the size token, then resolve the inner
+  // name (aliases allowed) recursively.
+  constexpr std::string_view kPrefix = "chunked-";
+  if (name.substr(0, kPrefix.size()) == kPrefix) {
+    const std::string_view rest = name.substr(kPrefix.size());
+    const std::size_t plus = rest.find('+');
+    if (plus == std::string_view::npos || plus == 0) return nullptr;
+    const std::string_view size_tok = rest.substr(0, plus);
+    std::size_t value = 0;
+    std::size_t i = 0;
+    while (i < size_tok.size() && size_tok[i] >= '0' && size_tok[i] <= '9') {
+      value = value * 10 + static_cast<std::size_t>(size_tok[i] - '0');
+      ++i;
+    }
+    if (i == 0 || i + 1 != size_tok.size()) return nullptr;
+    if (size_tok[i] == 'k') {
+      value <<= 10;
+    } else if (size_tok[i] == 'm') {
+      value <<= 20;
+    } else {
+      return nullptr;
+    }
+    const Compressor* inner = by_name(rest.substr(plus + 1));
+    if (inner == nullptr) return nullptr;
+    try {
+      return chunked_by_id(chunked_id(id_of(*inner), value));
+    } catch (const std::invalid_argument&) {
+      return nullptr;  // bad chunk size or un-wrappable inner
+    }
+  }
+
   const auto alias = aliases().find(name);
   const std::string_view target = alias != aliases().end() ? alias->second : name;
   for (const auto& e : entries_) {
@@ -186,6 +244,9 @@ CompressorId Registry::id_by_name(std::string_view name) const {
 }
 
 CompressorId Registry::id_of(const Compressor& codec) const {
+  if (const auto* ch = dynamic_cast<const ChunkedCompressor*>(&codec)) {
+    return chunked_id(ch->inner_id(), ch->chunk_size());
+  }
   for (const auto& e : entries_) {
     if (e.codec == &codec) return e.id;
   }

@@ -6,10 +6,12 @@
 // our from-scratch suite (the exact count is asserted >= 180 in tests).
 #pragma once
 
+#include <map>
 #include <string_view>
 #include <vector>
 
 #include "compress/compressor.hpp"
+#include "util/sync.hpp"
 
 namespace fanstore::compress {
 
@@ -24,11 +26,17 @@ class Registry {
   /// The process-wide registry (configurations are immutable and stateless).
   static const Registry& instance();
 
-  /// Lookup by persisted id; nullptr if unknown.
+  /// Lookup by persisted id; nullptr if unknown. Ids with the chunked flag
+  /// (chunked.hpp) are structural: the matching ChunkedCompressor is
+  /// synthesized on first use and cached, so partitions carrying chunked
+  /// ids resolve without pre-enumeration.
   const Compressor* by_id(CompressorId id) const;
 
   /// Lookup by exact configuration name ("lz4hc-9") or family alias
-  /// ("lz4hc" resolves to that family's default level). nullptr if unknown.
+  /// ("lz4hc" resolves to that family's default level). Chunked wrappers
+  /// use "chunked-<size>+<inner>", e.g. "chunked-256k+lz4hc-9" or
+  /// "chunked-1m+deflate" (the inner part may be an alias). nullptr if
+  /// unknown.
   const Compressor* by_name(std::string_view name) const;
 
   /// Id for a configuration name (exact or alias); throws if unknown.
@@ -37,13 +45,22 @@ class Registry {
   /// Id of a registered codec instance; throws if not from this registry.
   CompressorId id_of(const Compressor& codec) const;
 
-  /// All configurations, ordered by id.
+  /// All *flat* configurations, ordered by id. Synthesized chunked wrappers
+  /// are never listed here (the structural id space is too large to
+  /// enumerate), so parametrized sweeps over all() stay chunk-agnostic.
   const std::vector<RegisteredCompressor>& all() const { return entries_; }
 
  private:
   Registry();
+  const Compressor* chunked_by_id(CompressorId id) const EXCLUDES(chunked_mu_);
+
   std::vector<std::unique_ptr<Compressor>> owned_;
   std::vector<RegisteredCompressor> entries_;
+  // Lazily synthesized chunked(inner, size) wrappers, keyed by structural
+  // id. mutable: synthesis happens behind the const lookup API.
+  mutable sync::Mutex chunked_mu_{"registry.chunked_mu"};
+  mutable std::map<CompressorId, std::unique_ptr<Compressor>> chunked_
+      GUARDED_BY(chunked_mu_);
 };
 
 }  // namespace fanstore::compress

@@ -61,25 +61,26 @@ std::size_t PlainCache::shard_of(const std::string& path) const {
   return std::hash<std::string>{}(path) & shard_mask_;
 }
 
-std::shared_ptr<const Bytes> PlainCache::insert_pinned_locked(
-    Shard& s, const std::string& path, std::shared_ptr<const Bytes> data) {
+std::shared_ptr<CachedFile> PlainCache::insert_pinned_locked(
+    Shard& s, const std::string& path, std::shared_ptr<CachedFile> data) {
   Entry e;
   e.data = std::move(data);
+  e.charged = e.data->charge_bytes();
   e.open_count = 1;
   s.fifo.push_back(path);
   e.fifo_pos = std::prev(s.fifo.end());
   e.in_fifo = true;
-  s.bytes_used += e.data->size();
-  bytes_gauge_->add(static_cast<std::int64_t>(e.data->size()));
+  s.bytes_used += e.charged;
+  bytes_gauge_->add(static_cast<std::int64_t>(e.charged));
   auto result = e.data;
   s.entries.emplace(path, std::move(e));
   evict_if_needed_locked(s);
   return result;
 }
 
-std::shared_ptr<const Bytes> PlainCache::acquire(
-    const std::string& path, const std::function<Bytes()>& loader,
-    bool* loaded) {
+std::shared_ptr<CachedFile> PlainCache::acquire_file(
+    const std::string& path,
+    const std::function<std::shared_ptr<CachedFile>()>& loader, bool* loaded) {
   Shard& s = shard_for(path);
   std::shared_ptr<InFlight> flight;
   {
@@ -116,9 +117,9 @@ std::shared_ptr<const Bytes> PlainCache::acquire(
     s.inflight.emplace(path, flight);
   }
   // Miss: run the (potentially slow) loader without holding any lock.
-  std::shared_ptr<const Bytes> data;
+  std::shared_ptr<CachedFile> data;
   try {
-    data = std::make_shared<const Bytes>(loader());
+    data = loader();
   } catch (...) {
     sync::MutexLock lk(s.mu);
     flight->error = std::current_exception();
@@ -135,6 +136,36 @@ std::shared_ptr<const Bytes> PlainCache::acquire(
   s.inflight.erase(path);
   s.load_done.notify_all();
   return insert_pinned_locked(s, path, std::move(data));
+}
+
+std::shared_ptr<const Bytes> PlainCache::acquire(
+    const std::string& path, const std::function<Bytes()>& loader,
+    bool* loaded) {
+  std::shared_ptr<CachedFile> file = acquire_file(
+      path,
+      [&loader] { return std::make_shared<CachedFile>(loader()); }, loaded);
+  // A hit may land on a lazy chunked entry (mixed acquire/acquire_file use):
+  // legacy callers expect fully plain bytes.
+  if (!file->fully_materialized()) {
+    file->materialize_all(1, nullptr);
+    recharge(path);
+  }
+  return {file, &file->plain()};
+}
+
+void PlainCache::recharge(const std::string& path) {
+  Shard& s = shard_for(path);
+  sync::MutexLock lk(s.mu);
+  const auto it = s.entries.find(path);
+  if (it == s.entries.end()) return;
+  const std::size_t now = it->second.data->charge_bytes();
+  const std::size_t before = it->second.charged;
+  if (now == before) return;
+  it->second.charged = now;
+  s.bytes_used += now - before;  // size_t wrap-around is fine for shrink
+  bytes_gauge_->add(static_cast<std::int64_t>(now) -
+                    static_cast<std::int64_t>(before));
+  evict_if_needed_locked(s);
 }
 
 void PlainCache::release(const std::string& path) {
@@ -159,8 +190,8 @@ void PlainCache::evict_if_needed_locked(Shard& s) {
       ++pos;  // in use by some I/O thread: skip
       continue;
     }
-    s.bytes_used -= it->second.data->size();
-    bytes_gauge_->add(-static_cast<std::int64_t>(it->second.data->size()));
+    s.bytes_used -= it->second.charged;
+    bytes_gauge_->add(-static_cast<std::int64_t>(it->second.charged));
     evictions_->inc();
     pos = s.fifo.erase(pos);
     s.entries.erase(it);

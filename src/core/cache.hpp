@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/cached_file.hpp"
 #include "obs/metrics.hpp"
 #include "util/bytes.hpp"
 #include "util/sync.hpp"
@@ -42,15 +43,29 @@ class PlainCache {
   explicit PlainCache(std::size_t capacity_bytes, std::size_t shards = 0,
                       obs::MetricsRegistry* metrics = nullptr);
 
-  /// Returns the decompressed contents of `path`, pinning the entry
-  /// (open-counter + 1). On miss, `loader` is invoked outside any lock and
-  /// may throw; the miss is then not cached and every thread waiting on the
-  /// same in-flight load observes the exception. Concurrent misses on one
-  /// path run `loader` exactly once (single-flight). `loaded` (if non-null)
-  /// is set to true only in the thread whose call ran the loader.
+  /// Returns the cache entry for `path`, pinning it (open-counter + 1). On
+  /// miss, `loader` is invoked outside any lock and may throw; the miss is
+  /// then not cached and every thread waiting on the same in-flight load
+  /// observes the exception. Concurrent misses on one path run `loader`
+  /// exactly once (single-flight). `loaded` (if non-null) is set to true
+  /// only in the thread whose call ran the loader. The returned entry may
+  /// be a lazily-materializing chunked file (see CachedFile).
+  std::shared_ptr<CachedFile> acquire_file(
+      const std::string& path,
+      const std::function<std::shared_ptr<CachedFile>()>& loader,
+      bool* loaded = nullptr);
+
+  /// Legacy fully-materialized view: wraps `loader`'s bytes in a CachedFile
+  /// and returns an aliased pointer to its plain contents. Pre-chunking
+  /// callers compile and behave unchanged.
   std::shared_ptr<const Bytes> acquire(const std::string& path,
                                        const std::function<Bytes()>& loader,
                                        bool* loaded = nullptr);
+
+  /// Re-syncs `path`'s budget accounting with CachedFile::charge_bytes()
+  /// after lazy chunks materialized, applying eviction pressure for the
+  /// growth. No-op if the entry is gone.
+  void recharge(const std::string& path);
 
   /// Drops one pin (close()); the entry stays cached FIFO-style until
   /// capacity pressure evicts it.
@@ -86,7 +101,11 @@ class PlainCache {
 
  private:
   struct Entry {
-    std::shared_ptr<const Bytes> data;
+    std::shared_ptr<CachedFile> data;
+    /// Bytes last accounted against the shard budget (charge_bytes() at
+    /// insert/recharge time — a lazy entry's footprint grows as chunks
+    /// materialize).
+    std::size_t charged = 0;
     int open_count = 0;
     std::list<std::string>::iterator fifo_pos;
     bool in_fifo = false;
@@ -96,7 +115,7 @@ class PlainCache {
   /// `done`, then take `data` or rethrow `error`.
   struct InFlight {
     bool done = false;
-    std::shared_ptr<const Bytes> data;
+    std::shared_ptr<CachedFile> data;
     std::exception_ptr error;
   };
 
@@ -113,8 +132,8 @@ class PlainCache {
 
   Shard& shard_for(const std::string& path) const;
   /// Inserts a freshly loaded entry pinned once; applies FIFO pressure.
-  std::shared_ptr<const Bytes> insert_pinned_locked(
-      Shard& s, const std::string& path, std::shared_ptr<const Bytes> data)
+  std::shared_ptr<CachedFile> insert_pinned_locked(
+      Shard& s, const std::string& path, std::shared_ptr<CachedFile> data)
       REQUIRES(s.mu);
   void evict_if_needed_locked(Shard& s) REQUIRES(s.mu);
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <functional>
+#include <thread>
 
+#include "compress/chunked.hpp"
 #include "compress/registry.hpp"
 #include "util/crc32.hpp"
 #include "util/log.hpp"
@@ -23,7 +25,13 @@ FanStoreFs::IoMetrics::IoMetrics(obs::MetricsRegistry& m)
       open_us(m.histogram("fs.open_us")),
       read_us(m.histogram("fs.read_us")),
       load_us(m.histogram("fs.load_us")),
-      fetch_us(m.histogram("fs.fetch_us")) {}
+      fetch_us(m.histogram("fs.fetch_us")),
+      chunks_decoded(m.counter("chunked.chunks_decoded")),
+      chunked_bytes_decoded(m.counter("chunked.bytes_decoded")),
+      partial_reads(m.counter("chunked.partial_reads")),
+      chunks_avoided(m.counter("chunked.chunks_avoided")),
+      parallel_decodes(m.counter("chunked.parallel_decodes")),
+      decode_us(m.histogram("chunked.decode_us")) {}
 
 FanStoreFs::FanStoreFs(mpi::Comm comm, MetadataStore* meta,
                        CompressedBackend* backend, Options options)
@@ -111,7 +119,14 @@ std::optional<Blob> FanStoreFs::fetch_remote(const std::string& path,
   return blob;
 }
 
-Bytes FanStoreFs::load_plain(const std::string& path, const format::FileStat& stat) {
+std::size_t FanStoreFs::decode_threads() const {
+  if (options_.decode_threads != 0) return options_.decode_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::shared_ptr<CachedFile> FanStoreFs::load_cached(
+    const std::string& path, const format::FileStat& stat) {
   obs::TraceSpan span("fs.load", options_.clock);
   WallTimer timer;
   std::optional<Blob> blob = backend_->get(path);
@@ -125,6 +140,15 @@ Bytes FanStoreFs::load_plain(const std::string& path, const format::FileStat& st
   }
   if (!blob) {
     throw std::runtime_error("fanstore: owner rank has no data for " + path);
+  }
+  if (compress::is_chunked_id(blob->compressor)) {
+    // Chunked frame: parse + validate now, decode nothing. Chunks decode
+    // (and their cost is charged) exactly once each, wherever they first
+    // materialize — eager open, prefetch warm, or a pread range.
+    auto file = std::make_shared<CachedFile>(std::move(blob->data),
+                                             blob->compressor, stat.size);
+    io_.load_us.record(static_cast<std::uint64_t>(timer.elapsed_us()));
+    return file;
   }
   const compress::Compressor* codec =
       compress::Registry::instance().by_id(blob->compressor);
@@ -140,7 +164,68 @@ Bytes FanStoreFs::load_plain(const std::string& path, const format::FileStat& st
                                                                 plain.size()));
   }
   io_.load_us.record(static_cast<std::uint64_t>(timer.elapsed_us()));
-  return plain;
+  return std::make_shared<CachedFile>(std::move(plain));
+}
+
+void FanStoreFs::charge_chunk_decode(const CachedFile& file,
+                                     const CachedFile::DecodeStats& stats,
+                                     std::size_t threads) {
+  if (stats.chunks_decoded == 0) return;
+  io_.chunks_decoded.inc(stats.chunks_decoded);
+  io_.chunked_bytes_decoded.inc(stats.bytes_decoded);
+  if (options_.cost.charge_decompress && file.inner_id() != 0) {
+    charge(simnet::CodecSpeedTable::shared().chunked_decompress_seconds(
+        file.inner_id(), stats.bytes_decoded, stats.chunks_decoded, threads));
+  }
+}
+
+void FanStoreFs::materialize_entry(const std::string& path, CachedFile& file) {
+  if (file.fully_materialized()) return;
+  obs::TraceSpan span("fs.chunked_decode", options_.clock);
+  WallTimer timer;
+  const std::size_t threads = decode_threads();
+  if (threads > 1 && file.chunk_count() > 1) io_.parallel_decodes.inc();
+  CachedFile::DecodeStats ds;
+  file.materialize_all(threads, &ds);
+  charge_chunk_decode(file, ds, threads);
+  io_.decode_us.record(static_cast<std::uint64_t>(timer.elapsed_us()));
+  cache_.recharge(path);
+  // Whole-file crc check happens here, when the last chunk lands (the
+  // per-chunk compressed crcs already caught corruption chunk-wise).
+  const auto stat = meta_->lookup(path);
+  if (stat && stat->crc != 0 && crc32(as_view(file.plain())) != stat->crc) {
+    throw std::runtime_error("fanstore: CRC mismatch for " + path);
+  }
+}
+
+bool FanStoreFs::warm_file(std::string_view path) {
+  const int fd = open(path, posixfs::OpenMode::kRead);
+  if (fd < 0) return false;
+  // Eager open already decoded everything; in lazy mode warming must finish
+  // the job so the training thread's reads are pure cache hits.
+  const int rc = materialize(fd);
+  close(fd);
+  return rc == 0;
+}
+
+int FanStoreFs::materialize(int fd) {
+  std::shared_ptr<OpenFile> of;
+  {
+    sync::MutexLock lk(fd_mu_);
+    const auto it = open_files_.find(fd);
+    if (it == open_files_.end()) return -EBADF;
+    of = it->second;
+  }
+  if (of->mode != posixfs::OpenMode::kRead || of->pinned == nullptr) {
+    return -EBADF;
+  }
+  try {
+    materialize_entry(of->path, *of->pinned);
+  } catch (const std::exception& e) {
+    FANSTORE_LOG_WARN("fanstore materialize(", of->path, "): ", e.what());
+    return -EIO;
+  }
+  return 0;
 }
 
 bool FanStoreFs::prefetch_compressed(std::string_view path_in) {
@@ -194,16 +279,29 @@ int FanStoreFs::open(std::string_view path_in, posixfs::OpenMode mode) {
   if (stat->type == format::FileType::kDirectory) return -EISDIR;
   charge(options_.cost.read_path.per_op_s);
 
-  std::shared_ptr<const Bytes> pinned;
+  std::shared_ptr<CachedFile> pinned;
   try {
     // The loader (fetch + decompress) runs inside the cache's single-flight
     // slot with no FanStoreFs lock held; concurrent opens of one path load
     // it once and share the result. Hit/miss accounting lives in the
     // cache's own "cache.*" counters (same registry).
-    pinned = cache_.acquire(path, [&] { return load_plain(path, *stat); });
+    pinned = cache_.acquire_file(path, [&] { return load_cached(path, *stat); });
   } catch (const std::exception& e) {
     FANSTORE_LOG_WARN("fanstore open(", path, "): ", e.what());
     return -EIO;
+  }
+  if (!options_.lazy_chunked_open && !pinned->fully_materialized()) {
+    // Eager mode (default): decode every chunk now, in parallel — open()
+    // keeps its classic "returns fully decompressed" contract but the
+    // decompress step no longer serializes on one core.
+    try {
+      materialize_entry(path, *pinned);
+    } catch (const std::exception& e) {
+      FANSTORE_LOG_WARN("fanstore open(", path, "): ", e.what());
+      pinned.reset();
+      cache_.release(path);
+      return -EIO;
+    }
   }
   io_.opens.inc();
   auto of = std::make_shared<OpenFile>();
@@ -279,17 +377,75 @@ std::int64_t FanStoreFs::read(int fd, MutByteView buf) {
     of = it->second;
   }
   if (of->mode != posixfs::OpenMode::kRead) return -EBADF;
-  const Bytes& data = *of->pinned;
+  CachedFile& file = *of->pinned;
   std::size_t n = 0;
+  CachedFile::DecodeStats ds;
   {
     // Copy under the per-file lock only: reads of different fds proceed in
     // parallel (the seed serialized every copy behind the global fs lock).
+    // Lazy chunked entries decode the touched chunks inline
+    // (fanstore_fs.file.mu -> cached_file.mu is a documented leaf edge).
     sync::MutexLock flk(of->mu);
-    if (of->offset >= static_cast<std::int64_t>(data.size())) return 0;
-    n = std::min(buf.size(), data.size() - static_cast<std::size_t>(of->offset));
-    std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(of->offset), n,
-                buf.begin());
+    if (of->offset >= static_cast<std::int64_t>(file.size())) return 0;
+    n = std::min(buf.size(), file.size() - static_cast<std::size_t>(of->offset));
+    try {
+      file.read_range(static_cast<std::size_t>(of->offset),
+                      MutByteView(buf.data(), n), &ds);
+    } catch (const std::exception& e) {
+      FANSTORE_LOG_WARN("fanstore read(", of->path, "): ", e.what());
+      return -EIO;
+    }
     of->offset += static_cast<std::int64_t>(n);
+  }
+  if (ds.chunks_decoded > 0) {
+    charge_chunk_decode(file, ds, 1);  // inline range decode is serial
+    cache_.recharge(of->path);
+  }
+  charge(static_cast<double>(n) / options_.cost.read_path.bandwidth_bps);
+  io_.bytes_read.inc(n);
+  io_.read_us.record(static_cast<std::uint64_t>(timer.elapsed_us()));
+  return static_cast<std::int64_t>(n);
+}
+
+std::int64_t FanStoreFs::pread(int fd, MutByteView buf, std::uint64_t offset) {
+  obs::TraceSpan span("fs.pread", options_.clock);
+  WallTimer timer;
+  std::shared_ptr<OpenFile> of;
+  {
+    sync::MutexLock lk(fd_mu_);
+    const auto it = open_files_.find(fd);
+    if (it == open_files_.end()) return -EBADF;
+    of = it->second;
+  }
+  if (of->mode != posixfs::OpenMode::kRead) return -EBADF;
+  CachedFile& file = *of->pinned;
+  if (offset >= file.size()) return 0;
+  const std::size_t n =
+      std::min(buf.size(), file.size() - static_cast<std::size_t>(offset));
+  // No cursor: the per-file mutex is not needed — the entry is immutable
+  // except for chunk materialization, which CachedFile coordinates itself.
+  const bool was_partial = !file.fully_materialized();
+  CachedFile::DecodeStats ds;
+  try {
+    file.read_range(static_cast<std::size_t>(offset), MutByteView(buf.data(), n),
+                    &ds);
+  } catch (const std::exception& e) {
+    FANSTORE_LOG_WARN("fanstore pread(", of->path, "): ", e.what());
+    return -EIO;
+  }
+  if (ds.chunks_decoded > 0) {
+    charge_chunk_decode(file, ds, 1);  // per-range decode charges only
+    cache_.recharge(of->path);         // the decoded bytes, serially
+  }
+  if (was_partial && file.is_chunked()) {
+    // The headline win, made observable: this read finished without the
+    // whole file decoded, skipping every non-overlapping chunk.
+    const std::size_t cs = file.chunk_size();
+    const std::size_t touched =
+        (static_cast<std::size_t>(offset) + n - 1) / cs -
+        static_cast<std::size_t>(offset) / cs + 1;
+    io_.partial_reads.inc();
+    io_.chunks_avoided.inc(file.chunk_count() - touched);
   }
   charge(static_cast<double>(n) / options_.cost.read_path.bandwidth_bps);
   io_.bytes_read.inc(n);

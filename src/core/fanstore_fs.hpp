@@ -80,6 +80,14 @@ class FanStoreFs final : public posixfs::Vfs {
     /// the fs a private registry (one per FanStoreFs; Instance injects a
     /// per-rank registry shared with its daemon).
     obs::MetricsRegistry* metrics = nullptr;
+    /// Workers for parallel chunk decode of chunked-framed files
+    /// (compress/chunked.hpp); 0 = hardware concurrency.
+    std::size_t decode_threads = 0;
+    /// When true, open() of a chunked file decodes nothing — chunks
+    /// materialize on demand per read()/pread() range (partial reads of
+    /// large objects stop paying whole-file decode). Default eager keeps
+    /// the classic open-decompresses-everything behavior.
+    bool lazy_chunked_open = false;
   };
 
   /// Plain snapshot of the I/O counters (see stats()) — a read shim over
@@ -104,6 +112,7 @@ class FanStoreFs final : public posixfs::Vfs {
   int open(std::string_view path, posixfs::OpenMode mode) override;
   int close(int fd) override;
   std::int64_t read(int fd, MutByteView buf) override;
+  std::int64_t pread(int fd, MutByteView buf, std::uint64_t offset) override;
   std::int64_t write(int fd, ByteView buf) override;
   std::int64_t lseek(int fd, std::int64_t offset, posixfs::Whence whence) override;
   int stat(std::string_view path, format::FileStat* out) override;
@@ -118,6 +127,16 @@ class FanStoreFs final : public posixfs::Vfs {
   /// critical path. Never throws; a failed fetch just leaves the slow path
   /// to open().
   bool prefetch_compressed(std::string_view path);
+
+  /// Fully warms `path`: open + (for lazy chunked entries) decode every
+  /// chunk + close, leaving the entry cached and unpinned. Never throws;
+  /// returns false when the file could not be warmed. The prefetcher's
+  /// warm stage uses this so lazy mode still prefetches whole files.
+  bool warm_file(std::string_view path);
+
+  /// Decodes every remaining chunk of an open fd's entry (no-op when
+  /// already fully materialized). Returns 0 or -errno.
+  int materialize(int fd);
 
   IoStats stats() const;
   PlainCache& cache() { return cache_; }
@@ -137,7 +156,7 @@ class FanStoreFs final : public posixfs::Vfs {
   struct OpenFile {
     std::string path;
     posixfs::OpenMode mode;
-    std::shared_ptr<const Bytes> pinned;  // read mode
+    std::shared_ptr<CachedFile> pinned;  // read mode
     mutable sync::Mutex mu{"fanstore_fs.file.mu"};
     Bytes buffer GUARDED_BY(mu);  // write mode
     std::int64_t offset GUARDED_BY(mu) = 0;
@@ -166,6 +185,13 @@ class FanStoreFs final : public posixfs::Vfs {
     obs::Histogram& read_us;
     obs::Histogram& load_us;
     obs::Histogram& fetch_us;
+    // Chunked-container decode instrumentation ("chunked.*").
+    obs::Counter& chunks_decoded;
+    obs::Counter& chunked_bytes_decoded;
+    obs::Counter& partial_reads;     // preads served without full decode
+    obs::Counter& chunks_avoided;    // chunks a partial read did NOT decode
+    obs::Counter& parallel_decodes;  // multi-chunk decodes run in parallel
+    obs::Histogram& decode_us;       // materialize_all wall latency
   };
 
   void charge(double sec) const {
@@ -177,8 +203,25 @@ class FanStoreFs final : public posixfs::Vfs {
     charge(options_.cost.read_path.metadata_op_s);
   }
 
-  /// Loads + decompresses `path` (Fig. 2), charging fetch/decompress costs.
-  Bytes load_plain(const std::string& path, const format::FileStat& stat);
+  /// Loads `path` (Fig. 2), charging fetch costs. Non-chunked blobs are
+  /// decompressed here (decompress cost charged); chunked blobs come back
+  /// as a lazy CachedFile with nothing decoded — materialize_entry() or a
+  /// per-range read decodes (and charges) later, exactly once per chunk.
+  std::shared_ptr<CachedFile> load_cached(const std::string& path,
+                                          const format::FileStat& stat);
+
+  /// Decodes every missing chunk of `file` with the configured decode
+  /// pool, charges the parallel-makespan decompress cost for exactly the
+  /// newly decoded chunks, verifies the whole-file crc once complete, and
+  /// re-syncs the cache budget. Throws on corrupt data.
+  void materialize_entry(const std::string& path, CachedFile& file);
+
+  /// Charges + counts `stats` chunks decoded at `threads`-way parallelism.
+  void charge_chunk_decode(const CachedFile& file,
+                           const CachedFile::DecodeStats& stats,
+                           std::size_t threads);
+
+  std::size_t decode_threads() const;
 
   /// Owner fetch + ring failover; nullopt when every candidate missed.
   std::optional<Blob> fetch_remote(const std::string& path,

@@ -27,8 +27,19 @@ Prefetcher::Prefetcher(core::FanStoreFs& fs, std::size_t threads,
 
 void Prefetcher::warm(const std::string& path) {
   obs::TraceSpan span("prefetch.warm");
-  // open() pulls the file through (any remaining) fetch + decompress into
-  // the cache; close() drops the pin but leaves the plain data cached.
+  if (fanstore_ != nullptr) {
+    // warm_file() additionally materializes every chunk of a lazily-decoded
+    // chunked entry — warming must leave nothing for the training thread,
+    // even when the fs opens chunked files lazily.
+    if (fanstore_->warm_file(path)) {
+      warmed_->inc();
+    } else {
+      failures_->inc();
+    }
+    return;
+  }
+  // Generic Vfs: open() pulls the file through fetch + decompress into the
+  // cache; close() drops the pin but leaves the plain data cached.
   const int fd = fs_.open(path, posixfs::OpenMode::kRead);
   if (fd < 0) {
     failures_->inc();

@@ -26,6 +26,17 @@ std::string normalize_path(std::string_view path) {
   return out;
 }
 
+std::int64_t Vfs::pread(int fd, MutByteView buf, std::uint64_t offset) {
+  const std::int64_t saved = lseek(fd, 0, Whence::kCur);
+  if (saved < 0) return saved;
+  const std::int64_t pos =
+      lseek(fd, static_cast<std::int64_t>(offset), Whence::kSet);
+  if (pos < 0) return pos;
+  const std::int64_t n = read(fd, buf);
+  lseek(fd, saved, Whence::kSet);
+  return n;
+}
+
 std::optional<Bytes> read_file(Vfs& fs, std::string_view path) {
   const int fd = fs.open(path, OpenMode::kRead);
   if (fd < 0) return std::nullopt;

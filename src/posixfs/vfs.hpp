@@ -51,6 +51,14 @@ class Vfs {
   /// (0 at EOF) or -errno. Advances the offset.
   virtual std::int64_t read(int fd, MutByteView buf) = 0;
 
+  /// Positional read: up to buf.size() bytes at `offset`, without moving
+  /// the fd's cursor; returns bytes read (0 past EOF) or -errno. The
+  /// default emulates via lseek+read+lseek and is not atomic against
+  /// concurrent cursor users of the same fd; FanStoreFs overrides it with
+  /// a cursor-free read that decodes only the touched chunks of a
+  /// chunk-compressed file.
+  virtual std::int64_t pread(int fd, MutByteView buf, std::uint64_t offset);
+
   /// Appends/overwrites at the fd's offset; returns bytes written or -errno.
   virtual std::int64_t write(int fd, ByteView buf) = 0;
 

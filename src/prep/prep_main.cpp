@@ -3,7 +3,7 @@
 // Usage:
 //   fanstore-prep --src=<dataset dir> --dst=<output dir>
 //       [--partitions=N] [--compressor=lz4hc] [--threads=T]
-//       [--broadcast=reldir1,reldir2]
+//       [--broadcast=reldir1,reldir2] [--chunk-size=256k]
 //
 // Operates on the real filesystem; the dataset is read relative to --src
 // and partitions + manifest.txt are written under --dst.
@@ -23,7 +23,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s --src=<dataset dir> --dst=<output dir>\n"
                  "          [--partitions=N] [--compressor=NAME|auto-a,b,c]\n"
-                 "          [--threads=T] [--broadcast=dir1,dir2]\n",
+                 "          [--threads=T] [--broadcast=dir1,dir2]\n"
+                 "          [--chunk-size=BYTES[k|m]]  (chunked container;\n"
+                 "           power of two >= 4k, enables parallel/partial\n"
+                 "           decode at read time)\n",
                  args.program().c_str());
     return src.empty() || dst.empty() ? 2 : 0;
   }
@@ -37,6 +40,16 @@ int main(int argc, char** argv) {
     std::string item;
     while (std::getline(ss, item, ',')) {
       if (!item.empty()) options.broadcast_dirs.push_back(item);
+    }
+  }
+  {
+    std::string cs = args.get("chunk-size", "");
+    if (!cs.empty()) {
+      std::size_t mult = 1;
+      const char tail = cs.back();
+      if (tail == 'k' || tail == 'K') { mult = 1024; cs.pop_back(); }
+      else if (tail == 'm' || tail == 'M') { mult = 1024 * 1024; cs.pop_back(); }
+      options.chunk_size = static_cast<std::size_t>(std::stoull(cs)) * mult;
     }
   }
 

@@ -5,8 +5,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "compress/chunked.hpp"
 #include "compress/registry.hpp"
 #include "format/partition.hpp"
+#include "util/crc32.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
@@ -34,12 +36,27 @@ std::vector<std::string> auto_candidates(const std::string& spec) {
 }
 
 format::FileRecord compress_one(const std::string& rel_path, ByteView raw,
-                                const std::vector<const compress::Compressor*>& codecs) {
+                                const std::vector<const compress::Compressor*>& codecs,
+                                std::size_t inner_threads) {
   const auto& reg = compress::Registry::instance();
   format::FileRecord best;
   bool have = false;
   for (const auto* codec : codecs) {
-    auto rec = format::make_record(rel_path, *codec, reg.id_of(*codec), raw);
+    format::FileRecord rec;
+    const auto* chunked = dynamic_cast<const compress::ChunkedCompressor*>(codec);
+    if (chunked != nullptr && inner_threads > 1) {
+      // Chunk-parallel encode: same record as make_record(), but the
+      // chunks compress across the worker budget left over by the
+      // per-file parallel_for.
+      rec.path = rel_path;
+      rec.compressor = reg.id_of(*codec);
+      rec.data = chunked->compress_with(raw, inner_threads);
+      rec.stat.size = raw.size();
+      rec.stat.compressed_size = rec.data.size();
+      rec.stat.crc = crc32(raw);
+    } else {
+      rec = format::make_record(rel_path, *codec, reg.id_of(*codec), raw);
+    }
     if (!have || rec.data.size() < best.data.size()) {
       best = std::move(rec);
       have = true;
@@ -85,13 +102,19 @@ std::vector<Bytes> build_partitions(
   // records land in a dense array so partition assembly is deterministic.
   std::vector<format::FileRecord> records(files.size());
   std::vector<std::string> errors(files.size());
-  parallel_for(files.size(), static_cast<std::size_t>(threads), [&](std::size_t i) {
+  // When there are fewer files than workers (huge-object datasets), the
+  // spare workers compress chunks *within* each file instead of idling —
+  // chunked codecs parallelize across both axes.
+  const std::size_t nthreads = threads <= 0 ? 1 : static_cast<std::size_t>(threads);
+  const std::size_t inner_threads =
+      files.empty() ? 1 : std::max<std::size_t>(1, nthreads / files.size());
+  parallel_for(files.size(), nthreads, [&](std::size_t i) {
     const auto raw = posixfs::read_file(src, files[i]);
     if (!raw) {
       errors[i] = "unreadable file: " + files[i];
       return;
     }
-    records[i] = compress_one(files[i], as_view(*raw), codecs);
+    records[i] = compress_one(files[i], as_view(*raw), codecs, inner_threads);
   });
   for (const auto& e : errors) {
     if (!e.empty()) throw std::runtime_error("prep: " + e);
@@ -231,6 +254,14 @@ Manifest prepare_dataset(posixfs::Vfs& src, const std::string& src_root,
       throw std::invalid_argument("prep: unknown compressor " + options.compressor);
     }
     codecs.push_back(c);
+  }
+  if (options.chunk_size != 0) {
+    // Wrap every candidate in the chunked container; the partition format
+    // carries the structural chunked id transparently.
+    for (auto& c : codecs) {
+      const auto id = compress::chunked_id(reg.id_of(*c), options.chunk_size);
+      c = reg.by_id(id);  // synthesized + cached by the registry
+    }
   }
 
   // Partition-eligible files exclude broadcast subtrees.

@@ -34,6 +34,12 @@ struct PrepOptions {
   /// Source subdirectories broadcast to every node (§V-B).
   std::vector<std::string> broadcast_dirs;
   Placement placement = Placement::kRoundRobin;
+  /// When non-zero, every resolved codec is wrapped in the chunked
+  /// container (compress/chunked.hpp) with this chunk size (a power of two
+  /// >= 4 KiB). Chunked files decompress in parallel at read time and
+  /// support range-partial decode; the cost is the per-chunk table overhead
+  /// and slightly worse ratio (smaller compression contexts).
+  std::size_t chunk_size = 0;
 };
 
 struct PartitionInfo {

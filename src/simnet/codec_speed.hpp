@@ -32,6 +32,24 @@ class CodecSpeedTable {
     return static_cast<double>(uncompressed_bytes) / decompress_bps(id);
   }
 
+  /// Virtual-time cost of decoding `chunks` chunks of a chunked container
+  /// (compress/chunked.hpp) totalling `bytes` uncompressed bytes on
+  /// `threads` workers. Chunks decode independently, so the makespan is
+  /// ceil(chunks / threads) chunk-batches — the serial cost scaled by that
+  /// fraction, never the serial sum. With threads == 1 this degenerates to
+  /// the serial cost of exactly the decoded bytes, which is what a partial
+  /// range decode charges. chunks == 0 costs nothing.
+  double chunked_decompress_seconds(compress::CompressorId inner_id,
+                                    std::size_t bytes, std::size_t chunks,
+                                    std::size_t threads) {
+    if (chunks == 0 || bytes == 0) return 0.0;
+    if (threads == 0) threads = 1;
+    const double batches =
+        static_cast<double>((chunks + threads - 1) / threads);
+    return decompress_seconds(inner_id, bytes) *
+           (batches / static_cast<double>(chunks));
+  }
+
   /// Overrides for tests (deterministic virtual costs).
   void set_decompress_bps(compress::CompressorId id, double bps);
 

@@ -66,11 +66,17 @@ void parallel_for(std::size_t n, std::size_t threads,
     return;
   }
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;  // published by exchange(), read after join
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
-      fn(i);
+      try {
+        fn(i);
+      } catch (...) {
+        if (!failed.exchange(true)) first_error = std::current_exception();
+      }
     }
   };
   std::vector<std::thread> ts;
@@ -78,6 +84,7 @@ void parallel_for(std::size_t n, std::size_t threads,
   ts.reserve(nt);
   for (std::size_t t = 0; t < nt; ++t) ts.emplace_back(worker);
   for (auto& t : ts) t.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace fanstore

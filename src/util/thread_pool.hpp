@@ -45,7 +45,10 @@ class ThreadPool {
   std::vector<std::thread> workers_;  // written only in ctor, joined in dtor
 };
 
-/// Runs fn(i) for i in [0, n) across up to `threads` workers; blocks until done.
+/// Runs fn(i) for i in [0, n) across up to `threads` workers; blocks until
+/// done. If fn throws, the first exception is rethrown after all workers
+/// join (remaining iterations may still run; the serial path stops at the
+/// throwing iteration).
 void parallel_for(std::size_t n, std::size_t threads,
                   const std::function<void(std::size_t)>& fn);
 

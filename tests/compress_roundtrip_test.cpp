@@ -58,6 +58,58 @@ TEST_P(RoundTripTest, DecompressIsDeterministic) {
   EXPECT_EQ(a, data);
 }
 
+// The LZ decoders share a wide-copy match expansion (lz_common.hpp) whose
+// 8/16-byte strides must stay exactly equivalent to the byte-serial loop.
+// Overlapping matches at every small distance are the hazardous cases: a
+// run of period d forces distance-d copies where a naive wide copy would
+// read bytes it has not yet written.
+TEST(WideCopyTest, OverlappingMatchesDecodeByteIdentically) {
+  const auto& reg = Registry::instance();
+  for (const char* name : {"lz4", "lz4hc", "lzf", "lzss", "lzsse8"}) {
+    const Compressor* codec = reg.by_name(name);
+    ASSERT_NE(codec, nullptr) << name;
+    for (std::size_t period = 1; period <= 24; ++period) {
+      Bytes data;
+      for (std::size_t i = 0; i < 4096 + period; ++i) {
+        data.push_back(static_cast<std::uint8_t>((i % period) * 37 + period));
+      }
+      // A non-periodic tail so literals follow the long match.
+      const Bytes tail = testdata::random_bytes(64, period);
+      data.insert(data.end(), tail.begin(), tail.end());
+      SCOPED_TRACE(std::string(name) + " period " + std::to_string(period));
+      const Bytes packed = codec->compress(as_view(data));
+      ASSERT_EQ(codec->decompress(as_view(packed), data.size()), data);
+    }
+  }
+}
+
+// Exercises the multi-bit first-level Huffman decode table well past one
+// table's worth of symbols, including skewed distributions that produce
+// codes both shorter and longer than the table width.
+TEST(HuffmanTableDecodeTest, LongSkewedInputRoundTrips) {
+  const auto& reg = Registry::instance();
+  const Compressor* codec = reg.by_name("huff-64k");
+  ASSERT_NE(codec, nullptr);
+  Rng rng(4242);
+  Bytes data;
+  data.reserve(1 << 20);
+  while (data.size() < (1 << 20)) {
+    // Heavy skew: byte 0 dominates (1-2 bit codes) while rare bytes fall
+    // off the 11-bit table into the slow path.
+    const std::uint64_t r = rng.next_below(1000);
+    if (r < 700) {
+      data.push_back(0);
+    } else if (r < 950) {
+      data.push_back(static_cast<std::uint8_t>(1 + rng.next_below(8)));
+    } else {
+      data.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+    }
+  }
+  const Bytes packed = codec->compress(as_view(data));
+  ASSERT_LT(packed.size(), data.size() / 2);  // the skew must compress well
+  EXPECT_EQ(codec->decompress(as_view(packed), data.size()), data);
+}
+
 std::vector<CompressorId> all_ids() {
   std::vector<CompressorId> ids;
   for (const auto& e : Registry::instance().all()) ids.push_back(e.id);

@@ -421,6 +421,97 @@ TEST(FanStoreIntegrationTest, CheckpointManagerOverFanStore) {
 }
 
 
+// Virtual-clock proof that chunked decompress cost is charged exactly once
+// per chunk, wherever the chunk happens to materialize — the PR-3-era bug
+// was a prefetch-warmed file being charged again at open(). With every
+// storage/network cost zeroed and the inner codec pinned to one chunk per
+// virtual second, the clock *is* the chunk-decode counter.
+TEST(FanStoreIntegrationTest, ChunkedDecodeChargedOncePerChunk) {
+  constexpr std::size_t kChunk = std::size_t{64} << 10;
+  const Bytes data = testdata::runs_and_noise(std::size_t{1} << 20, 31);
+  mpi::run_world(1, [&](mpi::Comm& comm) {
+    simnet::VirtualClock clock;
+    Instance::Options opt;
+    opt.fs.cost.enabled = true;
+    opt.fs.clock = &clock;
+    opt.fs.lazy_chunked_open = true;
+    opt.fs.decode_threads = 4;
+    opt.fs.cost.read_path.per_op_s = 0;
+    opt.fs.cost.read_path.metadata_op_s = 0;
+    opt.fs.cost.read_path.bandwidth_bps = 1e30;  // data movement is free
+    Instance inst(comm, opt);
+    inst.load_partition_blob(
+        as_view(make_partition({{"big", data}}, "chunked-64k+lz4hc")), 0);
+    inst.exchange_metadata();
+    const auto inner =
+        compress::Registry::instance().id_by_name("lz4hc");
+    // One 64 KiB chunk decodes in exactly one virtual second.
+    simnet::CodecSpeedTable::shared().set_decompress_bps(
+        inner, static_cast<double>(kChunk));
+
+    auto& fs = inst.fs();
+    const int fd = fs.open("big", posixfs::OpenMode::kRead);
+    ASSERT_GE(fd, 0);
+    EXPECT_DOUBLE_EQ(clock.now_sec(), 0.0);  // lazy open decodes nothing
+
+    // A window straddling one boundary: two chunks, decoded serially.
+    Bytes buf(kChunk);
+    ASSERT_EQ(fs.pread(fd, MutByteView(buf.data(), buf.size()), kChunk * 3 + 100),
+              static_cast<std::int64_t>(buf.size()));
+    EXPECT_DOUBLE_EQ(clock.now_sec(), 2.0);
+
+    // Same window again: chunks already materialized, nothing charged.
+    ASSERT_EQ(fs.pread(fd, MutByteView(buf.data(), buf.size()), kChunk * 3 + 100),
+              static_cast<std::int64_t>(buf.size()));
+    EXPECT_DOUBLE_EQ(clock.now_sec(), 2.0);
+
+    // Materializing the remaining 14 chunks on 4 threads costs the parallel
+    // makespan: ceil(14/4) = 4 chunk-batches, not 14 serial seconds.
+    ASSERT_EQ(fs.materialize(fd), 0);
+    EXPECT_DOUBLE_EQ(clock.now_sec(), 6.0);
+
+    // Fully warm: open/read/close never touches the decompress budget again
+    // (the prefetcher-warmed double-charge regression).
+    fs.close(fd);
+    const auto got = posixfs::read_file(fs, "big");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, data);
+    EXPECT_DOUBLE_EQ(clock.now_sec(), 6.0);
+  });
+}
+
+TEST(FanStoreIntegrationTest, PrefetchWarmedChunkedFileChargedOnce) {
+  constexpr std::size_t kChunk = std::size_t{64} << 10;
+  const Bytes data = testdata::runs_and_noise(std::size_t{1} << 19, 32);  // 8 chunks
+  mpi::run_world(1, [&](mpi::Comm& comm) {
+    simnet::VirtualClock clock;
+    Instance::Options opt;
+    opt.fs.cost.enabled = true;
+    opt.fs.clock = &clock;
+    opt.fs.decode_threads = 2;
+    opt.fs.cost.read_path.per_op_s = 0;
+    opt.fs.cost.read_path.metadata_op_s = 0;
+    opt.fs.cost.read_path.bandwidth_bps = 1e30;
+    Instance inst(comm, opt);
+    inst.load_partition_blob(
+        as_view(make_partition({{"w", data}}, "chunked-64k+lz4hc")), 0);
+    inst.exchange_metadata();
+    const auto inner = compress::Registry::instance().id_by_name("lz4hc");
+    simnet::CodecSpeedTable::shared().set_decompress_bps(
+        inner, static_cast<double>(kChunk));
+
+    // Warm (the prefetcher's path): 8 chunks on 2 threads = 4 batches.
+    ASSERT_TRUE(inst.fs().warm_file("w"));
+    EXPECT_DOUBLE_EQ(clock.now_sec(), 4.0);
+
+    // The training thread's open + read must charge zero extra decode time.
+    const auto got = posixfs::read_file(inst.fs(), "w");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, data);
+    EXPECT_DOUBLE_EQ(clock.now_sec(), 4.0);
+  });
+}
+
 TEST(FanStoreIntegrationTest, StatsReportMentionsActivity) {
   mpi::run_world(1, [&](mpi::Comm& comm) {
     Instance inst(comm, {});

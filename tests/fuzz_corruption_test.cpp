@@ -6,6 +6,7 @@
 // arrives damaged from the shared FS or the interconnect.
 #include <gtest/gtest.h>
 
+#include "compress/chunked.hpp"
 #include "compress/registry.hpp"
 #include "tests/test_data.hpp"
 #include "util/rng.hpp"
@@ -60,9 +61,85 @@ TEST_P(CorruptionFuzzTest, SurvivesRandomCorruption) {
   }
 }
 
+// --- Chunked container corruption classes --------------------------------
+//
+// The container adds its own header + chunk table, so beyond the generic
+// random fuzzing above (which the parametrized suite also runs on chunked
+// ids), each structured field gets a targeted mutation that must surface as
+// CorruptDataError — never a crash, hang, or silent wrong-size output.
+
+class ChunkedCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto& reg = Registry::instance();
+    codec_ = reg.by_name("chunked-16k+lz4hc");
+    ASSERT_NE(codec_, nullptr);
+    original_ = testdata::runs_and_noise(50000, 77);  // 4 chunks
+    packed_ = codec_->compress(as_view(original_));
+    ASSERT_GT(packed_.size(), kChunkedHeaderSize + 4 * kChunkTableEntrySize);
+  }
+
+  void expect_corrupt(const Bytes& mutated) {
+    EXPECT_THROW((void)codec_->decompress(as_view(mutated), original_.size()),
+                 CorruptDataError);
+  }
+
+  const Compressor* codec_ = nullptr;
+  Bytes original_;
+  Bytes packed_;
+};
+
+TEST_F(ChunkedCorruptionTest, TruncatedHeaderThrows) {
+  for (std::size_t n = 0; n < kChunkedHeaderSize; ++n) {
+    Bytes mutated(packed_.begin(), packed_.begin() + static_cast<std::ptrdiff_t>(n));
+    expect_corrupt(mutated);
+  }
+}
+
+TEST_F(ChunkedCorruptionTest, CorruptedTableEntryThrows) {
+  // Break chunk 1's offset field: offsets must be exact prefix sums.
+  Bytes mutated = packed_;
+  mutated[kChunkedHeaderSize + kChunkTableEntrySize] ^= 0x01;
+  expect_corrupt(mutated);
+  // Break a csize field the same way.
+  mutated = packed_;
+  mutated[kChunkedHeaderSize + kChunkTableEntrySize + 8] ^= 0x01;
+  expect_corrupt(mutated);
+}
+
+TEST_F(ChunkedCorruptionTest, FlippedPayloadByteThrows) {
+  // A single bit anywhere in the payload breaks that chunk's crc32.
+  const std::size_t payload_begin = kChunkedHeaderSize + 4 * kChunkTableEntrySize;
+  Bytes mutated = packed_;
+  mutated[payload_begin + (mutated.size() - payload_begin) / 2] ^= 0x40;
+  expect_corrupt(mutated);
+}
+
+TEST_F(ChunkedCorruptionTest, WrongChunkCrcThrows) {
+  // Flip a bit in chunk 2's stored crc32 (table entry bytes 12..15).
+  Bytes mutated = packed_;
+  mutated[kChunkedHeaderSize + 2 * kChunkTableEntrySize + 12] ^= 0x80;
+  expect_corrupt(mutated);
+}
+
+TEST_F(ChunkedCorruptionTest, ChunkCountInconsistentWithSizeThrows) {
+  // chunk_count lives at header bytes 11..14; 50000 bytes at 16 KiB must be
+  // exactly 4 chunks.
+  for (const std::uint8_t count : {0, 3, 5, 255}) {
+    Bytes mutated = packed_;
+    mutated[11] = count;
+    expect_corrupt(mutated);
+  }
+}
+
 std::vector<CompressorId> all_ids() {
   std::vector<CompressorId> ids;
   for (const auto& e : Registry::instance().all()) ids.push_back(e.id);
+  // A few chunked wrappings ride along so the container's parse/decode path
+  // gets the same random bit-flip/truncate/overwrite treatment.
+  ids.push_back(Registry::instance().id_by_name("chunked-16k+lz4hc"));
+  ids.push_back(Registry::instance().id_by_name("chunked-4k+huff-64k"));
+  ids.push_back(Registry::instance().id_by_name("chunked-16k+deflate-6"));
   return ids;
 }
 

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "compress/registry.hpp"
 #include "core/cache.hpp"
 #include "ipc/uds_client.hpp"
 #include "ipc/uds_server.hpp"
@@ -98,6 +99,59 @@ TEST(RaceStressTest, ShardedSingleFlightStress) {
   // Structural single-flight invariant: a loader run is exactly a miss.
   EXPECT_EQ(loader_runs.load(), static_cast<int>(stats.misses));
   EXPECT_LE(cache.bytes_used(), cache.capacity());
+}
+
+TEST(RaceStressTest, ChunkedPartialMaterializationRace) {
+  // One shared lazy chunked entry (32 x 16 KiB chunks) acquired through the
+  // cache, hammered by 8 threads doing random-window read_range() calls
+  // while two of them repeatedly kick materialize_all(): chunk claims,
+  // condvar waits, parallel decode publication, and recharge() all
+  // interleave. The claim protocol must decode each chunk exactly once
+  // globally and every window must read back byte-identical data.
+  const Bytes original = testdata::runs_and_noise(std::size_t{512} << 10, 7);
+  const auto& reg = compress::Registry::instance();
+  const compress::Compressor* codec = reg.by_name("chunked-16k+lz4");
+  ASSERT_NE(codec, nullptr);
+  Bytes packed = codec->compress(as_view(original));
+  const compress::CompressorId id = reg.id_of(*codec);
+
+  core::PlainCache cache(std::size_t{4} << 20);
+  auto file = cache.acquire_file("big", [&] {
+    return std::make_shared<core::CachedFile>(std::move(packed), id,
+                                              original.size());
+  });
+  ASSERT_EQ(file->chunk_count(), 32u);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 120;
+  std::atomic<std::size_t> chunks_decoded{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(t) * 131 + 5);
+      Bytes buf(24 << 10);
+      for (int i = 0; i < kIters; ++i) {
+        core::CachedFile::DecodeStats ds;
+        if (t < 2 && i % 40 == 17) {
+          file->materialize_all(3, &ds);
+        } else {
+          const std::size_t off = rng.next_below(original.size() - buf.size());
+          file->read_range(off, MutByteView(buf.data(), buf.size()), &ds);
+          ASSERT_TRUE(std::equal(
+              buf.begin(), buf.end(),
+              original.begin() + static_cast<std::ptrdiff_t>(off)));
+        }
+        chunks_decoded.fetch_add(ds.chunks_decoded);
+        if (ds.chunks_decoded > 0) cache.recharge("big");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Exactly-once accounting across every racing caller.
+  EXPECT_EQ(chunks_decoded.load(), 32u);
+  EXPECT_TRUE(file->fully_materialized());
+  EXPECT_EQ(file->plain(), original);
+  cache.release("big");
 }
 
 TEST(RaceStressTest, MailboxSendRecvAcrossRankThreads) {

@@ -25,10 +25,13 @@ run_pass() {
 
 run_pass "tier-1" build -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 
-# Labeled quick pass: the observability + stress subset on its own, as the
-# fast signal to rerun while iterating on obs/ (`ctest -L obs` / `-L stress`).
+# Labeled quick passes: the observability + stress subset (`ctest -L obs` /
+# `-L stress`) and the chunked-container subset (`ctest -L chunked`) on their
+# own, as the fast signals to rerun while iterating on obs/ or compress/.
 echo "==== [labels] ctest -L 'obs|stress' ===="
 ctest --test-dir build --output-on-failure -j "$jobs" -L 'obs|stress'
+echo "==== [labels] ctest -L chunked ===="
+ctest --test-dir build --output-on-failure -j "$jobs" -L chunked
 
 # Hot-path perf smoke: quick sharded-vs-legacy cache sweep. Catches gross
 # concurrency regressions and refreshes BENCH_hotpath.json at the repo root
@@ -38,6 +41,13 @@ ctest --test-dir build --output-on-failure -j "$jobs" -L 'obs|stress'
 # disagreement.
 echo "==== [bench] bench_hotpath --quick ===="
 build/bench/bench_hotpath --quick --json "$repo_root/BENCH_hotpath.json"
+
+# Chunked-container smoke: parallel whole-file decode + the partial-pread
+# acceptance check (a 64 KiB pread must decode <= 2 chunks, verified via the
+# "chunked.*" counters; non-zero exit on violation). Run without --quick for
+# the recorded BENCH_chunked.json numbers.
+echo "==== [bench] bench_chunked --quick ===="
+build/bench/bench_chunked --quick --json "$repo_root/BENCH_chunked.json"
 
 if [ "${1:-}" = "--tier1-only" ]; then
   echo "ci.sh: tier-1 pass complete (sanitizer matrix skipped)"
