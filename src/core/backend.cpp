@@ -1,5 +1,7 @@
 #include "core/backend.hpp"
 
+#include "fault/injector.hpp"
+
 namespace fanstore::core {
 
 void RamBackend::put(const std::string& path, Blob blob) {
@@ -99,6 +101,42 @@ std::size_t VfsBackend::bytes_used() const {
 std::size_t VfsBackend::object_count() const {
   sync::MutexLock lk(mu_);
   return count_;
+}
+
+FaultInjectedBackend::FaultInjectedBackend(
+    std::unique_ptr<CompressedBackend> inner, int rank,
+    fault::FaultInjector* injector)
+    : inner_(std::move(inner)), rank_(rank), injector_(injector) {}
+
+void FaultInjectedBackend::put(const std::string& path, Blob blob) {
+  inner_->put(path, std::move(blob));
+}
+
+std::optional<Blob> FaultInjectedBackend::get(const std::string& path) const {
+  switch (injector_->backend_get_action(rank_, path)) {
+    case fault::BackendAction::kFail:
+      return std::nullopt;  // read error: the object is unreachable
+    case fault::BackendAction::kCorrupt: {
+      std::optional<Blob> blob = inner_->get(path);
+      if (blob) injector_->corrupt(blob->data);
+      return blob;  // torn object: crc layers above must catch it
+    }
+    case fault::BackendAction::kNone:
+      break;
+  }
+  return inner_->get(path);
+}
+
+bool FaultInjectedBackend::contains(const std::string& path) const {
+  return inner_->contains(path);
+}
+
+std::size_t FaultInjectedBackend::bytes_used() const {
+  return inner_->bytes_used();
+}
+
+std::size_t FaultInjectedBackend::object_count() const {
+  return inner_->object_count();
 }
 
 }  // namespace fanstore::core

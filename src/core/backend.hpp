@@ -14,6 +14,10 @@
 #include "util/bytes.hpp"
 #include "util/sync.hpp"
 
+namespace fanstore::fault {
+class FaultInjector;
+}
+
 namespace fanstore::core {
 
 struct Blob {
@@ -89,6 +93,31 @@ class VfsBackend final : public CompressedBackend {
   std::size_t bytes_ GUARDED_BY(mu_) = 0;
   std::size_t count_ GUARDED_BY(mu_) = 0;
   std::unordered_map<std::string, bool> known_ GUARDED_BY(mu_);  // membership cache
+};
+
+/// Decorator that injects scripted read faults into an inner backend (a
+/// flaky SSD / torn object, fault::BackendRule): get() may fail (nullopt)
+/// or return a corrupted copy — the format/crc layers above must detect
+/// the latter. Writes and membership checks pass through untouched.
+class FaultInjectedBackend final : public CompressedBackend {
+ public:
+  /// `rank` scopes the injector's per-rank rules; `injector` must outlive
+  /// the backend.
+  FaultInjectedBackend(std::unique_ptr<CompressedBackend> inner, int rank,
+                       fault::FaultInjector* injector);
+
+  void put(const std::string& path, Blob blob) override;
+  std::optional<Blob> get(const std::string& path) const override;
+  bool contains(const std::string& path) const override;
+  std::size_t bytes_used() const override;
+  std::size_t object_count() const override;
+
+  CompressedBackend& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<CompressedBackend> inner_;
+  int rank_;
+  fault::FaultInjector* injector_;
 };
 
 }  // namespace fanstore::core

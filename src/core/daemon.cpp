@@ -1,6 +1,10 @@
 #include "core/daemon.hpp"
 
+#include <chrono>
+
+#include "fault/injector.hpp"
 #include "obs/trace.hpp"
+#include "util/crc32.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -9,6 +13,9 @@ namespace fanstore::core {
 Bytes encode_fetch_request(std::uint32_t reply_tag, std::string_view path) {
   Bytes out;
   append_le<std::uint32_t>(out, reply_tag);
+  append_le<std::uint32_t>(
+      out, crc32(ByteView(reinterpret_cast<const unsigned char*>(path.data()),
+                          path.size())));
   out.insert(out.end(), path.begin(), path.end());
   return out;
 }
@@ -18,8 +25,23 @@ Bytes encode_fetch_reply(std::uint8_t status, const Blob* blob, std::uint64_t ra
   out.push_back(status);
   append_le<std::uint16_t>(out, blob != nullptr ? blob->compressor : 0);
   append_le<std::uint64_t>(out, raw_size);
+  // Wire crc over the 11-byte header and the data (the crc field itself is
+  // excluded); a flipped bit anywhere turns into a retryable reject.
+  std::uint32_t crc = crc32(ByteView(out.data(), out.size()));
+  if (blob != nullptr) crc = crc32(as_view(blob->data), crc);
+  append_le<std::uint32_t>(out, crc);
   if (blob != nullptr) out.insert(out.end(), blob->data.begin(), blob->data.end());
   return out;
+}
+
+bool fetch_reply_crc_ok(ByteView payload) {
+  if (payload.size() < kFetchReplyHeaderBytes) return false;
+  const std::uint32_t stored = load_le<std::uint32_t>(payload.data() + 11);
+  std::uint32_t crc = crc32(ByteView(payload.data(), 11));
+  crc = crc32(ByteView(payload.data() + kFetchReplyHeaderBytes,
+                       payload.size() - kFetchReplyHeaderBytes),
+              crc);
+  return crc == stored;
 }
 
 Bytes encode_write_meta(std::string_view path, const format::FileStat& stat) {
@@ -32,8 +54,10 @@ Bytes encode_write_meta(std::string_view path, const format::FileStat& stat) {
 }
 
 Daemon::Daemon(mpi::Comm comm, MetadataStore* meta, CompressedBackend* backend,
-               obs::MetricsRegistry* metrics)
-    : comm_(comm), meta_(meta), backend_(backend) {
+               obs::MetricsRegistry* metrics, fault::FaultInjector* injector,
+               simnet::VirtualClock* clock)
+    : comm_(comm), meta_(meta), backend_(backend), injector_(injector),
+      clock_(clock) {
   if (metrics == nullptr) {
     owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
     metrics = owned_metrics_.get();
@@ -85,15 +109,36 @@ void Daemon::serve() {
 void Daemon::handle_fetch(const mpi::Message& msg) {
   obs::TraceSpan span("daemon.fetch");
   WallTimer timer;
+  if (injector_ != nullptr) {
+    injector_->note_fetch_request(comm_.rank());
+    const double vnow = clock_ != nullptr ? clock_->now_sec() : -1.0;
+    if (!injector_->daemon_alive(comm_.rank(), vnow)) {
+      return;  // crashed daemon: request vanishes, requester times out
+    }
+    const int hang = injector_->daemon_hang_ms(comm_.rank());
+    if (hang > 0) std::this_thread::sleep_for(std::chrono::milliseconds(hang));
+  }
   if (msg.payload.size() < 4) {
     // Cannot even parse the reply tag; nothing sensible to do but log.
     FANSTORE_LOG_WARN("daemon rank ", comm_.rank(), ": malformed fetch request");
     return;
   }
   const std::uint32_t reply_tag = load_le<std::uint32_t>(msg.payload.data());
-  const std::string path(reinterpret_cast<const char*>(msg.payload.data()) + 4,
-                         msg.payload.size() - 4);
-  if (path.empty()) {
+  if (msg.payload.size() < kFetchRequestHeaderBytes) {
+    comm_.send(msg.source, static_cast<int>(reply_tag),
+               encode_fetch_reply(kFetchMalformed, nullptr, 0));
+    return;
+  }
+  const std::uint32_t path_crc = load_le<std::uint32_t>(msg.payload.data() + 4);
+  const std::string path(
+      reinterpret_cast<const char*>(msg.payload.data()) + kFetchRequestHeaderBytes,
+      msg.payload.size() - kFetchRequestHeaderBytes);
+  if (path.empty() ||
+      crc32(ByteView(msg.payload.data() + kFetchRequestHeaderBytes,
+                     path.size())) != path_crc) {
+    // A corrupted request must not turn into a definitive "not found" — the
+    // path we parsed may not be the path that was asked for. Malformed is
+    // retryable on the requester side.
     comm_.send(msg.source, static_cast<int>(reply_tag),
                encode_fetch_reply(kFetchMalformed, nullptr, 0));
     return;

@@ -2,10 +2,17 @@
 // remote compressed-file fetches and accepts forwarded write metadata.
 //
 // Wire protocol (all messages over mpi::Comm):
-//   kTagFetch      req : [u32 reply_tag][path bytes]
-//   reply_tag      rsp : [u8 status][u16 compressor][u64 raw_size][data…]
+//   kTagFetch      req : [u32 reply_tag][u32 path_crc][path bytes]
+//   reply_tag      rsp : [u8 status][u16 compressor][u64 raw_size]
+//                        [u32 crc][data…]
 //   kTagWriteMeta  one-way: [u16 path_len][path][144 B stat]
 //   kTagShutdown   one-way, self-addressed by stop()
+//
+// Both directions carry a CRC-32 so a corrupted message is *detected* and
+// becomes a retryable failure instead of silent data corruption (request:
+// crc over the path; reply: crc over the 11-byte header and the data). A
+// request whose path crc fails gets a kFetchMalformed reply — the reader
+// treats that as retryable, never as a definitive miss.
 #pragma once
 
 #include <atomic>
@@ -16,7 +23,12 @@
 #include "core/metadata_store.hpp"
 #include "mpi/comm.hpp"
 #include "obs/metrics.hpp"
+#include "simnet/virtual_clock.hpp"
 #include "util/sync.hpp"
+
+namespace fanstore::fault {
+class FaultInjector;
+}
 
 namespace fanstore::core {
 
@@ -32,11 +44,19 @@ constexpr std::uint8_t kFetchOk = 0;
 constexpr std::uint8_t kFetchNotFound = 1;
 constexpr std::uint8_t kFetchMalformed = 2;
 
+// Fixed header sizes (see the wire protocol above).
+constexpr std::size_t kFetchRequestHeaderBytes = 8;   // reply_tag + path_crc
+constexpr std::size_t kFetchReplyHeaderBytes = 15;    // status..crc
+
 /// Encodes/decodes the fetch request payload.
 Bytes encode_fetch_request(std::uint32_t reply_tag, std::string_view path);
 
-/// Encodes the fetch reply payload.
+/// Encodes the fetch reply payload (computes and embeds the wire crc).
 Bytes encode_fetch_reply(std::uint8_t status, const Blob* blob, std::uint64_t raw_size);
+
+/// True when `payload` is a structurally valid fetch reply whose embedded
+/// crc matches its header + data bytes.
+bool fetch_reply_crc_ok(ByteView payload);
 
 /// Encodes a write-metadata forward.
 Bytes encode_write_meta(std::string_view path, const format::FileStat& stat);
@@ -47,8 +67,14 @@ class Daemon {
   /// latency histogram; nullptr gives the daemon a private registry.
   /// Instance injects its per-rank registry so one snapshot covers
   /// fs + cache + daemon.
+  /// `injector` (may be nullptr) scripts crash / hang / restart behaviour:
+  /// a "dead" daemon silently drops fetch requests, exactly what a crashed
+  /// process looks like from the wire. `clock` feeds virtual-clock crash
+  /// windows (nullptr disables them; count-based triggers still work).
   Daemon(mpi::Comm comm, MetadataStore* meta, CompressedBackend* backend,
-         obs::MetricsRegistry* metrics = nullptr);
+         obs::MetricsRegistry* metrics = nullptr,
+         fault::FaultInjector* injector = nullptr,
+         simnet::VirtualClock* clock = nullptr);
   ~Daemon();
 
   Daemon(const Daemon&) = delete;
@@ -71,6 +97,8 @@ class Daemon {
   mpi::Comm comm_;
   MetadataStore* meta_;  // internally synchronized
   CompressedBackend* backend_;  // internally synchronized
+  fault::FaultInjector* injector_;  // internally synchronized; may be null
+  simnet::VirtualClock* clock_;     // may be null
   // Serializes start()/stop() so concurrent lifecycle calls cannot race on
   // thread_ (spawn in one thread, join in another). The service thread
   // itself never takes this lock.

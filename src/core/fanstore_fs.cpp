@@ -1,6 +1,7 @@
 #include "core/fanstore_fs.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <thread>
 
@@ -22,6 +23,11 @@ FanStoreFs::IoMetrics::IoMetrics(obs::MetricsRegistry& m)
       bytes_written(m.counter("fs.bytes_written")),
       remote_bytes(m.counter("fs.remote_bytes")),
       failovers(m.counter("fs.failovers")),
+      retry_attempts(m.counter("retry.attempts")),
+      retry_timeouts(m.counter("retry.timeouts")),
+      retry_crc_rejects(m.counter("retry.crc_rejects")),
+      retry_backoff_ms(m.counter("retry.backoff_ms")),
+      retry_exhausted(m.counter("retry.exhausted")),
       open_us(m.histogram("fs.open_us")),
       read_us(m.histogram("fs.read_us")),
       load_us(m.histogram("fs.load_us")),
@@ -45,15 +51,25 @@ FanStoreFs::FanStoreFs(mpi::Comm comm, MetadataStore* meta,
       metrics_(options.metrics != nullptr ? options.metrics
                                           : owned_metrics_.get()),
       cache_(options.cache_bytes, options.cache_shards, metrics_),
-      io_(*metrics_) {}
+      io_(*metrics_) {
+  if (options_.fetch_timeout_ms < 0) {
+    throw std::invalid_argument(
+        "FanStoreFs: fetch_timeout_ms must be >= 0 (0 = no timeout)");
+  }
+  if (options_.failover_hops < 0) {
+    throw std::invalid_argument("FanStoreFs: failover_hops must be >= 0");
+  }
+  options_.retry.validate();
+}
 
 int FanStoreFs::home_rank(std::string_view path) const {
   return static_cast<int>(std::hash<std::string_view>{}(path) %
                           static_cast<std::size_t>(comm_.size()));
 }
 
-std::optional<Blob> FanStoreFs::fetch_from(int rank, const std::string& path,
-                                           const format::FileStat& stat) {
+FanStoreFs::FetchStatus FanStoreFs::fetch_from(int rank, const std::string& path,
+                                               const format::FileStat& stat,
+                                               Blob* out) {
   obs::TraceSpan span("fs.fetch", options_.clock);
   // Node-local fast path: a peer registered in the PeerDirectory is read
   // directly — no request encode, reply buffer, or daemon-thread hop. The
@@ -62,13 +78,14 @@ std::optional<Blob> FanStoreFs::fetch_from(int rank, const std::string& path,
   if (options_.peers != nullptr) {
     if (const CompressedBackend* peer = options_.peers->find(rank)) {
       std::optional<Blob> direct = peer->get(path);
-      if (!direct) return std::nullopt;
+      if (!direct) return FetchStatus::kMiss;
       charge(options_.cost.network.transfer_time(direct->data.size(),
                                                  options_.cost.nodes));
       io_.remote_fetches.inc();
       io_.direct_fetches.inc();
       io_.remote_bytes.inc(direct->data.size());
-      return direct;
+      *out = std::move(*direct);
+      return FetchStatus::kOk;
     }
   }
   const std::uint32_t reply_tag =
@@ -82,38 +99,78 @@ std::optional<Blob> FanStoreFs::fetch_from(int rank, const std::string& path,
     if (!reply) {
       FANSTORE_LOG_WARN("fanstore rank ", comm_.rank(), ": fetch of ", path,
                         " from rank ", rank, " timed out");
-      return std::nullopt;  // presumed-dead daemon: caller fails over
+      return FetchStatus::kTimeout;  // presumed-dead daemon
     }
   } else {
+    // fetch_timeout_ms == 0: no timeout — wait for the answer forever.
     reply = comm_.recv(rank, static_cast<int>(reply_tag));
   }
-  if (reply->payload.size() < 11 || reply->payload[0] != kFetchOk) {
-    return std::nullopt;  // not found / malformed on that rank
+  // Wire crc first: a corrupted reply must never be interpreted — not even
+  // its status byte (a flipped kFetchOk would otherwise read as a
+  // definitive miss, a flipped kFetchNotFound as data).
+  if (!fetch_reply_crc_ok(as_view(reply->payload))) {
+    io_.retry_crc_rejects.inc();
+    FANSTORE_LOG_WARN("fanstore rank ", comm_.rank(), ": fetch of ", path,
+                      " from rank ", rank, ": reply failed wire crc");
+    return FetchStatus::kBadReply;
+  }
+  if (reply->payload[0] == kFetchNotFound) return FetchStatus::kMiss;
+  if (reply->payload[0] != kFetchOk) {
+    // kFetchMalformed: our *request* was damaged in flight — retry it.
+    return FetchStatus::kBadReply;
   }
   Blob fetched;
   fetched.compressor = load_le<std::uint16_t>(reply->payload.data() + 1);
   const std::uint64_t raw_size = load_le<std::uint64_t>(reply->payload.data() + 3);
-  fetched.data.assign(reply->payload.begin() + 11, reply->payload.end());
-  if (raw_size != stat.size) return std::nullopt;
+  fetched.data.assign(reply->payload.begin() + kFetchReplyHeaderBytes,
+                      reply->payload.end());
+  if (raw_size != stat.size) return FetchStatus::kMiss;  // stale/other version
   charge(options_.cost.network.transfer_time(fetched.data.size(), options_.cost.nodes));
   io_.remote_fetches.inc();
   io_.remote_bytes.inc(fetched.data.size());
-  return fetched;
+  *out = std::move(fetched);
+  return FetchStatus::kOk;
 }
 
 std::optional<Blob> FanStoreFs::fetch_remote(const std::string& path,
                                              const format::FileStat& stat) {
-  // Remote fetch from the owner's daemon (Fig. 2, remote branch); on
-  // timeout or miss, fail over around the ring where replicate_ring()
-  // may have placed copies.
+  // Remote fetch from the owner's daemon (Fig. 2, remote branch). A
+  // retryable failure (timeout, CRC-rejected reply) is retried against the
+  // same candidate with exponential backoff + deterministic jitter; a
+  // definitive miss moves failover on around the ring, where
+  // replicate_ring() may have placed copies.
   const int owner = static_cast<int>(stat.owner_rank);
+  const RetryPolicy& retry = options_.retry;
+  const std::uint64_t salt =
+      std::hash<std::string>{}(path) ^
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(comm_.rank())) << 40);
   WallTimer timer;
   std::optional<Blob> blob;
   for (int hop = 0; hop <= options_.failover_hops && !blob; ++hop) {
     const int candidate = (owner + hop) % comm_.size();
     if (candidate == comm_.rank()) continue;  // local backend already missed
-    blob = fetch_from(candidate, path, stat);
-    if (blob && hop > 0) io_.failovers.inc();
+    for (int attempt = 1; attempt <= retry.max_attempts; ++attempt) {
+      Blob fetched;
+      const FetchStatus st = fetch_from(candidate, path, stat, &fetched);
+      if (st == FetchStatus::kOk) {
+        blob = std::move(fetched);
+        if (hop > 0) io_.failovers.inc();
+        break;
+      }
+      if (st == FetchStatus::kMiss) break;  // definitive: next ring candidate
+      if (st == FetchStatus::kTimeout) io_.retry_timeouts.inc();
+      if (attempt == retry.max_attempts) {
+        io_.retry_exhausted.inc();
+        break;
+      }
+      io_.retry_attempts.inc();
+      const int backoff = retry.delay_ms(
+          attempt, salt ^ static_cast<std::uint64_t>(candidate));
+      if (backoff > 0) {
+        io_.retry_backoff_ms.inc(static_cast<std::uint64_t>(backoff));
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      }
+    }
   }
   io_.fetch_us.record(static_cast<std::uint64_t>(timer.elapsed_us()));
   return blob;

@@ -33,6 +33,7 @@
 #include "core/cache.hpp"
 #include "core/daemon.hpp"
 #include "core/metadata_store.hpp"
+#include "core/retry.hpp"
 #include "mpi/comm.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -66,12 +67,18 @@ class FanStoreFs final : public posixfs::Vfs {
     CostConfig cost;
     simnet::VirtualClock* clock = nullptr;  // required if cost.enabled
     /// Remote-fetch failure detection: a daemon that does not answer within
-    /// this window is treated as failed and the fetch fails over to ring
-    /// neighbours that may hold a replica (Instance::replicate_ring).
-    /// <= 0 waits forever (no failover).
+    /// this window is treated as failed; the attempt is retried with
+    /// backoff (see `retry`) and then fails over to ring neighbours that
+    /// may hold a replica (Instance::replicate_ring). 0 means *no timeout*
+    /// — wait forever, no failover. Negative values are rejected at
+    /// construction (std::invalid_argument).
     int fetch_timeout_ms = 10000;
     /// How many ring successors of the owner to try after a failed fetch.
+    /// Negative values are rejected at construction.
     int failover_hops = 2;
+    /// Backoff between retryable per-candidate fetch failures (timeout or
+    /// CRC-rejected reply). Validated at construction.
+    RetryPolicy retry;
     /// Optional direct-access table: peers registered here are read
     /// without the daemon round-trip (same cost charged). nullptr keeps
     /// the pure message-passing path.
@@ -181,6 +188,13 @@ class FanStoreFs final : public posixfs::Vfs {
     obs::Counter& bytes_written;
     obs::Counter& remote_bytes;
     obs::Counter& failovers;
+    // Remote-fetch resilience ("retry.*", DESIGN.md §8): re-attempts after
+    // retryable failures, their causes, and the total backoff slept.
+    obs::Counter& retry_attempts;
+    obs::Counter& retry_timeouts;
+    obs::Counter& retry_crc_rejects;  // replies rejected by wire crc
+    obs::Counter& retry_backoff_ms;
+    obs::Counter& retry_exhausted;    // candidates abandoned after max_attempts
     obs::Histogram& open_us;
     obs::Histogram& read_us;
     obs::Histogram& load_us;
@@ -223,14 +237,21 @@ class FanStoreFs final : public posixfs::Vfs {
 
   std::size_t decode_threads() const;
 
-  /// Owner fetch + ring failover; nullopt when every candidate missed.
+  /// Outcome of one fetch attempt. kMiss is definitive for that rank (it
+  /// answered "not found"); kTimeout and kBadReply (CRC-rejected or
+  /// malformed reply) are retryable.
+  enum class FetchStatus { kOk, kMiss, kTimeout, kBadReply };
+
+  /// Owner fetch with per-candidate retry (exponential backoff + jitter on
+  /// retryable failures) + ring failover; nullopt when every candidate was
+  /// exhausted or missed.
   std::optional<Blob> fetch_remote(const std::string& path,
                                    const format::FileStat& stat);
 
   /// One fetch attempt against `rank`: direct PeerDirectory read when
-  /// registered, daemon round-trip otherwise; nullopt on timeout/miss.
-  std::optional<Blob> fetch_from(int rank, const std::string& path,
-                                 const format::FileStat& stat);
+  /// registered, daemon round-trip otherwise. Fills `*out` on kOk.
+  FetchStatus fetch_from(int rank, const std::string& path,
+                         const format::FileStat& stat, Blob* out);
 
   mpi::Comm comm_;
   MetadataStore* meta_;

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "fault/injector.hpp"
 #include "obs/metrics.hpp"
 #include "util/log.hpp"
 
@@ -14,6 +15,18 @@ Instance::Instance(mpi::Comm comm, Options options)
     backend_ = std::make_unique<VfsBackend>(options_.local_fs, options_.backend_root);
   } else {
     backend_ = std::make_unique<RamBackend>();
+  }
+  if (options_.fault != nullptr) {
+    // Flaky-storage faults apply to every read of this rank's backend —
+    // local opens, daemon-served fetches, and peers' direct reads alike.
+    backend_ = std::make_unique<FaultInjectedBackend>(
+        std::move(backend_), comm_.rank(), options_.fault);
+    // Straggler scripts slow this rank's *view* of the hardware; the
+    // models are copied per-Instance so other ranks keep full speed.
+    options_.fs.cost.read_path = options_.fs.cost.read_path.scaled(
+        options_.fault->storage_multiplier(comm_.rank()));
+    options_.fs.cost.network = options_.fs.cost.network.scaled(
+        options_.fault->network_multiplier(comm_.rank()));
   }
   options_.fs.cost.nodes = comm_.size();
   if (options_.peers != nullptr) {
@@ -28,7 +41,8 @@ Instance::Instance(mpi::Comm comm, Options options)
   }
   fs_ = std::make_unique<FanStoreFs>(comm_, &meta_, backend_.get(), options_.fs);
   daemon_ = std::make_unique<Daemon>(comm_, &meta_, backend_.get(),
-                                     options_.fs.metrics);
+                                     options_.fs.metrics, options_.fault,
+                                     options_.fs.clock);
 }
 
 Instance::~Instance() { stop(); }

@@ -31,6 +31,12 @@ class Instance {
     /// round-trip (FanStoreFs direct fast path). The directory must
     /// outlive every Instance registered in it.
     PeerDirectory* peers = nullptr;
+    /// Optional fault injector (one per world, shared by every rank's
+    /// Instance and by the mpi::World). Wires: daemon crash/hang scripts,
+    /// backend read faults (the local backend is wrapped in a
+    /// FaultInjectedBackend), and straggler multipliers applied to this
+    /// rank's cost models at construction. Must outlive the Instance.
+    fault::FaultInjector* fault = nullptr;
   };
   // Observability: set `fs.metrics` to inject a registry; otherwise the
   // Instance creates one per rank and shares it across fs + cache + daemon

@@ -60,6 +60,7 @@ TrainerResult run_training(posixfs::Vfs& fs, const std::vector<std::string>& fil
   for (int epoch = 0; epoch < options.epochs && !done; ++epoch) {
     obs::TraceSpan epoch_span("trainer.epoch", options.io_clock);
     shuffle_files(order, rng);
+    if (options.record_epoch_files) result.epoch_files.emplace_back();
     for (std::size_t it = 0; it < iters_per_epoch && !done; ++it) {
       obs::TraceSpan step_span("trainer.step", options.io_clock);
       // ---- I/O phase: read the batch through the POSIX surface ----
@@ -87,6 +88,7 @@ TrainerResult run_training(posixfs::Vfs& fs, const std::vector<std::string>& fil
         }
         if (n < 0) throw std::runtime_error("trainer: read failed for " + path);
         fs.close(fd);
+        if (options.record_epoch_files) result.epoch_files.back().push_back(path);
         result.files_read++;
         result.bytes_read += file_bytes;
         files_ctr.inc();

@@ -55,6 +55,11 @@ struct TrainerOptions {
   /// spans stamp `io_clock` virtual time. nullptr uses the process-global
   /// registry.
   obs::MetricsRegistry* metrics = nullptr;
+  /// When true, TrainerResult::epoch_files records every file this rank
+  /// read, per epoch, in read order. Chaos/soak tests gather these across
+  /// ranks to assert each epoch observed the full dataset exactly once
+  /// even under injected faults.
+  bool record_epoch_files = false;
 };
 
 struct TrainerResult {
@@ -66,6 +71,9 @@ struct TrainerResult {
   double io_visible_s = 0;  // I/O time on the critical path (async hides it)
   double compute_s = 0;
   double items_per_s = 0;   // per-rank throughput (files/sec)
+  /// Per-epoch file-read log (only when options.record_epoch_files);
+  /// epoch_files[e] is the paths this rank read during epoch e, in order.
+  std::vector<std::vector<std::string>> epoch_files;
 };
 
 /// Runs the loop over `files` (this rank's view of the dataset; shuffled

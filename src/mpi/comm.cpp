@@ -1,5 +1,6 @@
 #include "mpi/comm.hpp"
 
+#include "fault/injector.hpp"
 #include "obs/trace.hpp"
 
 #include <algorithm>
@@ -93,8 +94,9 @@ double Comm::allreduce_max(double mine) const {
   return best;
 }
 
-World::World(int nranks)
+World::World(int nranks, fault::FaultInjector* injector)
     : nranks_(nranks),
+      injector_(injector),
       messages_sent_(obs::MetricsRegistry::global().counter("mpi.messages_sent")),
       bytes_sent_(obs::MetricsRegistry::global().counter("mpi.bytes_sent")),
       collectives_(obs::MetricsRegistry::global().counter("mpi.collectives")) {
@@ -108,10 +110,23 @@ void World::deliver(int dest, Message msg) {
   if (dest < 0 || dest >= nranks_) throw std::out_of_range("send: bad destination rank");
   messages_sent_.inc();
   bytes_sent_.inc(msg.payload.size());
+  auto due = std::chrono::steady_clock::now();
+  bool duplicate = false;
+  // Fault boundary: the message "left the wire" (counted above) but may
+  // never arrive, arrive twice, arrive late, or arrive mangled. Self-sends
+  // are exempt so shutdown tokens and loopback control always land.
+  if (injector_ != nullptr && msg.source != dest) {
+    const fault::MessageVerdict v =
+        injector_->on_message(msg.source, dest, msg.tag, msg.payload);
+    if (v.drop) return;
+    duplicate = v.duplicate;
+    if (v.delay_ms > 0) due += std::chrono::milliseconds(v.delay_ms);
+  }
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dest)];
   {
     sync::MutexLock lk(mb.mu);
-    mb.queue.push_back(std::move(msg));
+    if (duplicate) mb.queue.push_back(Entry{msg, due});
+    mb.queue.push_back(Entry{std::move(msg), due});
   }
   mb.cv.notify_all();
 }
@@ -119,28 +134,46 @@ void World::deliver(int dest, Message msg) {
 std::optional<Message> World::take_matching(
     int rank, const std::function<bool(const Message&)>& pred, bool block,
     int timeout_ms) {
+  using Clock = std::chrono::steady_clock;
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(rank)];
   sync::MutexLock lk(mb.mu);
-  auto match = [&]() NO_THREAD_SAFETY_ANALYSIS -> std::optional<Message> {
+  const bool has_deadline = timeout_ms >= 0;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(has_deadline ? timeout_ms : 0);
+  // Scan for a matching entry that is already due; a matching entry whose
+  // delivery time lies in the future bounds how long we sleep (a delayed
+  // message must surface the moment it comes due, without another notify).
+  bool have_due = false;
+  Clock::time_point earliest_due{};
+  auto match = [&](Clock::time_point now) NO_THREAD_SAFETY_ANALYSIS
+      -> std::optional<Message> {
+    have_due = false;
     for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
-      if (pred(*it)) {
-        Message m = std::move(*it);
+      if (!pred(it->msg)) continue;
+      if (it->due <= now) {
+        Message m = std::move(it->msg);
         mb.queue.erase(it);
         return m;
+      }
+      if (!have_due || it->due < earliest_due) {
+        have_due = true;
+        earliest_due = it->due;
       }
     }
     return std::nullopt;
   };
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
   for (;;) {
-    if (auto m = match()) return m;
+    const auto now = Clock::now();
+    if (auto m = match(now)) return m;
     if (!block) return std::nullopt;
-    if (timeout_ms < 0) {
+    if (has_deadline && now >= deadline) return std::nullopt;
+    if (!has_deadline && !have_due) {
       mb.cv.wait(mb.mu);
-    } else if (mb.cv.wait_until(mb.mu, deadline) == std::cv_status::timeout) {
-      return match();  // final scan after the deadline
+      continue;
     }
+    auto wake = has_deadline ? deadline : earliest_due;
+    if (have_due && earliest_due < wake) wake = earliest_due;
+    mb.cv.wait_until(mb.mu, wake);
   }
 }
 
@@ -172,8 +205,9 @@ std::vector<Bytes> World::allgather_impl(int rank, ByteView mine) {
   return result;
 }
 
-void run_world(int nranks, const std::function<void(Comm&)>& fn) {
-  World world(nranks);
+void run_world(int nranks, const std::function<void(Comm&)>& fn,
+               fault::FaultInjector* injector) {
+  World world(nranks, injector);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
   std::exception_ptr first_error;

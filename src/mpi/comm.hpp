@@ -10,6 +10,7 @@
 // *costs* are charged separately by simnet::NetworkModel.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -20,6 +21,10 @@
 #include "obs/metrics.hpp"
 #include "util/bytes.hpp"
 #include "util/sync.hpp"
+
+namespace fanstore::fault {
+class FaultInjector;
+}
 
 namespace fanstore::mpi {
 
@@ -77,9 +82,16 @@ class Comm {
 };
 
 /// Shared state for one "job": mailboxes and collective rendezvous.
+///
+/// Fault injection (fault/injector.hpp): when a FaultInjector is attached,
+/// every point-to-point deliver() consults it — messages may be dropped,
+/// duplicated, corrupted in place, or delayed (held in the mailbox until a
+/// due time; receivers never see them early). Self-addressed messages
+/// (e.g. the daemon's shutdown token) and collectives are exempt, so a
+/// chaos plan cannot wedge teardown or desynchronize barrier generations.
 class World {
  public:
-  explicit World(int nranks);
+  explicit World(int nranks, fault::FaultInjector* injector = nullptr);
 
   int size() const { return nranks_; }
   Comm comm(int rank) { return Comm(this, rank); }
@@ -90,10 +102,17 @@ class World {
   // Lock order: a thread holds at most one mailbox lock at a time (deliver
   // locks the destination's, take_matching the receiver's own), and never a
   // mailbox lock together with coll_mu_.
+  // A mailbox entry is a message plus its delivery due-time (now for
+  // normal traffic, later for fault-injected delays); take_matching never
+  // hands out an entry before it is due.
+  struct Entry {
+    Message msg;
+    std::chrono::steady_clock::time_point due;
+  };
   struct Mailbox {
     sync::Mutex mu{"mpi.mailbox.mu"};
     sync::AnnotatedCondVar cv;
-    std::deque<Message> queue GUARDED_BY(mu);
+    std::deque<Entry> queue GUARDED_BY(mu);
   };
 
   void deliver(int dest, Message msg);
@@ -105,6 +124,7 @@ class World {
   std::vector<Bytes> allgather_impl(int rank, ByteView mine) EXCLUDES(coll_mu_);
 
   int nranks_;
+  fault::FaultInjector* injector_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
   // Interconnect observability ("mpi.*" in the global registry): message
@@ -123,6 +143,9 @@ class World {
 
 /// Spawns `nranks` threads, runs `fn(comm)` on each, joins them all.
 /// Exceptions thrown by any rank are rethrown (first one wins) after join.
-void run_world(int nranks, const std::function<void(Comm&)>& fn);
+/// `injector` (may be nullptr) attaches a fault-injection plan to every
+/// point-to-point message of the world (chaos tests).
+void run_world(int nranks, const std::function<void(Comm&)>& fn,
+               fault::FaultInjector* injector = nullptr);
 
 }  // namespace fanstore::mpi

@@ -21,6 +21,15 @@ struct NetworkModel {
 
   /// Time to move `bytes` between two ranks with `nodes` active.
   double transfer_time(std::size_t bytes, int nodes) const;
+
+  /// A straggler's view of the same fabric (fault::StragglerRule): `mult`x
+  /// the latency, 1/`mult` the bandwidth. mult = 1 is the identity.
+  NetworkModel scaled(double mult) const {
+    NetworkModel m = *this;
+    m.latency_s *= mult;
+    m.bandwidth_bps /= mult;
+    return m;
+  }
 };
 
 /// A POSIX storage path: fixed per-operation cost plus streaming bandwidth.
@@ -36,6 +45,16 @@ struct StorageModel {
   }
   double file_write_time(std::size_t bytes) const {
     return per_op_s + static_cast<double>(bytes) / bandwidth_bps;
+  }
+
+  /// A slow node's view of the same device (fault::StragglerRule): every
+  /// fixed cost `mult`x, bandwidth 1/`mult`. mult = 1 is the identity.
+  StorageModel scaled(double mult) const {
+    StorageModel m = *this;
+    m.per_op_s *= mult;
+    m.metadata_op_s *= mult;
+    m.bandwidth_bps /= mult;
+    return m;
   }
 };
 

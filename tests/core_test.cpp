@@ -2,6 +2,7 @@
 // full multi-rank open/read/close + write paths through FanStoreFs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -523,6 +524,112 @@ TEST(FanStoreIntegrationTest, StatsReportMentionsActivity) {
     EXPECT_NE(report.find("opens=1"), std::string::npos) << report;
     EXPECT_NE(report.find("local=1"), std::string::npos) << report;
     EXPECT_NE(report.find("backend 1 objs"), std::string::npos) << report;
+  });
+}
+
+TEST(RetryPolicyTest, ValidateRejectsBadConfigs) {
+  RetryPolicy p;
+  EXPECT_NO_THROW(p.validate());
+  p.max_attempts = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = RetryPolicy{};
+  p.base_delay_ms = -1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = RetryPolicy{};
+  p.base_delay_ms = 10;
+  p.max_delay_ms = 5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = RetryPolicy{};
+  p.jitter = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.jitter = -0.1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(RetryPolicyTest, ExponentialGrowthCapsWithoutJitter) {
+  RetryPolicy p;
+  p.jitter = 0.0;
+  p.base_delay_ms = 2;
+  p.max_delay_ms = 16;
+  EXPECT_EQ(p.delay_ms(1, 0), 2);
+  EXPECT_EQ(p.delay_ms(2, 0), 4);
+  EXPECT_EQ(p.delay_ms(3, 0), 8);
+  EXPECT_EQ(p.delay_ms(4, 0), 16);
+  EXPECT_EQ(p.delay_ms(5, 0), 16);   // hard cap
+  EXPECT_EQ(p.delay_ms(40, 0), 16);  // no overflow past the cap
+  p.base_delay_ms = 0;
+  EXPECT_EQ(p.delay_ms(3, 0), 0);  // backoff disabled
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicAndBounded) {
+  RetryPolicy p;
+  p.jitter = 0.5;
+  p.base_delay_ms = 8;
+  p.max_delay_ms = 64;
+  bool salt_matters = false;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    const int full = std::min(p.max_delay_ms, p.base_delay_ms << (attempt - 1));
+    for (const std::uint64_t salt : {0ull, 1ull, 0xFEEDull}) {
+      const int d = p.delay_ms(attempt, salt);
+      // Same (seed, salt, attempt) -> same delay, always within
+      // [delay * (1 - jitter), delay].
+      EXPECT_EQ(d, p.delay_ms(attempt, salt));
+      EXPECT_GE(d, full / 2) << attempt;
+      EXPECT_LE(d, full) << attempt;
+    }
+    if (p.delay_ms(attempt, 1) != p.delay_ms(attempt, 2)) salt_matters = true;
+  }
+  EXPECT_TRUE(salt_matters);
+}
+
+TEST(FanStoreOptionsTest, NegativeTimeoutAndBadRetryAreRejected) {
+  mpi::run_world(1, [&](mpi::Comm& comm) {
+    {
+      Instance::Options opt;
+      opt.fs.fetch_timeout_ms = -1;
+      EXPECT_THROW(Instance inst(comm, opt), std::invalid_argument);
+    }
+    {
+      Instance::Options opt;
+      opt.fs.failover_hops = -1;
+      EXPECT_THROW(Instance inst(comm, opt), std::invalid_argument);
+    }
+    {
+      Instance::Options opt;
+      opt.fs.retry.max_attempts = 0;
+      EXPECT_THROW(Instance inst(comm, opt), std::invalid_argument);
+    }
+  });
+}
+
+TEST(FanStoreOptionsTest, ZeroTimeoutMeansWaitForever) {
+  // fetch_timeout_ms == 0 is the explicit "no timeout" mode: the fetch
+  // blocks until the daemon answers (no failover, no retry bookkeeping),
+  // even when the answer takes far longer than any finite default.
+  const Bytes data = testdata::text_like(3000, 3);
+  mpi::run_world(2, [&](mpi::Comm& comm) {
+    Instance::Options opt;
+    opt.fs.fetch_timeout_ms = 0;
+    Instance inst(comm, opt);
+    if (comm.rank() == 1) {
+      inst.load_partition_blob(as_view(make_partition({{"f", data}}, "lz4")), 0, 1);
+    }
+    inst.exchange_metadata();
+    if (comm.rank() == 1) {
+      // Start the owner's daemon only after a delay: a timed fetch with a
+      // short window would have given up; the no-timeout fetch must wait.
+      std::this_thread::sleep_for(std::chrono::milliseconds(80));
+      inst.start_daemon();
+    }
+    if (comm.rank() == 0) {
+      const auto got = posixfs::read_file(inst.fs(), "f");
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, data);
+      EXPECT_EQ(inst.metrics().counter("retry.timeouts").value(), 0u);
+      EXPECT_EQ(inst.fs().stats().failovers, 0u);
+    }
+    comm.barrier();
+    inst.stop();
   });
 }
 

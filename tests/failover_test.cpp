@@ -1,19 +1,34 @@
 // Fault-tolerance tests: replica failover when a daemon dies (timed fetch
-// + ring fallback) and data-parallel global-shuffle coverage guarantees.
+// + ring fallback), the failover-hops x replica-placement reach matrix,
+// CRC-rejection hygiene, and data-parallel global-shuffle coverage.
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <limits>
 #include <mutex>
 #include <set>
 
 #include "compress/registry.hpp"
 #include "core/instance.hpp"
 #include "dlsim/trainer.hpp"
+#include "fault/injector.hpp"
 #include "posixfs/mem_vfs.hpp"
 #include "prep/prepare.hpp"
 #include "tests/test_data.hpp"
 
 namespace fanstore {
 namespace {
+
+// Stores every record of `part` into `inst`'s local backend without
+// metadata ownership — the shape replicate_ring leaves on a replica rank.
+void put_replica_blob(core::Instance& inst, const Bytes& part) {
+  for (const auto& rec : format::scan_partition(as_view(part))) {
+    core::Blob b;
+    b.compressor = rec.compressor;
+    b.data.assign(rec.data.begin(), rec.data.end());
+    inst.backend().put(std::string(rec.path), std::move(b));
+  }
+}
 
 TEST(FailoverTest, ReplicaServesWhenOwnerDaemonDies) {
   // 3 ranks; rank 1 owns "f" and rank 2 holds a ring replica. Rank 1's
@@ -119,6 +134,128 @@ TEST(FailoverTest, RingReplicationPlusFailoverEndToEnd) {
     comm.barrier();
     inst.stop();
   });
+}
+
+// Reach matrix: with a dead owner, a fetch walks the ring for
+// `failover_hops` extra candidates, so a single replica placed `distance`
+// ranks past the owner is reachable iff failover_hops >= distance.
+class FailoverMatrixTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FailoverMatrixTest, ReplicaReachableIffHopsCoverDistance) {
+  const int hops = std::get<0>(GetParam());
+  const int distance = std::get<1>(GetParam());
+  constexpr int kOwner = 1;
+  const bool expect_ok = hops >= distance;
+
+  const Bytes data = testdata::runs_and_noise(5000, 40 + distance);
+  const auto& reg = compress::Registry::instance();
+  const auto* codec = reg.by_name("lz4");
+  format::PartitionWriter w;
+  w.add(format::make_record("m", *codec, reg.id_of(*codec), as_view(data)));
+  const Bytes part = w.serialize();
+
+  mpi::run_world(5, [&](mpi::Comm& comm) {
+    core::Instance::Options opt;
+    opt.fs.fetch_timeout_ms = 60;
+    opt.fs.failover_hops = hops;
+    opt.fs.retry.max_attempts = 2;
+    opt.fs.retry.base_delay_ms = 1;
+    core::Instance inst(comm, opt);
+    if (comm.rank() == kOwner) {
+      inst.load_partition_blob(as_view(part), 0, kOwner);
+    }
+    if (comm.rank() == kOwner + distance) put_replica_blob(inst, part);
+    inst.exchange_metadata();
+    if (comm.rank() != kOwner) inst.start_daemon();  // owner is "dead"
+    comm.barrier();
+
+    if (comm.rank() == 0) {
+      if (expect_ok) {
+        const auto got = posixfs::read_file(inst.fs(), "m");
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, data);
+        EXPECT_EQ(inst.fs().stats().failovers, 1u);
+      } else {
+        EXPECT_EQ(inst.fs().open("m", posixfs::OpenMode::kRead), -EIO);
+        EXPECT_EQ(inst.fs().stats().failovers, 0u);
+      }
+    }
+    comm.barrier();
+    inst.stop();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HopsByPlacement, FailoverMatrixTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),   // failover_hops
+                       ::testing::Values(1, 2, 3)),  // replica distance
+    [](const ::testing::TestParamInfo<FailoverMatrixTest::ParamType>& info) {
+      return "hops" + std::to_string(std::get<0>(info.param)) + "_dist" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(FailoverTest, CrcRejectedReplyNeverLandsInCacheOrDecodeStats) {
+  // Replies from the owner are corrupted in flight until the fault budget
+  // (2) runs out. The rejected replies must leave no trace: nothing in the
+  // PlainCache, no chunk decoded, no DecodeStats charge — only
+  // retry.crc_rejects. Once the budget is spent, the same open succeeds.
+  const Bytes data = testdata::runs_and_noise(9000, 77);
+  const auto& reg = compress::Registry::instance();
+  // Chunked codec so any decode attempt would charge chunked.chunks_decoded.
+  const auto* codec = reg.by_name("chunked-4k+lz4");
+  ASSERT_NE(codec, nullptr);
+  format::PartitionWriter w;
+  w.add(format::make_record("c", *codec, reg.id_of(*codec), as_view(data)));
+  const Bytes part = w.serialize();
+
+  fault::FaultPlan plan;
+  plan.corrupt_from(1, fault::kFetchReplyTagMin, std::numeric_limits<int>::max(),
+                    1.0);
+  plan.messages.back().max_faults = 2;
+  fault::FaultInjector inj(plan);
+
+  mpi::run_world(
+      2,
+      [&](mpi::Comm& comm) {
+        core::Instance::Options opt;
+        opt.fs.fetch_timeout_ms = 200;
+        opt.fs.failover_hops = 0;
+        opt.fs.retry.max_attempts = 2;
+        opt.fs.retry.base_delay_ms = 1;
+        opt.fault = &inj;
+        core::Instance inst(comm, opt);
+        if (comm.rank() == 1) inst.load_partition_blob(as_view(part), 0, 1);
+        inst.exchange_metadata();
+        inst.start_daemon();
+        comm.barrier();
+
+        if (comm.rank() == 0) {
+          auto& m = inst.metrics();
+          // Both attempts hit a corrupted reply: the open fails...
+          EXPECT_EQ(inst.fs().open("c", posixfs::OpenMode::kRead), -EIO);
+          EXPECT_EQ(m.counter("retry.crc_rejects").value(), 2u);
+          EXPECT_EQ(m.counter("retry.exhausted").value(), 1u);
+          // ...and the poisoned bytes were never interpreted: no cache
+          // entry, no successful remote fetch, zero decode work charged.
+          EXPECT_FALSE(inst.fs().cache().contains("c"));
+          EXPECT_EQ(m.counter("fs.remote_fetches").value(), 0u);
+          EXPECT_EQ(m.counter("chunked.chunks_decoded").value(), 0u);
+          EXPECT_EQ(m.counter("chunked.bytes_decoded").value(), 0u);
+
+          // Fault budget exhausted -> the next open gets a clean reply.
+          const auto got = posixfs::read_file(inst.fs(), "c");
+          ASSERT_TRUE(got.has_value());
+          EXPECT_EQ(*got, data);
+          EXPECT_TRUE(inst.fs().cache().contains("c"));
+          EXPECT_GT(m.counter("chunked.chunks_decoded").value(), 0u);
+          EXPECT_EQ(m.counter("retry.crc_rejects").value(), 2u);  // unchanged
+        }
+        comm.barrier();
+        inst.stop();
+      },
+      &inj);
+  EXPECT_EQ(inj.metrics().counter("fault.msg_corrupted").value(), 2u);
 }
 
 TEST(GlobalShuffleTest, EveryFileVisitedOncePerEpoch) {

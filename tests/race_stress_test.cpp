@@ -14,6 +14,9 @@
 
 #include "compress/registry.hpp"
 #include "core/cache.hpp"
+#include "core/instance.hpp"
+#include "fault/injector.hpp"
+#include "tests/sanitizer_env.hpp"
 #include "ipc/uds_client.hpp"
 #include "ipc/uds_server.hpp"
 #include "mpi/comm.hpp"
@@ -295,6 +298,105 @@ TEST(RaceStressTest, ThreadPoolChurn) {
     // Odd rounds: destructor runs with the queue still busy and must drain.
   }
   EXPECT_EQ(ran.load(), 4 * 3 * 50);
+}
+
+TEST(RaceStressTest, ChaosDaemonKillRestartDuringConcurrentReads) {
+  // Readers hammer the remote-fetch path while two kinds of chaos run
+  // concurrently: the injector flips the owner daemon dead/alive, and the
+  // owner rank stops/starts its *real* daemon thread. Every read must
+  // still return perfect bytes (retry + ring-replica failover), and the
+  // locking along fetch/cache/daemon paths gets exercised under TSan and
+  // the debug lock-order checker.
+  constexpr int kFiles = 8;
+  const int kReaders = 4;
+  const int kIters = testsupport::kUnderSanitizer ? 6 : 24;
+  const int kChurn = testsupport::kUnderSanitizer ? 4 : 12;
+
+  const auto& reg = compress::Registry::instance();
+  const auto* codec = reg.by_name("lz4");
+  format::PartitionWriter w;
+  std::vector<Bytes> contents;
+  for (int i = 0; i < kFiles; ++i) {
+    contents.push_back(testdata::runs_and_noise(3000, 500 + i));
+    w.add(format::make_record("s" + std::to_string(i), *codec,
+                              reg.id_of(*codec), as_view(contents.back())));
+  }
+  const Bytes part = w.serialize();
+
+  fault::FaultInjector inj(fault::FaultPlan{});  // manual kill/revive only
+  std::atomic<bool> readers_done{false};
+  std::atomic<std::uint64_t> good_reads{0};
+
+  mpi::run_world(
+      3,
+      [&](mpi::Comm& comm) {
+        core::Instance::Options opt;
+        opt.fs.fetch_timeout_ms = testsupport::kUnderSanitizer ? 150 : 30;
+        opt.fs.failover_hops = 2;
+        opt.fs.retry.max_attempts = 4;
+        opt.fs.retry.base_delay_ms = 1;
+        opt.fs.retry.max_delay_ms = 4;
+        // Tiny cache: entries keep getting evicted, so reads keep going
+        // back over the wire instead of settling into cache hits.
+        opt.fs.cache_bytes = 2 * 4096;
+        opt.fault = &inj;
+        core::Instance inst(comm, opt);
+        if (comm.rank() == 1) inst.load_partition_blob(as_view(part), 0, 1);
+        if (comm.rank() == 2) {
+          for (const auto& rec : format::scan_partition(as_view(part))) {
+            core::Blob b;
+            b.compressor = rec.compressor;
+            b.data.assign(rec.data.begin(), rec.data.end());
+            inst.backend().put(std::string(rec.path), std::move(b));
+          }
+        }
+        inst.exchange_metadata();
+        inst.start_daemon();
+        comm.barrier();
+
+        if (comm.rank() == 0) {
+          // Injector-level chaos: flip the owner daemon dead/alive.
+          std::thread flipper([&] {
+            while (!readers_done.load(std::memory_order_acquire)) {
+              inj.kill_daemon(1);
+              std::this_thread::sleep_for(std::chrono::milliseconds(2));
+              inj.revive_daemon(1);
+              std::this_thread::sleep_for(std::chrono::milliseconds(3));
+            }
+            inj.revive_daemon(1);
+          });
+          std::vector<std::thread> readers;
+          for (int t = 0; t < kReaders; ++t) {
+            readers.emplace_back([&, t] {
+              for (int i = 0; i < kIters; ++i) {
+                const int f = (i * kReaders + t) % kFiles;
+                const auto got =
+                    posixfs::read_file(inst.fs(), "s" + std::to_string(f));
+                ASSERT_TRUE(got.has_value()) << "file " << f << " iter " << i;
+                ASSERT_EQ(*got, contents[static_cast<std::size_t>(f)]);
+                good_reads.fetch_add(1, std::memory_order_relaxed);
+              }
+            });
+          }
+          for (auto& th : readers) th.join();
+          readers_done.store(true, std::memory_order_release);
+          flipper.join();
+        } else if (comm.rank() == 1) {
+          // Real-daemon chaos: stop/start the serving thread itself.
+          for (int j = 0; j < kChurn &&
+                          !readers_done.load(std::memory_order_acquire); ++j) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            inst.stop();
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            inst.start_daemon();
+          }
+        }
+        comm.barrier();
+        inst.stop();
+      },
+      &inj);
+  EXPECT_EQ(good_reads.load(),
+            static_cast<std::uint64_t>(kReaders) * static_cast<std::uint64_t>(kIters));
 }
 
 }  // namespace

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # One-command CI matrix:
 #   1. tier-1: default configure + build + ctest (the ROADMAP verify step)
-#   2. ASan/UBSan: FANSTORE_SANITIZE=address;undefined configure + ctest
-#   3. TSan: FANSTORE_SANITIZE=thread + FANSTORE_DEBUG_LOCKORDER=ON + ctest
-#   4. clang-tidy over src/ (skipped when clang-tidy is not installed)
+#   2. chaos: the fault-injection suite (`ctest -L chaos`) over 10 fixed
+#      FANSTORE_FAULT_SEED values; repeated under TSan in pass 4
+#   3. ASan/UBSan: FANSTORE_SANITIZE=address;undefined configure + ctest
+#   4. TSan: FANSTORE_SANITIZE=thread + FANSTORE_DEBUG_LOCKORDER=ON + ctest
+#      + the chaos seed sweep again under TSan
+#   5. clang-tidy over src/ (skipped when clang-tidy is not installed)
 #
 # Usage: tools/ci.sh [--tier1-only]
 set -euo pipefail
@@ -23,7 +26,27 @@ run_pass() {
   ctest --test-dir "$dir" --output-on-failure -j "$jobs"
 }
 
+# Chaos suite over a fixed seed list: every seed yields a different (but
+# deterministic) fault schedule, so the sweep covers 10 distinct adversity
+# mixes. On failure the offending seed is printed — replay it locally with
+#   FANSTORE_FAULT_SEED=<seed> ctest --test-dir <dir> -L chaos
+chaos_seeds=(1 2 3 5 8 13 21 34 55 89)
+run_chaos_seeds() {
+  local name="$1" dir="$2"
+  for seed in "${chaos_seeds[@]}"; do
+    echo "==== [$name] ctest -L chaos (FANSTORE_FAULT_SEED=$seed) ===="
+    if ! FANSTORE_FAULT_SEED="$seed" \
+        ctest --test-dir "$dir" --output-on-failure -j "$jobs" -L chaos; then
+      echo "ci.sh: chaos suite FAILED under FANSTORE_FAULT_SEED=$seed ($name)" >&2
+      echo "ci.sh: replay with: FANSTORE_FAULT_SEED=$seed ctest --test-dir $dir -L chaos" >&2
+      exit 1
+    fi
+  done
+}
+
 run_pass "tier-1" build -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+
+run_chaos_seeds "chaos" build
 
 # Labeled quick passes: the observability + stress subset (`ctest -L obs` /
 # `-L stress`) and the chunked-container subset (`ctest -L chunked`) on their
@@ -62,6 +85,11 @@ ASAN_OPTIONS="detect_leaks=0" UBSAN_OPTIONS="halt_on_error=1" \
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   run_pass "tsan" build-tsan "-DFANSTORE_SANITIZE=thread" \
   -DFANSTORE_DEBUG_LOCKORDER=ON
+
+# The chaos sweep again with every race under TSan's eye (the injector's
+# kill/restart and delayed-delivery paths are the interesting interleavings).
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  run_chaos_seeds "tsan-chaos" build-tsan
 
 tools/run-clang-tidy.sh build
 
