@@ -1,6 +1,7 @@
 #include "compress/registry.hpp"
 
 #include <map>
+#include <set>
 #include <stdexcept>
 #include <string>
 
@@ -158,6 +159,21 @@ Registry::Registry() {
       stages.push_back(make_lz4hc(l));
       stages.push_back(make_rans(64 * 1024));
       add(id++, "zstd", make_pipeline("zstd-" + std::to_string(l), std::move(stages)));
+    }
+  }
+
+  // Safety net behind fanstore-lint's codec-id rule (which can only check
+  // literal ids): every registered id is persisted in container headers,
+  // must be unique, and must stay below the chunked-container bit range
+  // (chunked.hpp packs structure into bits 10..15).
+  std::set<CompressorId> ids;
+  for (const auto& e : entries_) {
+    if (e.id > 1023) {
+      throw std::logic_error("codec id " + std::to_string(e.id) +
+                             " collides with the chunked bit range");
+    }
+    if (!ids.insert(e.id).second) {
+      throw std::logic_error("duplicate codec id " + std::to_string(e.id));
     }
   }
 }

@@ -108,6 +108,9 @@ class CachedFile {
   std::size_t chunk_count_ = 0;    // 0 for non-chunked entries
   std::atomic<std::size_t> ready_chunks_{0};
   std::unique_ptr<std::atomic<std::uint8_t>[]> states_;
+  // mu_ guards no member directly: chunk states are claimed via atomic CAS
+  // on states_[], and the mutex only parks losers of a decode race until
+  // decode_done_ fires. fanstore-lint: allow(guarded-by)
   sync::Mutex mu_{"cached_file.mu"};
   sync::AnnotatedCondVar decode_done_;  // signalled when any chunk settles
 };

@@ -4,7 +4,6 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <thread>
@@ -94,9 +93,10 @@ double Comm::allreduce_max(double mine) const {
   return best;
 }
 
-World::World(int nranks, fault::FaultInjector* injector)
+World::World(int nranks, fault::FaultInjector* injector, util::TimeSource* time)
     : nranks_(nranks),
       injector_(injector),
+      time_(time != nullptr ? time : &util::TimeSource::real()),
       messages_sent_(obs::MetricsRegistry::global().counter("mpi.messages_sent")),
       bytes_sent_(obs::MetricsRegistry::global().counter("mpi.bytes_sent")),
       collectives_(obs::MetricsRegistry::global().counter("mpi.collectives")) {
@@ -110,7 +110,7 @@ void World::deliver(int dest, Message msg) {
   if (dest < 0 || dest >= nranks_) throw std::out_of_range("send: bad destination rank");
   messages_sent_.inc();
   bytes_sent_.inc(msg.payload.size());
-  auto due = std::chrono::steady_clock::now();
+  util::TimeNs due = time_->now_ns();
   bool duplicate = false;
   // Fault boundary: the message "left the wire" (counted above) but may
   // never arrive, arrive twice, arrive late, or arrive mangled. Self-sends
@@ -120,7 +120,7 @@ void World::deliver(int dest, Message msg) {
         injector_->on_message(msg.source, dest, msg.tag, msg.payload);
     if (v.drop) return;
     duplicate = v.duplicate;
-    if (v.delay_ms > 0) due += std::chrono::milliseconds(v.delay_ms);
+    if (v.delay_ms > 0) due += util::ms_to_ns(v.delay_ms);
   }
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dest)];
   {
@@ -134,18 +134,17 @@ void World::deliver(int dest, Message msg) {
 std::optional<Message> World::take_matching(
     int rank, const std::function<bool(const Message&)>& pred, bool block,
     int timeout_ms) {
-  using Clock = std::chrono::steady_clock;
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(rank)];
   sync::MutexLock lk(mb.mu);
   const bool has_deadline = timeout_ms >= 0;
-  const auto deadline =
-      Clock::now() + std::chrono::milliseconds(has_deadline ? timeout_ms : 0);
+  const util::TimeNs deadline =
+      time_->now_ns() + util::ms_to_ns(has_deadline ? timeout_ms : 0);
   // Scan for a matching entry that is already due; a matching entry whose
   // delivery time lies in the future bounds how long we sleep (a delayed
   // message must surface the moment it comes due, without another notify).
   bool have_due = false;
-  Clock::time_point earliest_due{};
-  auto match = [&](Clock::time_point now) NO_THREAD_SAFETY_ANALYSIS
+  util::TimeNs earliest_due = 0;
+  auto match = [&](util::TimeNs now) NO_THREAD_SAFETY_ANALYSIS
       -> std::optional<Message> {
     have_due = false;
     for (auto it = mb.queue.begin(); it != mb.queue.end(); ++it) {
@@ -163,7 +162,7 @@ std::optional<Message> World::take_matching(
     return std::nullopt;
   };
   for (;;) {
-    const auto now = Clock::now();
+    const util::TimeNs now = time_->now_ns();
     if (auto m = match(now)) return m;
     if (!block) return std::nullopt;
     if (has_deadline && now >= deadline) return std::nullopt;
@@ -171,9 +170,9 @@ std::optional<Message> World::take_matching(
       mb.cv.wait(mb.mu);
       continue;
     }
-    auto wake = has_deadline ? deadline : earliest_due;
+    util::TimeNs wake = has_deadline ? deadline : earliest_due;
     if (have_due && earliest_due < wake) wake = earliest_due;
-    mb.cv.wait_until(mb.mu, wake);
+    time_->wait_until(mb.cv, mb.mu, wake);
   }
 }
 
@@ -206,8 +205,8 @@ std::vector<Bytes> World::allgather_impl(int rank, ByteView mine) {
 }
 
 void run_world(int nranks, const std::function<void(Comm&)>& fn,
-               fault::FaultInjector* injector) {
-  World world(nranks, injector);
+               fault::FaultInjector* injector, util::TimeSource* time) {
+  World world(nranks, injector, time);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
   std::exception_ptr first_error;

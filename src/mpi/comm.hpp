@@ -10,7 +10,6 @@
 // *costs* are charged separately by simnet::NetworkModel.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -20,6 +19,7 @@
 
 #include "obs/metrics.hpp"
 #include "util/bytes.hpp"
+#include "util/clock.hpp"
 #include "util/sync.hpp"
 
 namespace fanstore::fault {
@@ -91,7 +91,12 @@ class Comm {
 /// chaos plan cannot wedge teardown or desynchronize barrier generations.
 class World {
  public:
-  explicit World(int nranks, fault::FaultInjector* injector = nullptr);
+  /// `time` is the clock every mailbox due-time and recv_timeout deadline
+  /// is computed against (nullptr = the real wall clock). Tests inject a
+  /// util::ManualTimeSource so delayed delivery and timeout expiry become
+  /// deterministic functions of the test script instead of the scheduler.
+  explicit World(int nranks, fault::FaultInjector* injector = nullptr,
+                 util::TimeSource* time = nullptr);
 
   int size() const { return nranks_; }
   Comm comm(int rank) { return Comm(this, rank); }
@@ -107,7 +112,7 @@ class World {
   // hands out an entry before it is due.
   struct Entry {
     Message msg;
-    std::chrono::steady_clock::time_point due;
+    util::TimeNs due;  // on time_'s timeline
   };
   struct Mailbox {
     sync::Mutex mu{"mpi.mailbox.mu"};
@@ -125,6 +130,7 @@ class World {
 
   int nranks_;
   fault::FaultInjector* injector_;
+  util::TimeSource* time_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
   // Interconnect observability ("mpi.*" in the global registry): message
@@ -144,8 +150,10 @@ class World {
 /// Spawns `nranks` threads, runs `fn(comm)` on each, joins them all.
 /// Exceptions thrown by any rank are rethrown (first one wins) after join.
 /// `injector` (may be nullptr) attaches a fault-injection plan to every
-/// point-to-point message of the world (chaos tests).
+/// point-to-point message of the world (chaos tests); `time` (may be
+/// nullptr = wall clock) is the world's delivery/timeout clock.
 void run_world(int nranks, const std::function<void(Comm&)>& fn,
-               fault::FaultInjector* injector = nullptr);
+               fault::FaultInjector* injector = nullptr,
+               util::TimeSource* time = nullptr);
 
 }  // namespace fanstore::mpi

@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdio>
@@ -236,6 +237,22 @@ MetricsRegistry& MetricsRegistry::global() {
 std::string metrics_dump(const MetricsRegistry& registry, bool json) {
   const MetricsSnapshot snap = registry.snapshot();
   return json ? snap.to_json() : snap.to_text();
+}
+
+const std::vector<std::pair<std::string, MetricsSnapshot::Kind>>&
+canonical_metric_names() {
+  static const auto* names = [] {
+    auto* v = new std::vector<std::pair<std::string, MetricsSnapshot::Kind>>;
+    const auto counter = MetricsSnapshot::Kind::kCounter;
+    const auto gauge = MetricsSnapshot::Kind::kGauge;
+    const auto histogram = MetricsSnapshot::Kind::kHistogram;
+#define FANSTORE_METRIC(name, kind) v->emplace_back(name, kind);
+#include "obs/metric_names.inc"
+#undef FANSTORE_METRIC
+    std::sort(v->begin(), v->end());
+    return v;
+  }();
+  return *names;
 }
 
 }  // namespace fanstore::obs

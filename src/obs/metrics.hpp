@@ -21,6 +21,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/sync.hpp"
@@ -162,6 +163,13 @@ class MetricsRegistry {
   mutable sync::Mutex mu_{"obs.metrics_registry.mu"};
   std::map<std::string, Slot> slots_ GUARDED_BY(mu_);
 };
+
+/// The canonical metric-name inventory (src/obs/metric_names.inc), sorted.
+/// Registration sites are held to this list by fanstore-lint's
+/// metric-inventory rule; tests use it to assert the inventory and the
+/// registry agree.
+const std::vector<std::pair<std::string, MetricsSnapshot::Kind>>&
+canonical_metric_names();
 
 /// Text (json=false) or JSON (json=true) dump of a registry snapshot.
 std::string metrics_dump(const MetricsRegistry& registry, bool json = false);

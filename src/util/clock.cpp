@@ -1,0 +1,41 @@
+#include "util/clock.hpp"
+
+#include <chrono>
+
+namespace fanstore::util {
+
+namespace {
+
+// The one place outside tests where wall time enters the deterministic
+// subsystems' timeline.
+class RealTimeSource final : public TimeSource {
+ public:
+  TimeNs now_ns() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void wait_until(sync::AnnotatedCondVar& cv, sync::Mutex& mu,
+                  TimeNs deadline) override {
+    cv.wait_until(mu, std::chrono::steady_clock::time_point(
+                          std::chrono::nanoseconds(deadline)));
+  }
+};
+
+}  // namespace
+
+TimeSource& TimeSource::real() {
+  static RealTimeSource* kReal = new RealTimeSource;  // leaked: outlives ranks
+  return *kReal;
+}
+
+void ManualTimeSource::wait_until(sync::AnnotatedCondVar& cv, sync::Mutex& mu,
+                                  TimeNs deadline) {
+  if (now_ns() >= deadline) return;
+  // One bounded slice per call: callers loop, and a concurrent advance_ns()
+  // is seen at the next slice boundary (<= 1 ms of real time later).
+  cv.wait_for(mu, std::chrono::milliseconds(1));
+}
+
+}  // namespace fanstore::util

@@ -1,0 +1,64 @@
+// Injectable monotonic time for deterministic subsystems.
+//
+// The determinism contract (DESIGN.md §8/§9, fanstore-lint rule
+// `determinism`) forbids simnet/, fault/, mpi/ and core/ from consulting
+// wall clocks or ambient randomness directly: a seeded fault schedule must
+// replay identically, and replay drift almost always enters through an
+// ambient steady_clock::now() buried in a timeout path. Subsystems that
+// need "now" or a timed wait take a TimeSource instead; production wires
+// TimeSource::real() — the one blessed wall-clock implementation, which
+// lives in util/ where the lint rule does not apply — and tests wire a
+// ManualTimeSource they advance explicitly, so delayed-delivery and
+// timeout behaviour becomes a deterministic function of the test script.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/sync.hpp"
+
+namespace fanstore::util {
+
+/// Nanoseconds on a TimeSource's monotonic timeline. Values are only
+/// comparable against the same source; 0 is the source's epoch.
+using TimeNs = std::int64_t;
+
+inline constexpr TimeNs ms_to_ns(std::int64_t ms) { return ms * 1'000'000; }
+
+class TimeSource {
+ public:
+  virtual ~TimeSource() = default;
+
+  virtual TimeNs now_ns() const = 0;
+
+  /// Atomically releases `mu`, blocks until notified or until now_ns()
+  /// reaches `deadline`, then re-acquires `mu` before returning. May wake
+  /// spuriously or early; callers loop on their own predicate + deadline.
+  virtual void wait_until(sync::AnnotatedCondVar& cv, sync::Mutex& mu,
+                          TimeNs deadline) REQUIRES(mu) = 0;
+
+  /// The process wall clock (monotonic). Singleton; never destroyed.
+  static TimeSource& real();
+};
+
+/// Test clock: now_ns() moves only when advance_ns() is called. Timed
+/// waits poll in short real-time slices so a concurrent advance (or a
+/// notify) is observed promptly without the source having to know every
+/// condvar that might be waiting on it.
+class ManualTimeSource final : public TimeSource {
+ public:
+  TimeNs now_ns() const override { return ns_.load(std::memory_order_acquire); }
+
+  void wait_until(sync::AnnotatedCondVar& cv, sync::Mutex& mu,
+                  TimeNs deadline) override;
+
+  void advance_ns(TimeNs d) {
+    if (d > 0) ns_.fetch_add(d, std::memory_order_acq_rel);
+  }
+  void advance_ms(std::int64_t ms) { advance_ns(ms_to_ns(ms)); }
+
+ private:
+  std::atomic<TimeNs> ns_{0};
+};
+
+}  // namespace fanstore::util

@@ -21,8 +21,10 @@
 #include "fault/injector.hpp"
 #include "posixfs/mem_vfs.hpp"
 #include "prep/prepare.hpp"
+#include "mpi/comm.hpp"
 #include "simnet/virtual_clock.hpp"
 #include "tests/sanitizer_env.hpp"
+#include "util/clock.hpp"
 #include "tests/test_data.hpp"
 #include "util/timer.hpp"
 
@@ -495,6 +497,59 @@ TEST(ChaosTest, SameSeedProducesIdenticalFaultSchedule) {
         },
         &inj);
     return inj.schedule_dump();
+  };
+
+  const std::string first = run_scripted(42);
+  const std::string second = run_scripted(42);
+  const std::string other = run_scripted(43);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, other);
+}
+
+// Regression for the mpi timeout paths moving onto util::TimeSource: with a
+// ManualTimeSource injected, a faulted run — drops, dups, corruptions, AND
+// delayed deliveries that only mature when the test advances virtual time —
+// must replay byte-identically: same fault schedule, same delivered
+// messages in the same order.
+TEST(ChaosTest, FaultedRunReplaysByteIdenticalUnderInjectedClock) {
+  const auto run_scripted = [](std::uint64_t seed) {
+    fault::FaultPlan plan;
+    plan.seed = seed;
+    fault::MessageRule r;
+    r.tag = 7;
+    r.drop_prob = 0.25;
+    r.dup_prob = 0.25;
+    r.corrupt_prob = 0.25;
+    r.delay_prob = 0.25;
+    r.delay_ms = 5;
+    plan.messages.push_back(r);
+    fault::FaultInjector inj(plan);
+    util::ManualTimeSource clock;
+    std::string transcript;
+    mpi::run_world(
+        2,
+        [&](mpi::Comm& comm) {
+          if (comm.rank() == 0) {
+            for (int i = 0; i < 200; ++i) {
+              comm.send(1, 7, Bytes(8, static_cast<std::uint8_t>(i)));
+            }
+            comm.barrier();  // every surviving message is now enqueued
+          } else {
+            comm.barrier();
+            // Delayed entries are due at <= 5 ms virtual; advance past
+            // them all, then drain in mailbox order.
+            clock.advance_ms(50);
+            while (auto m = comm.try_recv(0, 7)) {
+              for (std::uint8_t b : m->payload) {
+                transcript.push_back(static_cast<char>(b));
+              }
+              transcript.push_back('|');
+            }
+          }
+        },
+        &inj, &clock);
+    return inj.schedule_dump() + "\n---\n" + transcript;
   };
 
   const std::string first = run_scripted(42);

@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
+#include <thread>
 
+#include "fault/injector.hpp"
 #include "mpi/comm.hpp"
+#include "util/clock.hpp"
 
 namespace fanstore::mpi {
 namespace {
@@ -154,6 +158,65 @@ TEST(MpiTest, ExceptionPropagatesFromRank) {
 TEST(MpiTest, SendToBadRankThrows) {
   EXPECT_THROW(
       run_world(1, [](Comm& comm) { comm.send(5, 0, {}); }), std::out_of_range);
+}
+
+TEST(MpiTest, RecvTimeoutExpiresOnInjectedClockNotWallClock) {
+  util::ManualTimeSource clock;
+  std::atomic<bool> timed_out{false};
+  run_world(
+      2,
+      [&](Comm& comm) {
+        if (comm.rank() == 0) {
+          comm.send(1, 1, Bytes{1});  // "about to block"
+          const auto m = comm.recv_timeout(1, 5, 50);
+          EXPECT_FALSE(m.has_value());
+          timed_out.store(true);
+        } else {
+          (void)comm.recv(0, 1);
+          // Real time passes but virtual time doesn't: the timeout must
+          // not fire on its own.
+          std::this_thread::sleep_for(std::chrono::milliseconds(30));
+          EXPECT_FALSE(timed_out.load());
+          // Each advance exceeds the 50 ms budget, so once rank 0 has
+          // entered recv_timeout its deadline is in the past.
+          while (!timed_out.load()) {
+            clock.advance_ms(60);
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          }
+        }
+      },
+      nullptr, &clock);
+  EXPECT_TRUE(timed_out.load());
+}
+
+TEST(MpiTest, DelayedDeliveryMaturesWithInjectedClock) {
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  fault::MessageRule rule;
+  rule.tag = 9;
+  rule.delay_prob = 1.0;
+  rule.delay_ms = 20;
+  plan.messages.push_back(rule);
+  fault::FaultInjector inj(plan);
+  util::ManualTimeSource clock;
+  run_world(
+      2,
+      [&](Comm& comm) {
+        if (comm.rank() == 0) {
+          comm.send(1, 9, Bytes{42});
+          comm.barrier();  // message is enqueued with a future due-time
+        } else {
+          comm.barrier();
+          // Virtual now is 0, due-time is 20 ms: not visible yet no
+          // matter how much real time passes.
+          EXPECT_FALSE(comm.try_recv(0, 9).has_value());
+          clock.advance_ms(25);
+          const auto m = comm.recv(0, 9);
+          ASSERT_EQ(m.payload.size(), 1u);
+          EXPECT_EQ(m.payload[0], 42);
+        }
+      },
+      &inj, &clock);
 }
 
 TEST(MpiTest, LargeWorld) {

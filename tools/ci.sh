@@ -55,6 +55,19 @@ echo "==== [labels] ctest -L 'obs|stress' ===="
 ctest --test-dir build --output-on-failure -j "$jobs" -L 'obs|stress'
 echo "==== [labels] ctest -L chunked ===="
 ctest --test-dir build --output-on-failure -j "$jobs" -L chunked
+echo "==== [labels] ctest -L lint ===="
+ctest --test-dir build --output-on-failure -j "$jobs" -L lint
+
+# fanstore-lint over all of src/ (DESIGN.md §9): fails on any finding that
+# is neither inline-suppressed nor baselined with a justification in
+# tools/lint/baseline.txt. (Also runs as the `fanstore_lint_src` ctest, but
+# an explicit invocation keeps the findings readable in the CI log.)
+echo "==== [lint] fanstore-lint src/ ===="
+build/tools/lint/fanstore-lint \
+  --inventory src/obs/metric_names.inc \
+  --design DESIGN.md \
+  --baseline tools/lint/baseline.txt \
+  src
 
 # Hot-path perf smoke: quick sharded-vs-legacy cache sweep. Catches gross
 # concurrency regressions and refreshes BENCH_hotpath.json at the repo root

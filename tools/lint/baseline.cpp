@@ -1,0 +1,92 @@
+#include "baseline.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace fanstore::lint {
+
+std::string normalize_line(const std::string& line) {
+  std::string out;
+  out.reserve(line.size());
+  bool in_ws = true;  // leading whitespace trims
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!in_ws) out.push_back(' ');
+      in_ws = true;
+    } else {
+      out.push_back(c);
+      in_ws = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+bool Baseline::matches(const std::string& rule, const std::string& file,
+                       const std::string& line_text) {
+  bool found = false;
+  // Mark every identical entry used: several findings can share one line
+  // (and so one key), and duplicated entries should not read as stale.
+  for (BaselineEntry& e : entries) {
+    if (e.rule == rule && e.file == file && e.line_text == line_text) {
+      e.used = true;
+      found = true;
+    }
+  }
+  return found;
+}
+
+std::vector<const BaselineEntry*> Baseline::unused() const {
+  std::vector<const BaselineEntry*> out;
+  for (const BaselineEntry& e : entries) {
+    if (!e.used) out.push_back(&e);
+  }
+  return out;
+}
+
+bool load_baseline(const std::string& path, Baseline* out,
+                   std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open baseline: " + path;
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    BaselineEntry e;
+    std::size_t pos = 0;
+    std::string* fields[3] = {&e.rule, &e.file, &e.line_text};
+    bool ok = true;
+    for (std::string* f : fields) {
+      const std::size_t bar = line.find('|', pos);
+      if (bar == std::string::npos) {
+        ok = false;
+        break;
+      }
+      *f = line.substr(pos, bar - pos);
+      pos = bar + 1;
+    }
+    if (!ok) {
+      *error = path + ":" + std::to_string(lineno) +
+               ": expected rule|file|line-text|justification";
+      return false;
+    }
+    e.justification = line.substr(pos);
+    if (normalize_line(e.justification).empty() ||
+        e.justification.rfind("TODO", 0) == 0) {
+      *error = path + ":" + std::to_string(lineno) +
+               ": baseline entry for '" + e.rule +
+               "' needs a one-line justification";
+      return false;
+    }
+    e.line_text = normalize_line(e.line_text);
+    out->entries.push_back(std::move(e));
+  }
+  return true;
+}
+
+}  // namespace fanstore::lint

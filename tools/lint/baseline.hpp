@@ -1,0 +1,47 @@
+// Committed baseline for grandfathered findings. Format, one per line:
+//
+//   rule|rel/path.cpp|normalized source line text|justification
+//
+// The key is the finding's source line with whitespace collapsed rather
+// than its line number, so unrelated edits above a baselined site don't
+// invalidate the entry. The justification is mandatory — an entry without
+// one is a load error, which keeps "why is this allowed?" answerable from
+// the file itself. Lines starting with '#' are comments.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fanstore::lint {
+
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  std::string line_text;  // whitespace-normalized
+  std::string justification;
+  bool used = false;
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+
+  /// Marks the matching entry used and returns true when (rule, file,
+  /// normalized line text) is baselined.
+  bool matches(const std::string& rule, const std::string& file,
+               const std::string& line_text);
+
+  /// Entries that matched no finding this run (candidates for deletion).
+  std::vector<const BaselineEntry*> unused() const;
+};
+
+/// Collapses whitespace runs to single spaces and trims — the canonical
+/// form for baseline keys.
+std::string normalize_line(const std::string& line);
+
+/// Returns false with *error set on IO failure, malformed lines, or an
+/// empty/TODO justification.
+bool load_baseline(const std::string& path, Baseline* out,
+                   std::string* error);
+
+}  // namespace fanstore::lint

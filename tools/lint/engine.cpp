@@ -1,0 +1,239 @@
+#include "engine.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "baseline.hpp"
+#include "model.hpp"
+#include "rules.hpp"
+#include "token.hpp"
+
+namespace fanstore::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+bool read_file(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  lines.push_back(std::move(cur));
+  return lines;
+}
+
+// Inline suppressions: a comment containing `fanstore-lint: allow(a, b)`
+// silences rules a and b on the comment's own line — or on the next line
+// when the comment stands alone.
+std::map<int, std::set<std::string>> collect_suppressions(
+    const std::vector<Token>& toks) {
+  std::map<int, std::set<std::string>> by_line;
+  std::set<int> code_lines;
+  for (const Token& t : toks) {
+    if (t.kind != Tok::kComment && t.kind != Tok::kEof) {
+      code_lines.insert(t.line);
+    }
+  }
+  for (const Token& t : toks) {
+    if (t.kind != Tok::kComment) continue;
+    const std::size_t at = t.text.find("fanstore-lint:");
+    if (at == std::string::npos) continue;
+    const std::size_t allow = t.text.find("allow(", at);
+    if (allow == std::string::npos) continue;
+    const std::size_t open = allow + 5;  // index of '('
+    const std::size_t close = t.text.find(')', open);
+    if (close == std::string::npos) continue;
+    std::set<std::string> rules;
+    std::string cur;
+    for (std::size_t i = open + 1; i <= close; ++i) {
+      const char c = t.text[i];
+      if (c == ',' || c == ')') {
+        if (!cur.empty()) rules.insert(cur);
+        cur.clear();
+      } else if (c != ' ' && c != '\t') {
+        cur.push_back(c);
+      }
+    }
+    if (rules.empty()) continue;
+    const int target =
+        code_lines.count(t.line) != 0 ? t.line : t.line + 1;
+    by_line[target].insert(rules.begin(), rules.end());
+    if (target != t.line) by_line[t.line].insert(rules.begin(), rules.end());
+  }
+  return by_line;
+}
+
+}  // namespace
+
+const std::vector<std::string>& all_rule_ids() {
+  static const std::vector<std::string> kIds = {
+      "determinism", "raw-sync",  "guarded-by",
+      "metric-inventory", "codec-id", "crc-before-interpret"};
+  return kIds;
+}
+
+LintResult run_lint(const LintOptions& opts) {
+  LintResult result;
+
+  std::set<std::string> enabled(opts.rules.begin(), opts.rules.end());
+  if (enabled.empty()) {
+    enabled.insert(all_rule_ids().begin(), all_rule_ids().end());
+  }
+  for (const std::string& r : enabled) {
+    if (std::find(all_rule_ids().begin(), all_rule_ids().end(), r) ==
+        all_rule_ids().end()) {
+      result.errors.push_back("unknown rule: " + r);
+    }
+  }
+
+  MetricsState metrics;
+  if (!opts.inventory_path.empty() &&
+      enabled.count("metric-inventory") != 0) {
+    std::string err;
+    if (!metrics_load_inventory(opts.inventory_path,
+                                fs::path(opts.inventory_path)
+                                    .filename()
+                                    .string(),
+                                &metrics, &err)) {
+      result.errors.push_back(err);
+    }
+  }
+
+  Baseline baseline;
+  const bool use_baseline = !opts.baseline_path.empty();
+  if (use_baseline) {
+    std::string err;
+    if (!load_baseline(opts.baseline_path, &baseline, &err)) {
+      result.errors.push_back(err);
+    }
+  }
+
+  std::string design_text;
+  if (!opts.design_path.empty()) {
+    if (!read_file(opts.design_path, &design_text)) {
+      result.errors.push_back("cannot open design doc: " + opts.design_path);
+    }
+  }
+
+  if (!result.errors.empty()) return result;
+
+  std::error_code ec;
+  const fs::path root(opts.root);
+  std::vector<fs::path> files;
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (it->is_regular_file(ec) && lintable(it->path())) {
+      files.push_back(it->path());
+    }
+  }
+  if (ec || files.empty()) {
+    result.errors.push_back("no lintable files under: " + opts.root);
+    return result;
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> raw;
+  std::map<std::string, std::vector<std::string>> file_lines;
+  for (const fs::path& p : files) {
+    std::string src;
+    if (!read_file(p, &src)) {
+      result.errors.push_back("cannot read: " + p.string());
+      return result;
+    }
+    const std::string rel =
+        fs::relative(p, root, ec).generic_string();
+    const std::vector<Token> toks = tokenize(src);
+    const TuModel model = build_model(toks);
+    const FileCtx ctx{rel, &toks, &model};
+    file_lines[rel] = split_lines(src);
+
+    std::vector<Finding> found;
+    if (enabled.count("determinism") != 0) rule_determinism(ctx, &found);
+    if (enabled.count("raw-sync") != 0) rule_raw_sync(ctx, &found);
+    if (enabled.count("guarded-by") != 0) rule_guarded_by(ctx, &found);
+    if (enabled.count("codec-id") != 0) rule_codec_ids(ctx, &found);
+    if (enabled.count("crc-before-interpret") != 0) {
+      rule_crc_order(ctx, &found);
+    }
+    if (metrics.enabled) rule_metric_inventory(ctx, &metrics, &found);
+
+    const auto suppressed = collect_suppressions(toks);
+    for (Finding& f : found) {
+      const auto it = suppressed.find(f.line);
+      if (it != suppressed.end() && it->second.count(f.rule) != 0) continue;
+      raw.push_back(std::move(f));
+    }
+  }
+
+  metrics_finalize(&metrics, design_text, &raw);
+
+  for (Finding& f : raw) {
+    const auto lines = file_lines.find(f.file);
+    if (lines != file_lines.end() && f.line >= 1 &&
+        f.line <= static_cast<int>(lines->second.size())) {
+      f.line_text = normalize_line(lines->second[f.line - 1]);
+    }
+    if (use_baseline && baseline.matches(f.rule, f.file, f.line_text)) {
+      ++result.baselined;
+      continue;
+    }
+    result.findings.push_back(std::move(f));
+  }
+
+  if (use_baseline) {
+    for (const BaselineEntry* e : baseline.unused()) {
+      result.warnings.push_back("stale baseline entry: " + e->rule + "|" +
+                                e->file + "|" + e->line_text);
+    }
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.col != b.col) return a.col < b.col;
+              return a.rule < b.rule;
+            });
+  return result;
+}
+
+std::string format_baseline(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "# fanstore-lint baseline: rule|file|normalized line|justification\n"
+      << "# Every entry needs a real justification; the loader rejects TODO.\n";
+  std::set<std::string> seen;
+  for (const Finding& f : findings) {
+    const std::string key = f.rule + "|" + f.file + "|" + f.line_text;
+    if (!seen.insert(key).second) continue;  // several findings, one line
+    out << key << "|TODO justify or fix\n";
+  }
+  return out.str();
+}
+
+}  // namespace fanstore::lint

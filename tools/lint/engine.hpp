@@ -1,0 +1,47 @@
+// fanstore-lint driver: walks a source tree, tokenizes + models each TU,
+// runs the project rules, applies inline suppressions and the committed
+// baseline, and returns findings. Built as a library so tests can link the
+// engine directly; main.cpp is a thin CLI over run_lint().
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fanstore::lint {
+
+struct Finding {
+  std::string rule;     // stable rule id, e.g. "determinism"
+  std::string file;     // path relative to the lint root, '/' separators
+  int line = 0;         // 1-based
+  int col = 0;          // 1-based
+  std::string message;
+  // The finding's source line with whitespace collapsed — the stable key
+  // baseline entries match on (line numbers drift, text rarely does).
+  std::string line_text;
+};
+
+struct LintOptions {
+  std::string root;            // directory to walk (.cpp/.hpp/.h/.cc)
+  std::string inventory_path;  // metric-name inventory; "" disables the check
+  std::string design_path;     // DESIGN.md to cross-check; "" disables
+  std::string baseline_path;   // committed baseline; "" disables
+  std::vector<std::string> rules;  // rule ids to run; empty = all
+};
+
+struct LintResult {
+  std::vector<Finding> findings;     // after suppression + baseline
+  std::size_t baselined = 0;         // findings swallowed by the baseline
+  std::vector<std::string> errors;   // IO / config problems (exit 2)
+  std::vector<std::string> warnings; // e.g. stale baseline entries
+};
+
+/// All rule ids, in canonical order.
+const std::vector<std::string>& all_rule_ids();
+
+LintResult run_lint(const LintOptions& opts);
+
+/// Serializes findings for --write-baseline (stable sort order, TODO
+/// justifications that the loader will reject until filled in).
+std::string format_baseline(const std::vector<Finding>& findings);
+
+}  // namespace fanstore::lint

@@ -1,0 +1,301 @@
+#include "token.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace fanstore::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Two-character punctuators the rules care about (adjacency checks like
+// `::`, `->`, `==`). Everything else lexes as single characters.
+bool two_char_punct(char a, char b) {
+  switch (a) {
+    case ':': return b == ':';
+    case '-': return b == '>' || b == '-' || b == '=';
+    case '=': return b == '=';
+    case '!': return b == '=';
+    case '<': return b == '=' || b == '<';
+    case '>': return b == '=' || b == '>';
+    case '&': return b == '&' || b == '=';
+    case '|': return b == '|' || b == '=';
+    case '+': return b == '+' || b == '=';
+    case '*': return b == '=';
+    case '/': return b == '=';
+    default: return false;
+  }
+}
+
+struct Cursor {
+  const std::string& src;
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+
+  bool done() const { return i >= src.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return i + ahead < src.size() ? src[i + ahead] : '\0';
+  }
+  void advance() {
+    if (done()) return;
+    if (src[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    ++i;
+  }
+};
+
+}  // namespace
+
+std::string string_value(const Token& t) {
+  const std::string& s = t.text;
+  std::size_t b = s.find('"');
+  if (b == std::string::npos) return {};
+  // Raw string: prefix ends with R, body is "delim( ... )delim".
+  const bool raw = b > 0 && s[b - 1] == 'R';
+  if (raw) {
+    const std::size_t paren = s.find('(', b);
+    if (paren == std::string::npos) return {};
+    const std::size_t delim_len = paren - b - 1;
+    const std::size_t body = paren + 1;
+    const std::size_t end = s.size() - 2 - delim_len;  // before )delim"
+    return end >= body ? s.substr(body, end - body) : std::string{};
+  }
+  const std::size_t e = s.rfind('"');
+  return e > b ? s.substr(b + 1, e - b - 1) : std::string{};
+}
+
+bool number_value(const Token& t, long long* out) {
+  std::string digits;
+  digits.reserve(t.text.size());
+  for (char c : t.text) {
+    if (c == '\'') continue;
+    if (c == '.' || c == 'p' || c == 'P') return false;  // floating
+    digits.push_back(c);
+  }
+  // Strip integer suffixes (u, l, z combinations).
+  while (!digits.empty()) {
+    const char c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(digits.back())));
+    if (c == 'u' || c == 'l' || c == 'z') {
+      digits.pop_back();
+    } else {
+      break;
+    }
+  }
+  if (digits.empty()) return false;
+  // "1e9" is floating unless hex (where e is a digit).
+  const bool hex =
+      digits.size() > 1 && digits[0] == '0' && (digits[1] == 'x' || digits[1] == 'X');
+  if (!hex && digits.find_first_of("eE") != std::string::npos) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(digits.c_str(), &end, 0);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> out;
+  Cursor c{source};
+  bool in_preproc = false;
+  bool at_line_start = true;  // only whitespace seen on this line so far
+
+  auto push = [&](Tok kind, std::string text, int line, int col) {
+    out.push_back(Token{kind, std::move(text), line, col, in_preproc});
+  };
+
+  while (!c.done()) {
+    const char ch = c.peek();
+    // Whitespace / line structure.
+    if (ch == '\n') {
+      in_preproc = in_preproc && c.i > 0 && source[c.i - 1] == '\\';
+      at_line_start = true;
+      c.advance();
+      continue;
+    }
+    if (ch == ' ' || ch == '\t' || ch == '\r' || ch == '\v' || ch == '\f') {
+      c.advance();
+      continue;
+    }
+    const int line = c.line;
+    const int col = c.col;
+    if (ch == '#' && at_line_start) {
+      in_preproc = true;
+      at_line_start = false;
+      push(Tok::kPunct, "#", line, col);
+      c.advance();
+      continue;
+    }
+    at_line_start = false;
+
+    // Comments.
+    if (ch == '/' && c.peek(1) == '/') {
+      std::string text;
+      while (!c.done() && c.peek() != '\n') {
+        text.push_back(c.peek());
+        c.advance();
+      }
+      push(Tok::kComment, std::move(text), line, col);
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      std::string text;
+      text += "/*";
+      c.advance();
+      c.advance();
+      while (!c.done() && !(c.peek() == '*' && c.peek(1) == '/')) {
+        text.push_back(c.peek());
+        c.advance();
+      }
+      if (!c.done()) {
+        text += "*/";
+        c.advance();
+        c.advance();
+      }
+      push(Tok::kComment, std::move(text), line, col);
+      continue;
+    }
+
+    // Identifiers — possibly a string-literal encoding prefix.
+    if (ident_start(ch)) {
+      std::string text;
+      while (!c.done() && ident_char(c.peek())) {
+        text.push_back(c.peek());
+        c.advance();
+      }
+      const bool str_prefix = !c.done() && c.peek() == '"' &&
+                              (text == "R" || text == "u8R" || text == "uR" ||
+                               text == "UR" || text == "LR" || text == "u8" ||
+                               text == "u" || text == "U" || text == "L");
+      const bool chr_prefix = !c.done() && c.peek() == '\'' &&
+                              (text == "u8" || text == "u" || text == "U" ||
+                               text == "L");
+      if (!str_prefix && !chr_prefix) {
+        push(Tok::kIdent, std::move(text), line, col);
+        continue;
+      }
+      if (chr_prefix || text.back() != 'R') {
+        // Encoded (non-raw) string/char literal: fall through to the quote
+        // scanner below with the prefix attached.
+        const char quote = c.peek();
+        text.push_back(quote);
+        c.advance();
+        while (!c.done() && c.peek() != quote) {
+          if (c.peek() == '\\') {
+            text.push_back(c.peek());
+            c.advance();
+            if (c.done()) break;
+          }
+          text.push_back(c.peek());
+          c.advance();
+        }
+        if (!c.done()) {
+          text.push_back(quote);
+          c.advance();
+        }
+        push(quote == '"' ? Tok::kString : Tok::kChar, std::move(text), line, col);
+        continue;
+      }
+      // Raw string literal: R"delim( ... )delim".
+      text.push_back('"');
+      c.advance();
+      std::string delim;
+      while (!c.done() && c.peek() != '(') {
+        delim.push_back(c.peek());
+        text.push_back(c.peek());
+        c.advance();
+      }
+      if (!c.done()) {
+        text.push_back('(');
+        c.advance();
+      }
+      const std::string close = ")" + delim + "\"";
+      while (!c.done()) {
+        if (c.peek() == ')' && source.compare(c.i, close.size(), close) == 0) {
+          for (std::size_t k = 0; k < close.size(); ++k) {
+            text.push_back(c.peek());
+            c.advance();
+          }
+          break;
+        }
+        text.push_back(c.peek());
+        c.advance();
+      }
+      push(Tok::kString, std::move(text), line, col);
+      continue;
+    }
+
+    // Plain string / char literals.
+    if (ch == '"' || ch == '\'') {
+      std::string text;
+      text.push_back(ch);
+      c.advance();
+      while (!c.done() && c.peek() != ch) {
+        if (c.peek() == '\\') {
+          text.push_back(c.peek());
+          c.advance();
+          if (c.done()) break;
+        }
+        text.push_back(c.peek());
+        c.advance();
+      }
+      if (!c.done()) {
+        text.push_back(ch);
+        c.advance();
+      }
+      push(ch == '"' ? Tok::kString : Tok::kChar, std::move(text), line, col);
+      continue;
+    }
+
+    // Numbers (pp-number: digits, letters, ', and exponent signs).
+    if (std::isdigit(static_cast<unsigned char>(ch)) ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.peek(1))))) {
+      std::string text;
+      while (!c.done()) {
+        const char d = c.peek();
+        if (ident_char(d) || d == '.' || d == '\'') {
+          text.push_back(d);
+          c.advance();
+          continue;
+        }
+        if ((d == '+' || d == '-') && !text.empty()) {
+          const char prev = static_cast<char>(
+              std::tolower(static_cast<unsigned char>(text.back())));
+          if (prev == 'e' || prev == 'p') {
+            text.push_back(d);
+            c.advance();
+            continue;
+          }
+        }
+        break;
+      }
+      push(Tok::kNumber, std::move(text), line, col);
+      continue;
+    }
+
+    // Punctuation.
+    std::string text(1, ch);
+    if (two_char_punct(ch, c.peek(1))) {
+      text.push_back(c.peek(1));
+      c.advance();
+    }
+    c.advance();
+    push(Tok::kPunct, std::move(text), line, col);
+  }
+  out.push_back(Token{Tok::kEof, "", c.line, c.col, false});
+  return out;
+}
+
+}  // namespace fanstore::lint

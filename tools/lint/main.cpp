@@ -1,0 +1,146 @@
+// fanstore-lint CLI. Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+//
+//   fanstore-lint [options] <root-dir>
+//     --json                 machine-readable output
+//     --inventory <file>     metric-name inventory (default: off)
+//     --design <file>        DESIGN.md to cross-check metric names against
+//     --baseline <file>      committed baseline of grandfathered findings
+//     --write-baseline <f>   write current findings as a baseline and exit
+//     --rule <id>            run only this rule (repeatable)
+//     --list-rules           print rule ids and exit
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "engine.hpp"
+
+namespace {
+
+void json_escape(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fanstore-lint [--json] [--inventory f] [--design f] "
+               "[--baseline f]\n"
+               "                     [--write-baseline f] [--rule id]... "
+               "[--list-rules] <root-dir>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using fanstore::lint::LintOptions;
+  LintOptions opts;
+  bool json = false;
+  std::string write_baseline;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= args.size()) return false;
+      *out = args[++i];
+      return true;
+    };
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--list-rules") {
+      for (const auto& r : fanstore::lint::all_rule_ids()) {
+        std::printf("%s\n", r.c_str());
+      }
+      return 0;
+    } else if (a == "--inventory") {
+      if (!next(&opts.inventory_path)) return usage();
+    } else if (a == "--design") {
+      if (!next(&opts.design_path)) return usage();
+    } else if (a == "--baseline") {
+      if (!next(&opts.baseline_path)) return usage();
+    } else if (a == "--write-baseline") {
+      if (!next(&write_baseline)) return usage();
+    } else if (a == "--rule") {
+      std::string r;
+      if (!next(&r)) return usage();
+      opts.rules.push_back(r);
+    } else if (!a.empty() && a[0] == '-') {
+      return usage();
+    } else if (opts.root.empty()) {
+      opts.root = a;
+    } else {
+      return usage();
+    }
+  }
+  if (opts.root.empty()) return usage();
+  if (!write_baseline.empty()) opts.baseline_path.clear();
+
+  const fanstore::lint::LintResult result = fanstore::lint::run_lint(opts);
+  for (const std::string& e : result.errors) {
+    std::fprintf(stderr, "fanstore-lint: error: %s\n", e.c_str());
+  }
+  if (!result.errors.empty()) return 2;
+
+  if (!write_baseline.empty()) {
+    std::ofstream out(write_baseline);
+    out << fanstore::lint::format_baseline(result.findings);
+    if (!out) {
+      std::fprintf(stderr, "fanstore-lint: error: cannot write %s\n",
+                   write_baseline.c_str());
+      return 2;
+    }
+    std::fprintf(stderr,
+                 "fanstore-lint: wrote %zu entries to %s (fill in the "
+                 "justifications)\n",
+                 result.findings.size(), write_baseline.c_str());
+    return 0;
+  }
+
+  for (const std::string& w : result.warnings) {
+    std::fprintf(stderr, "fanstore-lint: warning: %s\n", w.c_str());
+  }
+
+  if (json) {
+    std::string out = "[";
+    bool first = true;
+    for (const auto& f : result.findings) {
+      if (!first) out += ",";
+      first = false;
+      out += "\n  {\"rule\": \"";
+      json_escape(f.rule, &out);
+      out += "\", \"file\": \"";
+      json_escape(f.file, &out);
+      out += "\", \"line\": " + std::to_string(f.line);
+      out += ", \"col\": " + std::to_string(f.col);
+      out += ", \"message\": \"";
+      json_escape(f.message, &out);
+      out += "\"}";
+    }
+    out += first ? "]\n" : "\n]\n";
+    std::fputs(out.c_str(), stdout);
+  } else {
+    for (const auto& f : result.findings) {
+      std::printf("%s:%d:%d: [%s] %s\n", f.file.c_str(), f.line, f.col,
+                  f.rule.c_str(), f.message.c_str());
+    }
+    std::printf("fanstore-lint: %zu finding(s), %zu baselined\n",
+                result.findings.size(), result.baselined);
+  }
+  return result.findings.empty() ? 0 : 1;
+}

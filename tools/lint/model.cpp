@@ -1,0 +1,285 @@
+#include "model.hpp"
+
+#include <array>
+
+namespace fanstore::lint {
+
+namespace {
+
+bool is_punct(const Token& t, const char* s) {
+  return t.kind == Tok::kPunct && t.text == s;
+}
+bool is_ident(const Token& t, const char* s) {
+  return t.kind == Tok::kIdent && t.text == s;
+}
+
+bool control_keyword(const std::string& s) {
+  static const std::set<std::string> kKw = {"if",     "for",   "while", "switch",
+                                           "catch",  "return", "do",   "else",
+                                           "new",    "delete", "sizeof",
+                                           "alignof", "decltype"};
+  return kKw.count(s) != 0;
+}
+
+// Thread-safety-annotation macros (util/sync.hpp): a call-shaped trailer
+// between a function's parameter list and its body.
+bool annotation_macro(const std::string& s) {
+  static const std::set<std::string> kAnnot = {
+      "REQUIRES",        "EXCLUDES",       "ACQUIRE",
+      "RELEASE",         "TRY_ACQUIRE",    "ASSERT_CAPABILITY",
+      "RETURN_CAPABILITY", "CAPABILITY",   "SCOPED_CAPABILITY",
+      "GUARDED_BY",      "PT_GUARDED_BY",  "NO_THREAD_SAFETY_ANALYSIS",
+      "FANSTORE_THREAD_ANNOTATION"};
+  return kAnnot.count(s) != 0;
+}
+
+enum class BlockKind { kOther, kNamespace, kClass, kFunction };
+
+struct Classification {
+  BlockKind kind = BlockKind::kOther;
+  std::string name;
+};
+
+}  // namespace
+
+std::size_t TuModel::next_code(std::size_t i) const {
+  const auto& t = *tokens;
+  for (std::size_t j = i + 1; j < t.size(); ++j) {
+    if (t[j].kind != Tok::kComment) return j;
+  }
+  return npos;
+}
+
+std::size_t TuModel::prev_code(std::size_t i) const {
+  for (std::size_t j = i; j-- > 0;) {
+    if ((*tokens)[j].kind != Tok::kComment) return j;
+  }
+  return npos;
+}
+
+namespace {
+
+// Walks backward from an opening '{' to decide what it starts. See the
+// header comment: unknown constructs classify as kOther and simply inherit
+// the enclosing context.
+Classification classify_brace(const TuModel& m, std::size_t obrace) {
+  const auto& toks = *m.tokens;
+  Classification result;
+  std::size_t j = m.prev_code(obrace);
+  // First: a bounded scan back to the statement boundary looking for
+  // namespace / class / struct / enum keywords (they always appear between
+  // the previous ';'/'{'/'}' and this '{').
+  {
+    std::size_t k = j;
+    int steps = 0;
+    int depth = 0;  // angle/template args and base lists may nest parens
+    while (k != TuModel::npos && steps++ < 200) {
+      const Token& t = toks[k];
+      if (depth == 0 &&
+          (is_punct(t, ";") || is_punct(t, "{") || is_punct(t, "}"))) {
+        break;
+      }
+      if (is_punct(t, ")") || is_punct(t, "]")) {
+        ++depth;
+      } else if (is_punct(t, "(") || is_punct(t, "[")) {
+        --depth;
+      } else if (depth == 0 && t.kind == Tok::kIdent) {
+        if (t.text == "namespace") {
+          result.kind = BlockKind::kNamespace;
+          return result;
+        }
+        if (t.text == "enum") {
+          return result;  // enum body: kOther
+        }
+        if (t.text == "class" || t.text == "struct") {
+          const std::size_t prev = m.prev_code(k);
+          if (prev != TuModel::npos && is_ident(toks[prev], "enum")) {
+            return result;  // enum class
+          }
+          result.kind = BlockKind::kClass;
+          // Name: first plain identifier after the keyword (skipping
+          // annotation-macro calls such as CAPABILITY("mutex")).
+          std::size_t n = m.next_code(k);
+          while (n != TuModel::npos && n < obrace) {
+            if (toks[n].kind == Tok::kIdent && !annotation_macro(toks[n].text)) {
+              result.name = toks[n].text;
+              break;
+            }
+            if (toks[n].kind == Tok::kIdent && annotation_macro(toks[n].text)) {
+              const std::size_t paren = m.next_code(n);
+              if (paren != TuModel::npos && is_punct(toks[paren], "(") &&
+                  m.bracket_match[paren] != TuModel::npos) {
+                n = m.next_code(m.bracket_match[paren]);
+                continue;
+              }
+            }
+            n = m.next_code(n);
+          }
+          return result;
+        }
+      }
+      k = m.prev_code(k);
+    }
+  }
+  // Function-definition walk: skip trailers (const/noexcept/override/
+  // annotation macros/trailing return/ctor-init list) backward until the
+  // parameter list's ')' whose '(' is preceded by the function name.
+  int steps = 0;
+  while (j != TuModel::npos && steps++ < 300) {
+    const Token& t = toks[j];
+    if (is_punct(t, ";") || is_punct(t, "{") || is_punct(t, "=")) return result;
+    if (is_punct(t, "]")) return result;  // lambda introducer
+    if (t.kind == Tok::kString) return result;  // extern "C" etc.
+    if (is_punct(t, "}")) {
+      // Brace group inside a ctor-init list (mu_{"x"}): hop over it.
+      const std::size_t open = m.bracket_match[j];
+      if (open == TuModel::npos) return result;
+      j = m.prev_code(open);
+      continue;
+    }
+    if (is_punct(t, ")")) {
+      const std::size_t open = m.bracket_match[j];
+      if (open == TuModel::npos) return result;
+      const std::size_t k = m.prev_code(open);
+      if (k == TuModel::npos) return result;
+      if (toks[k].kind == Tok::kIdent) {
+        if (control_keyword(toks[k].text)) return result;
+        if (annotation_macro(toks[k].text)) {
+          j = m.prev_code(k);
+          continue;
+        }
+        const std::size_t p = m.prev_code(k);
+        if (p != TuModel::npos &&
+            (is_punct(toks[p], ",") || is_punct(toks[p], ":") ||
+             is_punct(toks[p], ".") || is_punct(toks[p], "->"))) {
+          // Ctor-init-list item (`: name(...)` / `, name(...)`) or a
+          // member call: keep walking backward past it.
+          j = is_punct(toks[p], ",") || is_punct(toks[p], ":")
+                  ? m.prev_code(p)
+                  : m.prev_code(k);
+          continue;
+        }
+        result.kind = BlockKind::kFunction;
+        result.name = toks[k].text;
+        return result;
+      }
+      if (is_punct(toks[k], "]")) return result;  // lambda with params
+      j = m.prev_code(open);
+      continue;
+    }
+    if (t.kind == Tok::kIdent && control_keyword(t.text)) return result;
+    j = m.prev_code(j);
+  }
+  return result;
+}
+
+// Extracts mutex members + GUARDED_BY references from one class body.
+void scan_class_body(const TuModel& m, ClassInfo* cls) {
+  const auto& toks = *m.tokens;
+  std::size_t i = cls->body_begin;
+  // Declaration scan at class top level; nested braces (inline method
+  // bodies, nested class bodies, brace initializers) are skipped wholesale.
+  std::vector<std::size_t> decl;  // token indices of the current declaration
+  auto flush_decl = [&] {
+    for (std::size_t d = 0; d < decl.size(); ++d) {
+      const Token& t = toks[decl[d]];
+      if (!is_ident(t, "Mutex")) continue;
+      if (d + 1 >= decl.size()) continue;
+      const Token& next = toks[decl[d + 1]];
+      if (next.kind != Tok::kIdent) continue;  // Mutex& / Mutex* / Mutex(
+      cls->mutex_members.push_back(MutexMember{next.text, next.line});
+    }
+    decl.clear();
+  };
+  i = m.next_code(i);
+  while (i != TuModel::npos && i < cls->body_end) {
+    const Token& t = toks[i];
+    if (is_punct(t, "{")) {
+      const std::size_t close = m.bracket_match[i];
+      if (close == TuModel::npos || close > cls->body_end) break;
+      // Either a member brace-initializer (`Mutex mu_{"x"};` — flush so the
+      // member is seen) or a method body (whose decl tokens never match the
+      // Mutex-then-name pattern, so flushing is harmless either way).
+      flush_decl();
+      i = m.next_code(close);
+      continue;
+    }
+    if (is_punct(t, "(") || is_punct(t, "[")) {
+      const std::size_t close = m.bracket_match[i];
+      if (close == TuModel::npos || close > cls->body_end) break;
+      // GUARDED_BY(x) / PT_GUARDED_BY(x): record the base identifier.
+      const std::size_t macro = m.prev_code(i);
+      if (macro != TuModel::npos &&
+          (is_ident(toks[macro], "GUARDED_BY") ||
+           is_ident(toks[macro], "PT_GUARDED_BY"))) {
+        for (std::size_t a = m.next_code(i); a != TuModel::npos && a < close;
+             a = m.next_code(a)) {
+          if (toks[a].kind == Tok::kIdent) {
+            cls->guarded_refs.insert(toks[a].text);
+            break;
+          }
+        }
+      }
+      i = m.next_code(close);
+      continue;
+    }
+    if (is_punct(t, ";") || is_punct(t, ":")) {
+      // ';' ends a declaration; ':' is an access specifier boundary.
+      flush_decl();
+      i = m.next_code(i);
+      continue;
+    }
+    decl.push_back(i);
+    i = m.next_code(i);
+  }
+  flush_decl();
+}
+
+}  // namespace
+
+TuModel build_model(const std::vector<Token>& toks) {
+  TuModel m;
+  m.tokens = &toks;
+  m.bracket_match.assign(toks.size(), TuModel::npos);
+  {
+    std::vector<std::size_t> stack;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Tok::kPunct) continue;
+      if (t.text == "(" || t.text == "{" || t.text == "[") {
+        stack.push_back(i);
+      } else if (t.text == ")" || t.text == "}" || t.text == "]") {
+        // Match the nearest opener of the same family, dropping mismatched
+        // openers (unbalanced code still gets best-effort structure).
+        const char want = t.text == ")" ? '(' : t.text == "}" ? '{' : '[';
+        while (!stack.empty() && toks[stack.back()].text[0] != want) {
+          stack.pop_back();
+        }
+        if (!stack.empty()) {
+          m.bracket_match[stack.back()] = i;
+          m.bracket_match[i] = stack.back();
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!(toks[i].kind == Tok::kPunct && toks[i].text == "{")) continue;
+    if (m.bracket_match[i] == TuModel::npos) continue;
+    const Classification c = classify_brace(m, i);
+    if (c.kind == BlockKind::kClass) {
+      ClassInfo cls;
+      cls.name = c.name;
+      cls.body_begin = i;
+      cls.body_end = m.bracket_match[i];
+      scan_class_body(m, &cls);
+      m.classes.push_back(std::move(cls));
+    } else if (c.kind == BlockKind::kFunction) {
+      m.functions.push_back(FunctionInfo{c.name, i, m.bracket_match[i]});
+    }
+  }
+  return m;
+}
+
+}  // namespace fanstore::lint

@@ -1,0 +1,57 @@
+// Lightweight per-TU semantic model built over the token stream: class
+// bodies with their mutex members and thread-safety annotation references,
+// and function definitions with their body token ranges. Deliberately
+// heuristic — when a construct cannot be classified the block is treated
+// as plain code inside the enclosing context, which makes every rule
+// fail-open (no false findings from parser confusion).
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "token.hpp"
+
+namespace fanstore::lint {
+
+struct MutexMember {
+  std::string name;
+  int line = 0;
+};
+
+struct ClassInfo {
+  std::string name;
+  std::size_t body_begin = 0;  // index of '{'
+  std::size_t body_end = 0;    // index of matching '}'
+  std::vector<MutexMember> mutex_members;
+  // Base identifiers referenced by GUARDED_BY / PT_GUARDED_BY annotations
+  // anywhere in the class body (members of nested classes excluded).
+  std::set<std::string> guarded_refs;
+};
+
+struct FunctionInfo {
+  std::string name;
+  std::size_t body_begin = 0;  // index of '{'
+  std::size_t body_end = 0;    // index of matching '}'
+};
+
+struct TuModel {
+  std::vector<ClassInfo> classes;
+  std::vector<FunctionInfo> functions;
+  // bracket_match[i] = index of the bracket matching the one at i
+  // (for '(', '{', '[' and their closers); npos when unmatched.
+  std::vector<std::size_t> bracket_match;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Next / previous non-comment token index; npos at either end.
+  std::size_t next_code(std::size_t i) const;
+  std::size_t prev_code(std::size_t i) const;
+
+  const std::vector<Token>* tokens = nullptr;
+};
+
+TuModel build_model(const std::vector<Token>& toks);
+
+}  // namespace fanstore::lint

@@ -1,0 +1,100 @@
+// codec-id: compressor registry ids are structural — they are written into
+// container headers on disk. The chunked container (compress/chunked.hpp)
+// packs metadata into bits 10..15 of the 16-bit id field (bit 15 =
+// kChunkedFlag, bits 10..14 = log2 chunk size), so every flat codec id must
+// stay below 1024, and no two registrations may claim the same id. The rule
+// checks what is lexically checkable in compress/registry.cpp: literal ids
+// passed to add() and the literal bases of `CompressorId id = N;` loop
+// blocks. (Registry's constructor asserts full uniqueness at runtime.)
+#include "rules.hpp"
+
+#include <map>
+
+namespace fanstore::lint {
+
+namespace {
+
+constexpr long long kMaxFlatId = 1023;  // bits 10..15 reserved by chunked
+
+}  // namespace
+
+void rule_codec_ids(const FileCtx& ctx, std::vector<Finding>* out) {
+  if (ctx.rel != "compress/registry.cpp") return;
+  const auto& toks = *ctx.tokens;
+  const auto& m = *ctx.model;
+
+  struct IdSite {
+    long long value;
+    int line;
+    int col;
+  };
+  std::vector<IdSite> sites;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::kIdent) continue;
+    if (t.text == "add") {
+      const std::size_t paren = m.next_code(i);
+      if (paren == TuModel::npos ||
+          !(toks[paren].kind == Tok::kPunct && toks[paren].text == "(")) {
+        continue;
+      }
+      const std::size_t arg = m.next_code(paren);
+      if (arg == TuModel::npos || toks[arg].kind != Tok::kNumber) {
+        continue;  // computed id — covered by the runtime ctor check
+      }
+      // Pure literal only: the next token must end the argument.
+      const std::size_t after = m.next_code(arg);
+      if (after == TuModel::npos || toks[after].kind != Tok::kPunct ||
+          toks[after].text != ",") {
+        continue;
+      }
+      long long v = 0;
+      if (number_value(toks[arg], &v)) {
+        sites.push_back(IdSite{v, toks[arg].line, toks[arg].col});
+      }
+    } else if (t.text == "CompressorId") {
+      // CompressorId id = N;  (base of an id++ registration block)
+      const std::size_t name = m.next_code(i);
+      if (name == TuModel::npos || toks[name].kind != Tok::kIdent) continue;
+      const std::size_t eq = m.next_code(name);
+      if (eq == TuModel::npos ||
+          !(toks[eq].kind == Tok::kPunct && toks[eq].text == "=")) {
+        continue;
+      }
+      const std::size_t num = m.next_code(eq);
+      if (num == TuModel::npos || toks[num].kind != Tok::kNumber) continue;
+      const std::size_t semi = m.next_code(num);
+      if (semi == TuModel::npos ||
+          !(toks[semi].kind == Tok::kPunct && toks[semi].text == ";")) {
+        continue;
+      }
+      long long v = 0;
+      if (number_value(toks[num], &v)) {
+        sites.push_back(IdSite{v, toks[num].line, toks[num].col});
+      }
+    }
+  }
+
+  std::map<long long, IdSite> seen;
+  for (const IdSite& s : sites) {
+    if (s.value > kMaxFlatId || s.value < 0) {
+      out->push_back(Finding{
+          "codec-id", ctx.rel, s.line, s.col,
+          "codec id " + std::to_string(s.value) +
+              " collides with the chunked-container reserved bit range; "
+              "flat ids must be in [0, 1023] (compress/chunked.hpp)",
+          {}});
+    }
+    auto [it, inserted] = seen.emplace(s.value, s);
+    if (!inserted) {
+      out->push_back(Finding{
+          "codec-id", ctx.rel, s.line, s.col,
+          "codec id " + std::to_string(s.value) +
+              " already used at line " + std::to_string(it->second.line),
+          {}});
+    }
+  }
+}
+
+}  // namespace fanstore::lint

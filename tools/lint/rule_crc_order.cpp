@@ -1,0 +1,110 @@
+// crc-before-interpret: a fetch reply arrives over the (simulated) wire and
+// may be corrupted; a flipped status byte turns a hit into a miss or vice
+// versa. The protocol therefore requires fetch_reply_crc_ok() to pass
+// before any field of the reply payload is interpreted. Within each
+// function body in core/, this rule flags status-byte comparisons
+// (== / != against kFetchOk/kFetchNotFound/kFetchMalformed), header
+// slicing (kFetchReplyHeaderBytes), or direct payload access that precede
+// the crc call.
+#include "rules.hpp"
+
+#include <set>
+
+namespace fanstore::lint {
+
+namespace {
+
+const std::set<std::string> kStatusConsts = {"kFetchOk", "kFetchNotFound",
+                                             "kFetchMalformed"};
+
+bool eq_or_ne(const Token& t) {
+  return t.kind == Tok::kPunct && (t.text == "==" || t.text == "!=");
+}
+
+}  // namespace
+
+void rule_crc_order(const FileCtx& ctx, std::vector<Finding>* out) {
+  if (ctx.rel.rfind("core/", 0) != 0) return;
+  const auto& toks = *ctx.tokens;
+  const auto& m = *ctx.model;
+
+  for (const FunctionInfo& fn : m.functions) {
+    if (fn.name == "fetch_reply_crc_ok") continue;     // the check itself
+    if (fn.name.rfind("encode_", 0) == 0) continue;    // sender side
+    std::size_t interpret = TuModel::npos;  // first interpreting token
+    std::size_t crc = TuModel::npos;        // first fetch_reply_crc_ok call
+
+    for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Tok::kIdent) continue;
+      if (t.text == "fetch_reply_crc_ok") {
+        const std::size_t paren = m.next_code(i);
+        if (paren != TuModel::npos && toks[paren].kind == Tok::kPunct &&
+            toks[paren].text == "(") {
+          if (crc == TuModel::npos) crc = i;
+        }
+        continue;
+      }
+      if (interpret != TuModel::npos) continue;
+      if (t.text == "kFetchReplyHeaderBytes") {
+        interpret = i;
+        continue;
+      }
+      if (kStatusConsts.count(t.text) != 0) {
+        const std::size_t prev = m.prev_code(i);
+        const std::size_t next = m.next_code(i);
+        if ((prev != TuModel::npos && eq_or_ne(toks[prev])) ||
+            (next != TuModel::npos && eq_or_ne(toks[next]))) {
+          interpret = i;
+        }
+      }
+    }
+
+    if (interpret != TuModel::npos &&
+        (crc == TuModel::npos || crc > interpret)) {
+      const Token& t = toks[interpret];
+      out->push_back(Finding{
+          "crc-before-interpret", ctx.rel, t.line, t.col,
+          "'" + t.text + "' interprets a fetch reply before "
+          "fetch_reply_crc_ok() has verified it (in " + fn.name + ")",
+          {}});
+    }
+
+    // Second pass: the payload buffer handed to the crc call must not be
+    // element-accessed before the call. Base identifier = last identifier
+    // inside the crc call's argument list (e.g. `payload` in
+    // fetch_reply_crc_ok(as_view(reply->payload))).
+    if (crc == TuModel::npos) continue;
+    const std::size_t paren = m.next_code(crc);
+    const std::size_t close = m.bracket_match[paren];
+    if (close == TuModel::npos) continue;
+    std::string base;
+    for (std::size_t i = paren; i < close; ++i) {
+      if (toks[i].kind == Tok::kIdent) base = toks[i].text;
+    }
+    if (base.empty()) continue;
+    for (std::size_t i = fn.body_begin; i < crc; ++i) {
+      const Token& t = toks[i];
+      if (!(t.kind == Tok::kIdent && t.text == base)) continue;
+      const std::size_t next = m.next_code(i);
+      if (next == TuModel::npos || toks[next].kind != Tok::kPunct) continue;
+      bool access = toks[next].text == "[";
+      if (toks[next].text == "." || toks[next].text == "->") {
+        const std::size_t mem = m.next_code(next);
+        access = mem != TuModel::npos && toks[mem].kind == Tok::kIdent &&
+                 (toks[mem].text == "data" || toks[mem].text == "begin" ||
+                  toks[mem].text == "front");
+      }
+      if (access) {
+        out->push_back(Finding{
+            "crc-before-interpret", ctx.rel, t.line, t.col,
+            "payload buffer '" + base + "' accessed before "
+            "fetch_reply_crc_ok() has verified it (in " + fn.name + ")",
+            {}});
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace fanstore::lint

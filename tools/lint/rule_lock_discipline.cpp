@@ -1,0 +1,75 @@
+// Lock discipline, two rules:
+//
+// raw-sync: every mutex/cv in the project goes through util/sync (named
+// sync::Mutex with clang thread-safety annotations, lock-order logging in
+// debug builds). Raw std:: primitives bypass both, so they are banned
+// outside util/sync itself.
+//
+// guarded-by: a sync::Mutex member that no GUARDED_BY/PT_GUARDED_BY
+// annotation references protects nothing the analyzer can see — either the
+// annotations are missing (add them) or the mutex guards a protocol rather
+// than data (suppress with a justification).
+#include "rules.hpp"
+
+#include <set>
+
+namespace fanstore::lint {
+
+namespace {
+
+const std::set<std::string> kRawSyncTypes = {
+    "mutex",           "timed_mutex",
+    "recursive_mutex", "recursive_timed_mutex",
+    "shared_mutex",    "shared_timed_mutex",
+    "condition_variable", "condition_variable_any",
+    "lock_guard",      "unique_lock",
+    "scoped_lock",     "shared_lock",
+};
+
+bool sync_exempt(const std::string& rel) {
+  return rel.rfind("util/sync", 0) == 0;
+}
+
+}  // namespace
+
+void rule_raw_sync(const FileCtx& ctx, std::vector<Finding>* out) {
+  if (sync_exempt(ctx.rel)) return;
+  const auto& toks = *ctx.tokens;
+  const auto& m = *ctx.model;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (!(t.kind == Tok::kIdent && t.text == "std")) continue;
+    const std::size_t colon = m.next_code(i);
+    if (colon == TuModel::npos ||
+        !(toks[colon].kind == Tok::kPunct && toks[colon].text == "::")) {
+      continue;
+    }
+    const std::size_t name = m.next_code(colon);
+    if (name == TuModel::npos || toks[name].kind != Tok::kIdent) continue;
+    if (kRawSyncTypes.count(toks[name].text) == 0) continue;
+    out->push_back(Finding{
+        "raw-sync", ctx.rel, t.line, t.col,
+        "raw std::" + toks[name].text +
+            "; use the annotated wrappers in util/sync.hpp (sync::Mutex, "
+            "sync::MutexLock, sync::AnnotatedCondVar)",
+        {}});
+  }
+}
+
+void rule_guarded_by(const FileCtx& ctx, std::vector<Finding>* out) {
+  const auto& m = *ctx.model;
+  for (const ClassInfo& cls : m.classes) {
+    for (const MutexMember& mm : cls.mutex_members) {
+      if (cls.guarded_refs.count(mm.name) != 0) continue;
+      out->push_back(Finding{
+          "guarded-by", ctx.rel, mm.line, 1,
+          "mutex member '" + mm.name + "' of " +
+              (cls.name.empty() ? std::string("(anonymous)") : cls.name) +
+              " is not referenced by any GUARDED_BY annotation; annotate "
+              "the data it protects or suppress with a justification",
+          {}});
+    }
+  }
+}
+
+}  // namespace fanstore::lint

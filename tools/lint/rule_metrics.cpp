@@ -1,0 +1,178 @@
+// metric-inventory: the set of metric names is a public surface — dashboards
+// and DESIGN.md §7 reference them — so every registration site must use a
+// name declared in src/obs/metric_names.inc with the matching instrument
+// kind. The rule also reports conflicting duplicate registrations, stale
+// inventory entries nothing registers, and inventory names absent from the
+// design doc's observability section.
+#include "rules.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace fanstore::lint {
+
+namespace {
+
+const std::set<std::string> kRegisterFns = {"counter", "gauge", "histogram"};
+
+bool metrics_exempt(const std::string& rel) {
+  // The registry implementation itself (and its tests' helpers) build
+  // metrics from computed names.
+  return rel.rfind("obs/", 0) == 0;
+}
+
+// Design-doc presence: DESIGN.md §7 tables the names as a `prefix.` row
+// with bare suffixes, so accept either the full dotted name verbatim or
+// prefix-and-suffix both present.
+bool in_design(const std::string& design, const std::string& name) {
+  if (design.empty()) return true;
+  if (design.find(name) != std::string::npos) return true;
+  const std::size_t dot = name.find('.');
+  if (dot == std::string::npos) return false;
+  const std::string prefix = name.substr(0, dot + 1);  // keep the dot
+  const std::string suffix = name.substr(dot + 1);
+  return design.find(prefix) != std::string::npos &&
+         design.find(suffix) != std::string::npos;
+}
+
+}  // namespace
+
+bool metrics_load_inventory(const std::string& path,
+                            const std::string& display_path, MetricsState* st,
+                            std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open metric inventory: " + path;
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line.compare(first, 2, "//") == 0) {
+      continue;
+    }
+    const std::size_t at = line.find("FANSTORE_METRIC(");
+    if (at == std::string::npos) continue;
+    // FANSTORE_METRIC("name", kind)
+    const std::size_t q1 = line.find('"', at);
+    const std::size_t q2 = q1 == std::string::npos ? q1 : line.find('"', q1 + 1);
+    const std::size_t comma =
+        q2 == std::string::npos ? q2 : line.find(',', q2 + 1);
+    const std::size_t close =
+        comma == std::string::npos ? comma : line.find(')', comma + 1);
+    if (close == std::string::npos) {
+      *error = display_path + ":" + std::to_string(lineno) +
+               ": malformed FANSTORE_METRIC line";
+      return false;
+    }
+    const std::string name = line.substr(q1 + 1, q2 - q1 - 1);
+    std::string kind = line.substr(comma + 1, close - comma - 1);
+    kind.erase(0, kind.find_first_not_of(" \t"));
+    kind.erase(kind.find_last_not_of(" \t") + 1);
+    if (kRegisterFns.count(kind) == 0) {
+      *error = display_path + ":" + std::to_string(lineno) +
+               ": unknown metric kind '" + kind + "'";
+      return false;
+    }
+    if (st->inventory.count(name) != 0) {
+      *error = display_path + ":" + std::to_string(lineno) +
+               ": duplicate inventory entry '" + name + "'";
+      return false;
+    }
+    st->inventory[name] = MetricsState::InventoryEntry{kind, lineno, false};
+  }
+  st->inventory_rel = display_path;
+  st->enabled = true;
+  return true;
+}
+
+void rule_metric_inventory(const FileCtx& ctx, MetricsState* st,
+                           std::vector<Finding>* out) {
+  if (!st->enabled || metrics_exempt(ctx.rel)) return;
+  const auto& toks = *ctx.tokens;
+  const auto& m = *ctx.model;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::kIdent || kRegisterFns.count(t.text) == 0) continue;
+    // Member call shape: <expr>.counter("name"...) / ->histogram("name"...).
+    const std::size_t prev = m.prev_code(i);
+    if (prev == TuModel::npos || toks[prev].kind != Tok::kPunct ||
+        (toks[prev].text != "." && toks[prev].text != "->")) {
+      continue;
+    }
+    const std::size_t paren = m.next_code(i);
+    if (paren == TuModel::npos ||
+        !(toks[paren].kind == Tok::kPunct && toks[paren].text == "(")) {
+      continue;
+    }
+    const std::size_t arg = m.next_code(paren);
+    if (arg == TuModel::npos) continue;
+    if (toks[arg].kind != Tok::kString) {
+      out->push_back(Finding{
+          "metric-inventory", ctx.rel, t.line, t.col,
+          "metric registered with a computed name; registration sites must "
+          "use a string literal from src/obs/metric_names.inc",
+          {}});
+      continue;
+    }
+    const std::string name = string_value(toks[arg]);
+    const std::string& kind = t.text;
+    auto it = st->inventory.find(name);
+    if (it == st->inventory.end()) {
+      out->push_back(Finding{
+          "metric-inventory", ctx.rel, toks[arg].line, toks[arg].col,
+          "metric '" + name + "' is not in src/obs/metric_names.inc; add it "
+          "there (and to DESIGN.md §7) before registering it",
+          {}});
+    } else {
+      it->second.registered = true;
+      if (it->second.kind != kind) {
+        out->push_back(Finding{
+            "metric-inventory", ctx.rel, toks[arg].line, toks[arg].col,
+            "metric '" + name + "' registered as " + kind +
+                " but inventoried as " + it->second.kind,
+            {}});
+      }
+    }
+    auto first = st->first_registration.find(name);
+    if (first == st->first_registration.end()) {
+      st->first_registration[name] =
+          MetricsState::Registration{kind, ctx.rel, t.line};
+    } else if (first->second.kind != kind) {
+      out->push_back(Finding{
+          "metric-inventory", ctx.rel, toks[arg].line, toks[arg].col,
+          "metric '" + name + "' registered as " + kind + " but as " +
+              first->second.kind + " at " + first->second.file + ":" +
+              std::to_string(first->second.line),
+          {}});
+    }
+  }
+}
+
+void metrics_finalize(MetricsState* st, const std::string& design_text,
+                      std::vector<Finding>* out) {
+  if (!st->enabled) return;
+  for (const auto& [name, entry] : st->inventory) {
+    if (!entry.registered) {
+      out->push_back(Finding{
+          "metric-inventory", st->inventory_rel, entry.line, 1,
+          "inventory entry '" + name +
+              "' is never registered by any code under the lint root",
+          {}});
+    }
+    if (!in_design(design_text, name)) {
+      out->push_back(Finding{
+          "metric-inventory", st->inventory_rel, entry.line, 1,
+          "metric '" + name +
+              "' is missing from the design doc's observability section "
+              "(DESIGN.md §7)",
+          {}});
+    }
+  }
+}
+
+}  // namespace fanstore::lint

@@ -1,0 +1,44 @@
+// fanstore-lint token stream. The analyzer is lexical-semantic, not a full
+// parser: a tokenizer plus a lightweight per-TU model (tools/lint/model.hpp)
+// is enough to express the project-specific rules clang-tidy cannot, while
+// staying dependency-free and fast enough to run on every CI pass.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fanstore::lint {
+
+enum class Tok {
+  kIdent,
+  kNumber,
+  kString,   // text includes quotes (and any encoding prefix)
+  kChar,
+  kPunct,    // single- or two-character operator/punctuator
+  kComment,  // text includes the // or /* */ delimiters
+  kEof,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;
+  int line = 1;  // 1-based line of the token's first character
+  int col = 1;   // 1-based column
+  bool preproc = false;  // token belongs to a preprocessor directive line
+};
+
+/// The string contents of a kString token (quotes and prefix stripped,
+/// escapes NOT interpreted — metric names and the like never need them).
+std::string string_value(const Token& t);
+
+/// Integer value of a kNumber token (decimal / hex / octal, ' separators
+/// and integer suffixes ignored). Returns false on a floating literal or
+/// overflow.
+bool number_value(const Token& t, long long* out);
+
+/// Tokenizes C++ source. Never fails: unrecognized bytes become 1-char
+/// kPunct tokens. Comments are kept in the stream (suppression scanning);
+/// most consumers iterate via a comment-skipping cursor.
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace fanstore::lint
