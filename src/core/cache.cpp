@@ -40,6 +40,7 @@ PlainCache::PlainCache(std::size_t capacity_bytes, std::size_t shards,
   misses_ = &metrics->counter("cache.misses");
   evictions_ = &metrics->counter("cache.evictions");
   waits_ = &metrics->counter("cache.single_flight_waits");
+  plan_evictions_ = &metrics->counter("plan.evictions");
   bytes_gauge_ = &metrics->gauge("cache.bytes_used");
   const std::size_t n = pick_shards(capacity_bytes, shards);
   shard_mask_ = n - 1;
@@ -177,7 +178,51 @@ void PlainCache::release(const std::string& path) {
   evict_if_needed_locked(s);
 }
 
+std::list<std::string>::iterator PlainCache::pick_policy_victim_locked(
+    Shard& s, const EvictionPolicy& policy) {
+  auto victim = s.fifo.end();
+  std::uint64_t worst = 0;
+  for (auto pos = s.fifo.begin(); pos != s.fifo.end();) {
+    const auto it = s.entries.find(*pos);
+    if (it == s.entries.end()) {  // stale FIFO node from a prior erase
+      pos = s.fifo.erase(pos);
+      continue;
+    }
+    if (it->second.open_count > 0) {
+      ++pos;  // in use by some I/O thread: skip
+      continue;
+    }
+    const std::uint64_t d = policy.next_use_distance(*pos);
+    // Strict > keeps the earliest FIFO position among equal distances, so
+    // a plan that knows nothing (all kNever) degenerates to exact FIFO.
+    if (victim == s.fifo.end() || d > worst) {
+      worst = d;
+      victim = pos;
+    }
+    if (d == EvictionPolicy::kNever) break;  // nothing can be farther
+    ++pos;
+  }
+  return victim;
+}
+
 void PlainCache::evict_if_needed_locked(Shard& s) {
+  const EvictionPolicy* policy = policy_.load(std::memory_order_acquire);
+  if (policy != nullptr) {
+    // Belady / exact-future-reuse (DESIGN.md §10): repeatedly evict the
+    // unpinned entry whose next planned use is farthest away.
+    while (s.bytes_used > s.budget) {
+      const auto victim = pick_policy_victim_locked(s, *policy);
+      if (victim == s.fifo.end()) return;  // everything pinned
+      const auto it = s.entries.find(*victim);
+      s.bytes_used -= it->second.charged;
+      bytes_gauge_->add(-static_cast<std::int64_t>(it->second.charged));
+      evictions_->inc();
+      plan_evictions_->inc();
+      s.fifo.erase(victim);
+      s.entries.erase(it);
+    }
+    return;
+  }
   // FIFO scan, skipping pinned entries (the paper's "variant of FIFO").
   auto pos = s.fifo.begin();
   while (s.bytes_used > s.budget && pos != s.fifo.end()) {

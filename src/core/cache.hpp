@@ -15,6 +15,7 @@
 // lock-free; CacheStats/stats() remain as thin read shims over them.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -29,6 +30,25 @@
 #include "util/sync.hpp"
 
 namespace fanstore::core {
+
+/// Pluggable eviction advice (DESIGN.md §10). When a policy is installed
+/// via PlainCache::set_eviction_policy(), capacity pressure evicts the
+/// unpinned entry whose next use is farthest in the future (exact-future-
+/// reuse / Belady — the clairvoyant plan::AccessPlan implements this
+/// interface over the known epoch schedule); with no policy installed the
+/// classic FIFO scan runs unchanged, byte for byte.
+class EvictionPolicy {
+ public:
+  /// "Never used again" per the known schedule — evicted first.
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+  virtual ~EvictionPolicy() = default;
+
+  /// Number of future accesses before `path` is next needed (0 = needed by
+  /// the very next access). Consulted under a cache shard lock: must be
+  /// cheap, non-blocking, and must never call back into the cache.
+  virtual std::uint64_t next_use_distance(const std::string& path) const = 0;
+};
 
 class PlainCache {
  public:
@@ -99,6 +119,18 @@ class PlainCache {
   /// The registry holding this cache's metrics (injected or private).
   obs::MetricsRegistry& metrics() const { return *metrics_; }
 
+  /// Installs (nullptr clears) a clairvoyant eviction policy. The policy
+  /// must outlive the cache or be cleared first; it is consulted only at
+  /// eviction time, so installation mid-run is safe (acquire/release on the
+  /// pointer). With no policy installed every code path is byte-identical
+  /// to the classic FIFO cache.
+  void set_eviction_policy(const EvictionPolicy* policy) {
+    policy_.store(policy, std::memory_order_release);
+  }
+  const EvictionPolicy* eviction_policy() const {
+    return policy_.load(std::memory_order_acquire);
+  }
+
  private:
   struct Entry {
     std::shared_ptr<CachedFile> data;
@@ -131,6 +163,10 @@ class PlainCache {
   };
 
   Shard& shard_for(const std::string& path) const;
+  /// Belady scan for one victim: the unpinned entry with the farthest next
+  /// planned use (FIFO position breaks ties). end() if everything is pinned.
+  std::list<std::string>::iterator pick_policy_victim_locked(
+      Shard& s, const EvictionPolicy& policy) REQUIRES(s.mu);
   /// Inserts a freshly loaded entry pinned once; applies FIFO pressure.
   std::shared_ptr<CachedFile> insert_pinned_locked(
       Shard& s, const std::string& path, std::shared_ptr<CachedFile> data)
@@ -149,7 +185,11 @@ class PlainCache {
   obs::Counter* misses_ = nullptr;
   obs::Counter* evictions_ = nullptr;
   obs::Counter* waits_ = nullptr;
+  obs::Counter* plan_evictions_ = nullptr;
   obs::Gauge* bytes_gauge_ = nullptr;
+
+  /// Clairvoyant eviction advice; nullptr = classic FIFO (DESIGN.md §10).
+  std::atomic<const EvictionPolicy*> policy_{nullptr};
 };
 
 }  // namespace fanstore::core

@@ -145,6 +145,14 @@ class FanStoreFs final : public posixfs::Vfs {
   /// already fully materialized). Returns 0 or -errno.
   int materialize(int fd);
 
+  /// Installs (nullptr clears) a clairvoyant eviction policy on the
+  /// decompressed cache (DESIGN.md §10): capacity pressure then evicts by
+  /// farthest next planned use instead of FIFO. The policy — in practice a
+  /// plan::AccessPlan — must outlive the fs or be cleared first.
+  void install_plan(const EvictionPolicy* plan) {
+    cache_.set_eviction_policy(plan);
+  }
+
   IoStats stats() const;
   PlainCache& cache() { return cache_; }
   const PlainCache& cache() const { return cache_; }

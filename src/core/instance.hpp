@@ -84,6 +84,10 @@ class Instance {
   /// Full metric snapshot, text or JSON (obs::metrics_dump).
   std::string metrics_dump(bool json = false) const;
 
+  /// Installs (nullptr clears) a clairvoyant eviction policy on this
+  /// rank's cache (forwarded to FanStoreFs::install_plan; DESIGN.md §10).
+  void install_plan(const EvictionPolicy* plan) { fs_->install_plan(plan); }
+
   FanStoreFs& fs() { return *fs_; }
   MetadataStore& metadata() { return meta_; }
   CompressedBackend& backend() { return *backend_; }

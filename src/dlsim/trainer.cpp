@@ -3,21 +3,13 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "dlsim/prefetcher.hpp"
 #include "obs/trace.hpp"
+#include "plan/access_plan.hpp"
+#include "plan/controller.hpp"
 #include "util/rng.hpp"
 
 namespace fanstore::dlsim {
-
-namespace {
-
-// Deterministic Fisher-Yates shuffle.
-void shuffle_files(std::vector<std::string>& files, Rng& rng) {
-  for (std::size_t i = files.size(); i > 1; --i) {
-    std::swap(files[i - 1], files[rng.next_below(i)]);
-  }
-}
-
-}  // namespace
 
 TrainerResult run_training(posixfs::Vfs& fs, const std::vector<std::string>& files,
                            const TrainerOptions& options) {
@@ -31,6 +23,13 @@ TrainerResult run_training(posixfs::Vfs& fs, const std::vector<std::string>& fil
 
   if (options.global_shuffle && options.comm == nullptr) {
     throw std::invalid_argument("trainer: global_shuffle requires comm");
+  }
+  if (options.controller != nullptr && options.prefetcher != nullptr) {
+    throw std::invalid_argument(
+        "trainer: controller and prefetcher are mutually exclusive");
+  }
+  if (options.prefetcher != nullptr && options.prefetch_batches == 0) {
+    throw std::invalid_argument("trainer: prefetch_batches must be positive");
   }
   obs::MetricsRegistry& metrics = options.metrics != nullptr
                                       ? *options.metrics
@@ -56,21 +55,50 @@ TrainerResult run_training(posixfs::Vfs& fs, const std::vector<std::string>& fil
   const std::size_t iters_per_epoch =
       std::max<std::size_t>(1, files.size() / global_batch);
 
+  // This rank's slice of iteration `it`'s (global) batch window.
+  const auto window_of = [&](std::size_t it) {
+    return it * global_batch +
+           (options.global_shuffle
+                ? static_cast<std::size_t>(rank) * options.batch_per_rank
+                : 0);
+  };
+
   bool done = false;
   for (int epoch = 0; epoch < options.epochs && !done; ++epoch) {
     obs::TraceSpan epoch_span("trainer.epoch", options.io_clock);
-    shuffle_files(order, rng);
+    plan::epoch_shuffle(order, rng);
     if (options.record_epoch_files) result.epoch_files.emplace_back();
+    // Reactive fixed-depth warming: iterations of this epoch whose windows
+    // have already been handed to the prefetcher (the order reshuffles at
+    // the epoch boundary, so warming never crosses it).
+    std::size_t warmed_through = 0;
     for (std::size_t it = 0; it < iters_per_epoch && !done; ++it) {
       obs::TraceSpan step_span("trainer.step", options.io_clock);
       // ---- I/O phase: read the batch through the POSIX surface ----
       const double io_start = options.io_clock->now_sec();
-      // This rank's slice of the (global) batch window.
-      const std::size_t window =
-          it * global_batch +
-          (options.global_shuffle
-               ? static_cast<std::size_t>(rank) * options.batch_per_rank
-               : 0);
+      // Warming runs *inside* the measured I/O window: its virtual-clock
+      // charges land in this iteration's io_serial, where async_io's
+      // max(io, compute) hides them up to the compute budget (Fig. 5b) —
+      // and the run stays deterministic (no background races against the
+      // shared clock).
+      if (options.controller != nullptr) {
+        options.controller->on_step_begin();
+      } else if (options.prefetcher != nullptr) {
+        const std::size_t warm_to =
+            std::min(iters_per_epoch, it + options.prefetch_batches);
+        std::vector<std::string> warm_paths;
+        for (; warmed_through < warm_to; ++warmed_through) {
+          const std::size_t wwin = window_of(warmed_through);
+          for (std::size_t b = 0; b < options.batch_per_rank; ++b) {
+            warm_paths.push_back(order[(wwin + b) % order.size()]);
+          }
+        }
+        if (!warm_paths.empty()) {
+          options.prefetcher->prefetch(warm_paths);
+          options.prefetcher->wait();
+        }
+      }
+      const std::size_t window = window_of(it);
       for (std::size_t b = 0; b < options.batch_per_rank; ++b) {
         const std::string& path = order[(window + b) % order.size()];
         const int fd = fs.open(path, posixfs::OpenMode::kRead);
@@ -88,6 +116,7 @@ TrainerResult run_training(posixfs::Vfs& fs, const std::vector<std::string>& fil
         }
         if (n < 0) throw std::runtime_error("trainer: read failed for " + path);
         fs.close(fd);
+        if (options.plan != nullptr) options.plan->record_access(path);
         if (options.record_epoch_files) result.epoch_files.back().push_back(path);
         result.files_read++;
         result.bytes_read += file_bytes;

@@ -24,7 +24,14 @@
 #include "posixfs/vfs.hpp"
 #include "simnet/virtual_clock.hpp"
 
+namespace fanstore::plan {
+class AccessPlan;
+class PrefetchController;
+}  // namespace fanstore::plan
+
 namespace fanstore::dlsim {
+
+class Prefetcher;
 
 struct TrainerOptions {
   double t_iter_s = 0.5;            // compute (incl. allreduce) per iteration
@@ -55,6 +62,23 @@ struct TrainerOptions {
   /// spans stamp `io_clock` virtual time. nullptr uses the process-global
   /// registry.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Reactive warming (the Fig. 5b overlap, driven from inside the loop):
+  /// when set, each iteration first keeps this window and the next
+  /// `prefetch_batches - 1` batch windows warm through the prefetcher.
+  /// Warm costs are charged inside the iteration's measured I/O window, so
+  /// async_io's max(io, compute) hides them up to the compute budget —
+  /// and the accounting stays deterministic on the virtual clock.
+  Prefetcher* prefetcher = nullptr;
+  std::size_t prefetch_batches = 1;
+  /// Clairvoyant planning (DESIGN.md §10): `plan` is advanced one entry
+  /// per file read (record_access — feeds Belady eviction and the
+  /// controller's cursor; must be built with this trainer's exact schedule
+  /// parameters). `controller`, when set, replaces fixed-depth warming
+  /// with schedule-aware adaptive lookahead + cross-rank staging; it is
+  /// mutually exclusive with `prefetcher` (the controller drives its own
+  /// Warmer).
+  plan::AccessPlan* plan = nullptr;
+  plan::PrefetchController* controller = nullptr;
   /// When true, TrainerResult::epoch_files records every file this rank
   /// read, per epoch, in read order. Chaos/soak tests gather these across
   /// ranks to assert each epoch observed the full dataset exactly once

@@ -1,0 +1,150 @@
+#include "plan/access_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fanstore::plan {
+
+void epoch_shuffle(std::vector<std::string>& files, Rng& rng) {
+  for (std::size_t i = files.size(); i > 1; --i) {
+    std::swap(files[i - 1], files[rng.next_below(i)]);
+  }
+}
+
+namespace {
+
+obs::MetricsRegistry& registry_or_global(obs::MetricsRegistry* metrics) {
+  return metrics != nullptr ? *metrics : obs::MetricsRegistry::global();
+}
+
+}  // namespace
+
+AccessPlan::AccessPlan(const std::vector<std::string>& files,
+                       const PlanOptions& opt, obs::MetricsRegistry* metrics) {
+  if (files.empty()) throw std::invalid_argument("plan: empty file list");
+  if (opt.batch_per_rank == 0) {
+    throw std::invalid_argument("plan: batch_per_rank must be positive");
+  }
+  if (opt.nranks < 1 || opt.rank < 0 || opt.rank >= opt.nranks) {
+    throw std::invalid_argument("plan: invalid rank/nranks");
+  }
+  mispredicts_ = &registry_or_global(metrics).counter("plan.mispredicts");
+
+  // Replay the trainer's loop exactly (dlsim/trainer.cpp): one carried RNG
+  // reshuffling `order` per epoch, a global-batch window per iteration,
+  // this rank's batch_per_rank slice of it, wrap via % order.size().
+  std::vector<std::string> order = files;
+  Rng rng(opt.seed);
+  const std::size_t global_batch =
+      opt.batch_per_rank *
+      (opt.global_shuffle ? static_cast<std::size_t>(opt.nranks) : 1);
+  const std::size_t iters_per_epoch =
+      std::max<std::size_t>(1, files.size() / global_batch);
+
+  std::unordered_map<std::string_view, const std::string*> interned;
+  auto intern = [&](const std::string& p) {
+    const auto it = interned.find(p);
+    if (it != interned.end()) return it->second;
+    paths_.push_back(std::make_unique<std::string>(p));
+    const std::string* stored = paths_.back().get();
+    interned.emplace(*stored, stored);
+    return stored;
+  };
+
+  std::size_t iterations = 0;
+  bool done = false;
+  for (int epoch = 0; epoch < opt.epochs && !done; ++epoch) {
+    epoch_shuffle(order, rng);
+    for (std::size_t it = 0; it < iters_per_epoch && !done; ++it) {
+      const std::size_t window =
+          it * global_batch +
+          (opt.global_shuffle
+               ? static_cast<std::size_t>(opt.rank) * opt.batch_per_rank
+               : 0);
+      for (std::size_t b = 0; b < opt.batch_per_rank; ++b) {
+        seq_.push_back(intern(order[(window + b) % order.size()]));
+      }
+      iterations++;
+      if (opt.max_iterations > 0 && iterations >= opt.max_iterations) {
+        done = true;
+      }
+    }
+  }
+  index_sequence();
+}
+
+AccessPlan::AccessPlan(std::vector<std::string> sequence,
+                       obs::MetricsRegistry* metrics) {
+  mispredicts_ = &registry_or_global(metrics).counter("plan.mispredicts");
+  std::unordered_map<std::string_view, const std::string*> interned;
+  for (auto& p : sequence) {
+    const auto it = interned.find(p);
+    if (it != interned.end()) {
+      seq_.push_back(it->second);
+      continue;
+    }
+    paths_.push_back(std::make_unique<std::string>(std::move(p)));
+    const std::string* stored = paths_.back().get();
+    interned.emplace(*stored, stored);
+    seq_.push_back(stored);
+  }
+  index_sequence();
+}
+
+void AccessPlan::index_sequence() {
+  positions_.reserve(paths_.size());
+  for (std::size_t i = 0; i < seq_.size(); ++i) {
+    positions_[*seq_[i]].push_back(i);  // ascending by construction
+  }
+}
+
+void AccessPlan::record_access(std::string_view path) {
+  const std::size_t pos = cursor_.load(std::memory_order_relaxed);
+  if (pos >= seq_.size() || *seq_[pos] != path) {
+    mispredicts_->inc();
+    if (pos >= seq_.size()) return;  // schedule exhausted: nothing to advance
+  }
+  cursor_.store(pos + 1, std::memory_order_release);
+}
+
+std::size_t AccessPlan::next_use_at(const std::string& path,
+                                    std::size_t pos) const {
+  const auto it = positions_.find(path);
+  if (it == positions_.end()) return npos;
+  const auto& v = it->second;
+  const auto lb = std::lower_bound(v.begin(), v.end(), pos);
+  return lb == v.end() ? npos : *lb;
+}
+
+std::size_t AccessPlan::access_count(const std::string& path) const {
+  const auto it = positions_.find(path);
+  return it == positions_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> AccessPlan::hottest(std::size_t n) const {
+  // (count, first appearance) ranking: deterministic for equal counts.
+  std::vector<const std::string*> ranked;
+  ranked.reserve(positions_.size());
+  for (const auto& p : paths_) ranked.push_back(p.get());
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [this](const std::string* a, const std::string* b) {
+                     const auto& va = positions_.at(*a);
+                     const auto& vb = positions_.at(*b);
+                     if (va.size() != vb.size()) return va.size() > vb.size();
+                     return va.front() < vb.front();
+                   });
+  if (ranked.size() > n) ranked.resize(n);
+  std::vector<std::string> out;
+  out.reserve(ranked.size());
+  for (const std::string* p : ranked) out.push_back(*p);
+  return out;
+}
+
+std::uint64_t AccessPlan::next_use_distance(const std::string& path) const {
+  const std::size_t pos = cursor_.load(std::memory_order_acquire);
+  const std::size_t next = next_use_at(path, pos);
+  if (next == npos) return kNever;
+  return static_cast<std::uint64_t>(next - pos);
+}
+
+}  // namespace fanstore::plan

@@ -55,6 +55,8 @@ echo "==== [labels] ctest -L 'obs|stress' ===="
 ctest --test-dir build --output-on-failure -j "$jobs" -L 'obs|stress'
 echo "==== [labels] ctest -L chunked ===="
 ctest --test-dir build --output-on-failure -j "$jobs" -L chunked
+echo "==== [labels] ctest -L plan ===="
+ctest --test-dir build --output-on-failure -j "$jobs" -L plan
 echo "==== [labels] ctest -L lint ===="
 ctest --test-dir build --output-on-failure -j "$jobs" -L lint
 
@@ -84,6 +86,14 @@ build/bench/bench_hotpath --quick --json "$repo_root/BENCH_hotpath.json"
 # the recorded BENCH_chunked.json numbers.
 echo "==== [bench] bench_chunked --quick ===="
 build/bench/bench_chunked --quick --json "$repo_root/BENCH_chunked.json"
+
+# Clairvoyant-planner smoke (DESIGN.md §10): reactive prefetch vs
+# plan-driven prefetch + Belady eviction at 8 and 64 ranks in virtual time.
+# Exits non-zero if clairvoyant is ever slower than reactive or the Belady
+# hit rate fails to beat FIFO's. Run without --quick (adds 512 ranks) for
+# the recorded BENCH_clairvoyant.json numbers.
+echo "==== [bench] bench_clairvoyant --quick ===="
+build/bench/bench_clairvoyant --quick --json /tmp/BENCH_clairvoyant_quick.json
 
 if [ "${1:-}" = "--tier1-only" ]; then
   echo "ci.sh: tier-1 pass complete (sanitizer matrix skipped)"
