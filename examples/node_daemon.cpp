@@ -1,16 +1,16 @@
 // Node-daemon deployment shape (§V-A): one FanStore daemon per node serves
 // intercepted training processes. This example runs both halves — the
-// daemon (FanStore instance + Unix-socket server) and a "training process"
-// (UdsClientVfs consumer) — and demonstrates cross-boundary reads,
-// enumeration, and the prefetch pattern.
+// daemon (FanStore instance + event-driven socket server, DESIGN.md §11)
+// and a "training process" (UdsClientVfs consumer) — and demonstrates
+// cross-boundary reads, enumeration, and the prefetch pattern.
 //
 // Run: ./node_daemon [--files=32] [--compressor=zstd] [--socket=/tmp/fanstore.sock]
 #include <cstdio>
 
 #include "core/instance.hpp"
 #include "dlsim/datagen.hpp"
+#include "ipc/server.hpp"
 #include "ipc/uds_client.hpp"
-#include "ipc/uds_server.hpp"
 #include "posixfs/mem_vfs.hpp"
 #include "prep/prepare.hpp"
 #include "util/cli.hpp"
@@ -39,16 +39,20 @@ int main(int argc, char** argv) {
   }
 
   mpi::run_world(1, [&](mpi::Comm& comm) {
-    core::Instance inst(comm, {});
+    core::Instance::Options iopt;
+    iopt.serve_endpoints = {"unix:" + socket};
+    core::Instance inst(comm, iopt);
     const auto manifest = prep::load_manifest(shared, "packed");
     inst.load_from_shared(shared, manifest.partition_paths());
     inst.exchange_metadata();
 
-    // --- Daemon half: serve the FanStore namespace on a Unix socket ---
-    ipc::UdsServer server(socket, inst.fs());
-    server.start();
+    // --- Daemon half: the event-driven server (epoll shards + blocker
+    // pool, DESIGN.md §11) starts with the daemon and serves the
+    // FanStore namespace on every Options::serve_endpoints spec.
+    inst.start_daemon();
+    ipc::Server& server = *inst.ipc_server();
     std::printf("daemon serving %zu files at %s\n", inst.metadata().file_count(),
-                socket.c_str());
+                server.endpoints().front().to_string().c_str());
 
     // --- Training-process half: an out-of-namespace consumer ---
     ipc::UdsClientVfs client(socket);
@@ -75,7 +79,7 @@ int main(int argc, char** argv) {
                 "decompression on the daemon side; %llu requests served)\n",
                 bytes / 1e6, t.elapsed_sec() * 1e3, bytes / 1e6 / t.elapsed_sec(),
                 static_cast<unsigned long long>(server.requests_served()));
-    server.stop();
+    inst.stop();
   });
   std::printf("node_daemon demo complete\n");
   return 0;

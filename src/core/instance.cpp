@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "fault/injector.hpp"
+#include "ipc/server.hpp"
 #include "obs/metrics.hpp"
 #include "util/log.hpp"
 
@@ -193,12 +194,38 @@ std::string Instance::metrics_dump(bool json) const {
   return obs::metrics_dump(fs_->metrics(), json);
 }
 
-void Instance::start_daemon() { daemon_->start(); }
+void Instance::start_daemon() {
+  daemon_->start();
+  if (!options_.serve_endpoints.empty() && server_ == nullptr) {
+    std::vector<ipc::Endpoint> eps;
+    eps.reserve(options_.serve_endpoints.size());
+    for (const auto& spec : options_.serve_endpoints) {
+      auto ep = ipc::Endpoint::parse(spec);
+      if (!ep.has_value()) {
+        throw std::invalid_argument("instance: bad serve endpoint: " + spec);
+      }
+      eps.push_back(std::move(*ep));
+    }
+    ipc::ServerOptions so;
+    so.backlog = options_.serve_backlog;
+    // Share the rank's registry: one snapshot covers fs + cache + daemon
+    // + socket front door ("ipc.*").
+    so.metrics = options_.fs.metrics;
+    server_ = std::make_unique<ipc::Server>(std::move(eps), *fs_, so);
+    server_->start();
+  }
+}
 
 void Instance::stop() {
   // Deregister from the peer table before tearing anything down so no
   // other rank's direct fetch can race our backend's destruction.
   if (options_.peers != nullptr) options_.peers->remove(comm_.rank());
+  // The socket front door serves through fs_, so it must drain before the
+  // MPI daemon (and everything below it) goes away.
+  if (server_) {
+    server_->stop();
+    server_.reset();
+  }
   if (daemon_) daemon_->stop();
 }
 

@@ -17,6 +17,11 @@
 #include "posixfs/vfs.hpp"
 #include "simnet/models.hpp"
 
+namespace fanstore::ipc {
+class Server;
+struct Endpoint;
+}  // namespace fanstore::ipc
+
 namespace fanstore::core {
 
 class Instance {
@@ -37,6 +42,14 @@ class Instance {
     /// FaultInjectedBackend), and straggler multipliers applied to this
     /// rank's cost models at construction. Must outlive the Instance.
     fault::FaultInjector* fault = nullptr;
+    /// Socket endpoints (ipc::Endpoint specs: "unix:/path",
+    /// "tcp:127.0.0.1:port", or a bare UDS path) where start_daemon()
+    /// additionally serves this rank's POSIX face to *outside* processes
+    /// through the event-driven ipc::Server — the §V-A
+    /// interceptor-to-daemon boundary. Empty: MPI front door only.
+    std::vector<std::string> serve_endpoints;
+    /// listen(2) backlog for those endpoints.
+    int serve_backlog = 64;
   };
   // Observability: set `fs.metrics` to inject a registry; otherwise the
   // Instance creates one per rank and shares it across fs + cache + daemon
@@ -94,6 +107,11 @@ class Instance {
   Daemon& daemon() { return *daemon_; }
   mpi::Comm comm() const { return comm_; }
 
+  /// The socket front door, running iff start_daemon() has run and
+  /// Options::serve_endpoints was non-empty. Its endpoints() resolve
+  /// ephemeral TCP ports ("tcp:127.0.0.1:0") to the bound port.
+  ipc::Server* ipc_server() { return server_.get(); }
+
  private:
   mpi::Comm comm_;
   Options options_;
@@ -102,6 +120,7 @@ class Instance {
   std::unique_ptr<CompressedBackend> backend_;
   std::unique_ptr<FanStoreFs> fs_;
   std::unique_ptr<Daemon> daemon_;
+  std::unique_ptr<ipc::Server> server_;  // socket front door; may be null
   std::vector<Bytes> own_partitions_;  // retained for ring replication
 };
 

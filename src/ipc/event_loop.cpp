@@ -1,0 +1,231 @@
+#include "ipc/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <stdexcept>
+
+namespace fanstore::ipc {
+
+namespace {
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+// --- EventLoop --------------------------------------------------------------
+
+EventLoop::EventLoop(obs::MetricsRegistry* metrics) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw std::runtime_error("ipc: epoll_create1() failed");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw std::runtime_error("ipc: eventfd() failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    throw std::runtime_error("ipc: epoll_ctl(wake_fd) failed");
+  }
+  if (metrics != nullptr) {
+    wakeups_ = &metrics->counter("ipc.loop_wakeups");
+    dispatch_us_ = &metrics->histogram("ipc.loop_dispatch_us");
+  }
+}
+
+EventLoop::~EventLoop() {
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  // A full counter (EAGAIN) already guarantees a pending wakeup; any other
+  // failure mode would mean the loop is gone, and stop() joins before that.
+  [[maybe_unused]] const ssize_t w = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::defer(std::function<void()> fn) {
+  {
+    sync::MutexLock lk(pending_mu_);
+    pending_.push_back(std::move(fn));
+  }
+  // Arm-once: the first producer after a disarm pays the eventfd write;
+  // everyone else sees armed == true and skips the syscall.
+  if (!wake_armed_.exchange(true, std::memory_order_acq_rel)) wake();
+}
+
+void EventLoop::drain_pending() {
+  // Disarm *before* swapping: a producer appending after the swap finds
+  // armed == false, re-arms, and wakes us for the next round — appending
+  // before the swap lands in `batch`. Either way nothing is stranded.
+  wake_armed_.exchange(false, std::memory_order_acq_rel);
+  std::vector<std::function<void()>> batch;
+  {
+    sync::MutexLock lk(pending_mu_);
+    batch.swap(pending_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, FdHandler handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw std::runtime_error("ipc: epoll_ctl(ADD) failed");
+  }
+  handlers_[fd] = std::make_shared<FdHandler>(std::move(handler));
+}
+
+void EventLoop::mod_fd(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void EventLoop::del_fd(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+void EventLoop::set_tick(int interval_ms, std::function<void()> on_tick) {
+  tick_ms_ = interval_ms;
+  on_tick_ = std::move(on_tick);
+}
+
+void EventLoop::run() {
+  loop_tid_.store(std::this_thread::get_id(), std::memory_order_release);
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  std::uint64_t next_tick_us = tick_ms_ > 0 ? now_us() + 1000ull * tick_ms_ : 0;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int timeout_ms = -1;
+    if (tick_ms_ > 0) {
+      const std::uint64_t now = now_us();
+      timeout_ms = now >= next_tick_us
+                       ? 0
+                       : static_cast<int>((next_tick_us - now + 999) / 1000);
+    }
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone — only possible mid-destruction
+    }
+    const std::uint64_t t0 = now_us();
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &drained, sizeof(drained));
+        if (wakeups_ != nullptr) wakeups_->inc();
+        continue;  // the pending queue is drained below, every round
+      }
+      // A handler may del_fd() peers in the same batch — re-check.
+      const auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;
+      const auto handler = it->second;  // pinned: handler may erase itself
+      (*handler)(events[i].events);
+    }
+    // Always drain: completions may have queued while we handled sockets,
+    // and the wake may have been consumed by an earlier round.
+    drain_pending();
+    if (tick_ms_ > 0 && now_us() >= next_tick_us) {
+      if (on_tick_) on_tick_();
+      next_tick_us = now_us() + 1000ull * tick_ms_;
+    }
+    if (dispatch_us_ != nullptr && n > 0) dispatch_us_->record(now_us() - t0);
+  }
+  // One final drain so defer()red cleanups (connection closes queued by
+  // stop()) run before the loop thread exits.
+  drain_pending();
+  loop_tid_.store(std::thread::id(), std::memory_order_release);
+}
+
+void EventLoop::stop() {
+  stopping_.store(true, std::memory_order_release);
+  wake();
+}
+
+// --- BlockerPool ------------------------------------------------------------
+
+BlockerPool::BlockerPool(std::size_t n_threads, obs::MetricsRegistry* metrics) {
+  if (n_threads == 0) n_threads = 1;
+  if (metrics != nullptr) {
+    depth_ = &metrics->gauge("ipc.blocker_queue_depth");
+    wait_us_ = &metrics->histogram("ipc.blocker_wait_us");
+  }
+  threads_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+BlockerPool::~BlockerPool() {
+  {
+    sync::MutexLock lk(mu_);
+    stop_ = true;
+  }
+  cv_job_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void BlockerPool::submit(std::function<void()> job) {
+  std::size_t depth;
+  {
+    sync::MutexLock lk(mu_);
+    queue_.push_back(Job{std::move(job), now_us()});
+    depth = queue_.size();
+  }
+  if (depth_ != nullptr) depth_->set(static_cast<std::int64_t>(depth));
+  cv_job_.notify_one();
+}
+
+void BlockerPool::drain() {
+  sync::MutexLock lk(mu_);
+  cv_idle_.wait(mu_, [this]() REQUIRES(mu_) {
+    return queue_.empty() && in_flight_ == 0;
+  });
+}
+
+void BlockerPool::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      sync::MutexLock lk(mu_);
+      cv_job_.wait(mu_, [this]() REQUIRES(mu_) {
+        return stop_ || !queue_.empty();
+      });
+      // Drain-on-stop: accepted jobs run even when stop_ is already set —
+      // a reply computed for a live connection must reach its loop.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+      if (depth_ != nullptr) depth_->set(static_cast<std::int64_t>(queue_.size()));
+    }
+    if (wait_us_ != nullptr) wait_us_->record(now_us() - job.submit_us);
+    job.fn();
+    {
+      sync::MutexLock lk(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace fanstore::ipc

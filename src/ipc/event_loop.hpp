@@ -1,0 +1,139 @@
+// Event-driven serving core (DESIGN.md §11):
+//
+//  - EventLoop: one epoll instance + one eventfd, run by exactly one
+//    thread. Fd handlers and all per-connection state are owned by that
+//    thread; other threads communicate only through defer(), which
+//    enqueues a closure and wakes the loop through the eventfd.
+//  - BlockerPool: fixed-size pool for blocking work (filesystem/backend
+//    calls) so the loops never stall — modeled on rethinkdb's
+//    blocker_pool. A job computes off-loop and posts its completion back
+//    with EventLoop::defer().
+//
+// Wakeup protocol (covered by fanstore-lint's eventfd-wakeup rule):
+// defer() appends under pending_mu_, then arms the wakeup with
+// wake_armed_.exchange(true) — only the arming transition writes the
+// eventfd, so N concurrent producers cost one syscall. The loop thread
+// disarms with exchange(false) *before* swapping the queue out: a producer
+// that appends after the swap observes armed == false and re-wakes the
+// loop, so no task is ever stranded. Plain .store() on the armed flag
+// would reintroduce the lost-wakeup race; the lint rule bans it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/sync.hpp"
+
+namespace fanstore::ipc {
+
+class EventLoop {
+ public:
+  /// Handler for fd readiness; receives the epoll event mask. Runs on the
+  /// loop thread.
+  using FdHandler = std::function<void(std::uint32_t)>;
+
+  /// `metrics` receives the "ipc.loop_*" instruments (may be null).
+  explicit EventLoop(obs::MetricsRegistry* metrics = nullptr);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Runs until stop(); call from exactly one (owning) thread.
+  void run();
+
+  /// Thread-safe: makes run() return after the current dispatch round.
+  void stop();
+
+  /// Thread-safe: runs `fn` on the loop thread (immediately queued; the
+  /// eventfd wakeup guarantees prompt dispatch even from other threads).
+  void defer(std::function<void()> fn) EXCLUDES(pending_mu_);
+
+  // --- Loop-thread-only fd registry -----------------------------------
+  /// Registers `fd` with the given epoll interest mask. The handler stays
+  /// installed until del_fd(); it may del_fd() itself.
+  void add_fd(int fd, std::uint32_t events, FdHandler handler);
+  void mod_fd(int fd, std::uint32_t events);
+  void del_fd(int fd);
+
+  /// Periodic tick on the loop thread (idle sweeps); 0 disables.
+  void set_tick(int interval_ms, std::function<void()> on_tick);
+
+  bool on_loop_thread() const {
+    return std::this_thread::get_id() == loop_tid_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void drain_pending() EXCLUDES(pending_mu_);
+  void wake();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> wake_armed_{false};
+  std::atomic<std::thread::id> loop_tid_{};
+
+  sync::Mutex pending_mu_{"ipc.event_loop.pending_mu"};
+  std::vector<std::function<void()>> pending_ GUARDED_BY(pending_mu_);
+
+  // Loop-thread-only state (no lock: single-owner by construction).
+  // Handlers are held by shared_ptr so dispatch can pin one cheaply while
+  // the handler del_fd()s itself or a peer in the same batch.
+  std::unordered_map<int, std::shared_ptr<FdHandler>> handlers_;
+  int tick_ms_ = 0;
+  std::function<void()> on_tick_;
+
+  obs::Counter* wakeups_ = nullptr;
+  obs::Histogram* dispatch_us_ = nullptr;
+};
+
+/// Fixed-size pool of threads for blocking work. submit() never blocks the
+/// caller (unbounded FIFO queue — backpressure belongs to the server's
+/// per-connection read pausing, not here). The destructor and drain() wait
+/// for every accepted job to finish.
+class BlockerPool {
+ public:
+  /// `metrics` receives "ipc.blocker_*" instruments (may be null).
+  explicit BlockerPool(std::size_t n_threads,
+                       obs::MetricsRegistry* metrics = nullptr);
+  ~BlockerPool();
+
+  BlockerPool(const BlockerPool&) = delete;
+  BlockerPool& operator=(const BlockerPool&) = delete;
+
+  /// Enqueues a job; jobs must not throw.
+  void submit(std::function<void()> job) EXCLUDES(mu_);
+
+  /// Blocks until the queue is empty and no job is running.
+  void drain() EXCLUDES(mu_);
+
+  std::size_t size() const { return threads_.size(); }
+
+ private:
+  void worker_loop() EXCLUDES(mu_);
+
+  struct Job {
+    std::function<void()> fn;
+    std::uint64_t submit_us = 0;
+  };
+
+  sync::Mutex mu_{"ipc.blocker_pool.mu"};
+  sync::AnnotatedCondVar cv_job_;
+  sync::AnnotatedCondVar cv_idle_;
+  std::deque<Job> queue_ GUARDED_BY(mu_);
+  std::size_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;  // written in ctor, joined in dtor
+
+  obs::Gauge* depth_ = nullptr;
+  obs::Histogram* wait_us_ = nullptr;
+};
+
+}  // namespace fanstore::ipc

@@ -1,18 +1,28 @@
 #include "ipc/uds_client.hpp"
 
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
-#include <cstring>
+#include <chrono>
+#include <thread>
 
 #include "ipc/protocol.hpp"
 
 namespace fanstore::ipc {
 
-UdsClientVfs::UdsClientVfs(std::string socket_path)
-    : socket_path_(std::move(socket_path)) {}
+UdsClientVfs::UdsClientVfs(std::string endpoint_spec, ClientOptions options)
+    : options_(options) {
+  const auto ep = Endpoint::parse(endpoint_spec);
+  if (ep.has_value()) {
+    endpoint_ = *ep;
+    endpoint_valid_ = true;
+  }
+  if (options_.max_attempts < 1) options_.max_attempts = 1;
+  if (options_.metrics != nullptr) {
+    retry_attempts_ = &options_.metrics->counter("retry.attempts");
+    retry_exhausted_ = &options_.metrics->counter("retry.exhausted");
+  }
+}
 
 UdsClientVfs::~UdsClientVfs() {
   sync::MutexLock lk(io_mu_);
@@ -21,17 +31,9 @@ UdsClientVfs::~UdsClientVfs() {
 
 bool UdsClientVfs::connect_locked() {
   if (sock_ >= 0) return true;
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return false;
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof(addr.sun_path) - 1);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return false;
-  }
-  sock_ = fd;
-  return true;
+  if (!endpoint_valid_) return false;
+  sock_ = transport_connect(endpoint_);
+  return sock_ >= 0;
 }
 
 bool UdsClientVfs::connect() {
@@ -41,18 +43,32 @@ bool UdsClientVfs::connect() {
 
 std::optional<Bytes> UdsClientVfs::call(ByteView request) {
   sync::MutexLock lk(io_mu_);
-  if (!connect_locked()) return std::nullopt;
-  if (!write_frame(sock_, request)) {
-    ::close(sock_);
-    sock_ = -1;
-    return std::nullopt;
+  for (int attempt = 1;; ++attempt) {
+    if (connect_locked()) {
+      if (write_frame(sock_, request)) {
+        auto reply = read_frame(sock_);
+        if (reply) return reply;
+      }
+      // Failed mid-round-trip: the stream position is unknown, so the
+      // connection is useless — drop it and reconnect on the next attempt.
+      ::close(sock_);
+      sock_ = -1;
+    }
+    if (attempt >= options_.max_attempts) {
+      if (retry_exhausted_ != nullptr && options_.max_attempts > 1) {
+        retry_exhausted_->inc();
+      }
+      return std::nullopt;
+    }
+    if (retry_attempts_ != nullptr) retry_attempts_->inc();
+    const int shift = std::min(attempt - 1, 20);
+    const long delay = std::min<long>(
+        static_cast<long>(options_.base_delay_ms) << shift,
+        options_.max_delay_ms);
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
   }
-  auto reply = read_frame(sock_);
-  if (!reply) {
-    ::close(sock_);
-    sock_ = -1;
-  }
-  return reply;
 }
 
 int UdsClientVfs::open(std::string_view path_in, posixfs::OpenMode mode) {

@@ -1,21 +1,41 @@
-// Client-side Vfs that forwards reads/metadata over the daemon's Unix
-// socket — what the LD_PRELOAD interceptor would use inside an unmodified
-// training process. Read-only: the multi-read side of FanStore's model
-// (writes stay in-process via FanStoreFs).
+// Client-side Vfs that forwards reads/metadata over the daemon's socket
+// front door — what the LD_PRELOAD interceptor would use inside an
+// unmodified training process. Read-only: the multi-read side of
+// FanStore's model (writes stay in-process via FanStoreFs).
+//
+// Speaks any ipc::Endpoint ("unix:/path", "tcp:127.0.0.1:port", or a bare
+// UDS path for back-compat), against either server implementation (the
+// event-driven ipc::Server or the legacy thread-per-connection UdsServer —
+// the framed protocol is identical). Failed round trips reconnect and
+// retry with deterministic exponential backoff, counting "retry.*".
 #pragma once
 
 #include <map>
 #include <memory>
 #include <string>
 
+#include "ipc/transport.hpp"
+#include "obs/metrics.hpp"
 #include "posixfs/vfs.hpp"
 #include "util/sync.hpp"
 
 namespace fanstore::ipc {
 
+struct ClientOptions {
+  /// Round-trip attempts per call (>= 1); 1 disables retries. A failed
+  /// attempt drops the connection and reconnects before the next one.
+  int max_attempts = 1;
+  /// Backoff before attempt k (k >= 2) is min(base << (k-2), max) ms.
+  int base_delay_ms = 2;
+  int max_delay_ms = 200;
+  /// Receives "retry.attempts" / "retry.exhausted"; may be null.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
 class UdsClientVfs final : public posixfs::Vfs {
  public:
-  explicit UdsClientVfs(std::string socket_path);
+  /// `endpoint_spec` is anything Endpoint::parse accepts.
+  explicit UdsClientVfs(std::string endpoint_spec, ClientOptions options = {});
   ~UdsClientVfs() override;
 
   UdsClientVfs(const UdsClientVfs&) = delete;
@@ -45,11 +65,16 @@ class UdsClientVfs final : public posixfs::Vfs {
     std::size_t next = 0;
   };
 
-  /// One request/response round trip (serialized per connection).
+  /// One request/response round trip (serialized per connection), with
+  /// reconnect-and-retry per the ClientOptions.
   std::optional<Bytes> call(ByteView request) EXCLUDES(io_mu_, mu_);
   bool connect_locked() REQUIRES(io_mu_);
 
-  std::string socket_path_;
+  Endpoint endpoint_;
+  bool endpoint_valid_ = false;
+  ClientOptions options_;
+  obs::Counter* retry_attempts_ = nullptr;  // null when metrics is null
+  obs::Counter* retry_exhausted_ = nullptr;
   // io_mu_ and mu_ are never held together: every call() round trip
   // finishes before the fd tables are touched.
   sync::Mutex io_mu_{"uds_client.io_mu"};  // serializes socket round trips

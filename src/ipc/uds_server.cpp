@@ -12,8 +12,8 @@
 
 namespace fanstore::ipc {
 
-UdsServer::UdsServer(std::string socket_path, posixfs::Vfs& fs)
-    : socket_path_(std::move(socket_path)), fs_(fs) {}
+UdsServer::UdsServer(std::string socket_path, posixfs::Vfs& fs, int backlog)
+    : socket_path_(std::move(socket_path)), fs_(fs), backlog_(backlog) {}
 
 UdsServer::~UdsServer() { stop(); }
 
@@ -32,7 +32,7 @@ void UdsServer::start() {
     ::close(listen_fd_);
     throw std::runtime_error("uds: bind() failed for " + socket_path_);
   }
-  if (::listen(listen_fd_, 64) != 0) {
+  if (::listen(listen_fd_, backlog_) != 0) {
     ::close(listen_fd_);
     throw std::runtime_error("uds: listen() failed");
   }
@@ -68,7 +68,15 @@ void UdsServer::stop() {
 void UdsServer::accept_loop() {
   for (;;) {
     const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) return;  // listener shut down by stop()
+    if (client < 0) {
+      // EINTR (signal) and ECONNABORTED (the client gave up while queued)
+      // are per-connection events, not listener shutdown: keep accepting
+      // unless stop() has actually flipped the flag.
+      if ((errno == EINTR || errno == ECONNABORTED) && running_.load()) {
+        continue;
+      }
+      return;  // listener shut down by stop()
+    }
     sync::MutexLock lk(workers_mu_);
     client_fds_.push_back(client);
     workers_.emplace_back([this, client] { serve_connection(client); });

@@ -1,6 +1,10 @@
-// Unix-domain-socket front door of the FanStore daemon: serves any Vfs
-// (normally a FanStoreFs / Interceptor) to other processes on the node —
-// the §V-A interceptor-to-daemon boundary as a real process boundary.
+// Thread-per-connection Unix-domain-socket server: serves any Vfs to other
+// processes on the node — the §V-A interceptor-to-daemon boundary as a real
+// process boundary.
+//
+// Superseded by the event-driven ipc::Server (server.hpp, DESIGN.md §11);
+// kept as the baseline bench_ipc measures against and as a second
+// implementation the conformance suite cross-checks.
 #pragma once
 
 #include <atomic>
@@ -16,7 +20,8 @@ namespace fanstore::ipc {
 class UdsServer {
  public:
   /// Serves `fs` at the socket `path` (unlinked/recreated on start).
-  UdsServer(std::string socket_path, posixfs::Vfs& fs);
+  /// `backlog` is the listen(2) queue depth (historically hardcoded 64).
+  UdsServer(std::string socket_path, posixfs::Vfs& fs, int backlog = 64);
   ~UdsServer();
 
   UdsServer(const UdsServer&) = delete;
@@ -37,6 +42,7 @@ class UdsServer {
 
   std::string socket_path_;
   posixfs::Vfs& fs_;
+  int backlog_;
   // Written by start() before the accept thread exists and by stop() only
   // after joining it, so the accept loop reads it race-free.
   int listen_fd_ = -1;

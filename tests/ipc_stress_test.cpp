@@ -1,0 +1,220 @@
+// Stress and soak coverage for the event-driven server (DESIGN.md §11):
+// hundreds of concurrent clients through a handful of fixed threads, rude
+// disconnects mid-reply, stop() racing in-flight requests, and the
+// blocker-pool / event-loop primitives under contention. The whole file is
+// a TSan target (tools/ci.sh runs the `ipc` label in the sanitizer
+// matrix); client counts scale down under instrumentation.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ipc/event_loop.hpp"
+#include "ipc/protocol.hpp"
+#include "ipc/server.hpp"
+#include "ipc/transport.hpp"
+#include "ipc/uds_client.hpp"
+#include "posixfs/mem_vfs.hpp"
+#include "tests/sanitizer_env.hpp"
+#include "tests/test_data.hpp"
+#include "util/rng.hpp"
+
+namespace fanstore::ipc {
+namespace {
+
+std::string unique_socket_path(const char* tag) {
+  return "/tmp/fanstore_soak_" + std::to_string(getpid()) + "_" + tag + ".sock";
+}
+
+// The acceptance bar is 256 concurrent clients through fixed threads;
+// sanitizer builds keep the shape but shrink the herd (each test client is
+// a real thread here, and TSan multiplies their cost).
+constexpr int kSoakClients = testsupport::kUnderSanitizer ? 64 : 256;
+
+TEST(IpcSoakTest, HundredsOfClientsThroughFixedThreads) {
+  posixfs::MemVfs fs;
+  // Mixed fetch sizes: tiny metadata-ish files up to ones big enough to
+  // exercise the write queue and partial sends.
+  const Bytes small = testdata::random_bytes(512, 1);
+  const Bytes medium = testdata::random_bytes(64 << 10, 2);
+  const Bytes large = testdata::random_bytes(1 << 20, 3);
+  posixfs::write_file(fs, "ds/small", as_view(small));
+  posixfs::write_file(fs, "ds/medium", as_view(medium));
+  posixfs::write_file(fs, "ds/large", as_view(large));
+
+  ServerOptions opt;
+  opt.shards = 2;
+  opt.blocker_threads = 4;
+  opt.backlog = kSoakClients;  // the herd connects all at once
+  Server server({Endpoint::uds(unique_socket_path("soak"))}, fs, opt);
+  server.start();
+  const std::string spec = server.endpoints()[0].to_string();
+  ClientOptions copt;
+  copt.max_attempts = 5;  // absorbs transient connect backlog overflow
+  copt.base_delay_ms = 1;
+  copt.max_delay_ms = 20;
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(kSoakClients));
+  for (int c = 0; c < kSoakClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(static_cast<std::uint64_t>(c) + 1);
+      if (c % 8 == 7) {
+        // Rude client: request the large file, then hang up mid-reply.
+        const auto ep = Endpoint::parse(spec);
+        int fd = -1;
+        for (int tries = 0; tries < 50 && fd < 0; ++tries) {
+          fd = transport_connect(*ep);
+          if (fd < 0) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        if (fd < 0) {
+          failures.fetch_add(1);
+          return;
+        }
+        write_frame(fd, as_view(encode_request(Op::kGet, "ds/large")));
+        std::uint8_t buf[64];
+        (void)::read(fd, buf, sizeof(buf));  // a few bytes, then vanish
+        ::close(fd);
+        return;
+      }
+      UdsClientVfs client(spec, copt);
+      for (int round = 0; round < 6; ++round) {
+        const std::uint64_t pick = rng.next_below(3);
+        const char* path = pick == 0   ? "ds/small"
+                           : pick == 1 ? "ds/medium"
+                                       : "ds/large";
+        const Bytes& want = pick == 0 ? small : pick == 1 ? medium : large;
+        const auto got = posixfs::read_file(client, path);
+        if (!got.has_value() || *got != want) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server.requests_served(),
+            static_cast<std::uint64_t>(kSoakClients / 2));
+  // Every connection (including the rude ones) must be reaped.
+  for (int spin = 0; spin < 500 && server.connections_open() > 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(server.connections_open(), 0);
+  server.stop();
+}
+
+TEST(IpcSoakTest, StopRacesInFlightRequests) {
+  posixfs::MemVfs fs;
+  const Bytes data = testdata::random_bytes(128 << 10, 4);
+  posixfs::write_file(fs, "f", as_view(data));
+  const int iterations = testsupport::kUnderSanitizer ? 6 : 20;
+  for (int it = 0; it < iterations; ++it) {
+    ServerOptions opt;
+    opt.shards = 2;
+    opt.blocker_threads = 2;
+    Server server({Endpoint::uds(unique_socket_path("stoprace"))}, fs, opt);
+    server.start();
+    const std::string spec = server.endpoints()[0].to_string();
+
+    std::atomic<bool> go{false};
+    std::atomic<int> wrong_bytes{0};
+    std::vector<std::thread> hammers;
+    for (int c = 0; c < 4; ++c) {
+      hammers.emplace_back([&] {
+        UdsClientVfs client(spec);
+        while (!go.load()) std::this_thread::yield();
+        for (int i = 0; i < 50; ++i) {
+          const auto got = posixfs::read_file(client, "f");
+          // Failure is expected once stop() lands; wrong bytes never are.
+          if (got.has_value() && *got != data) wrong_bytes.fetch_add(1);
+          if (!got.has_value()) return;
+        }
+      });
+    }
+    go.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 + it % 5));
+    server.stop();  // races the in-flight requests above
+    for (auto& t : hammers) t.join();
+    EXPECT_EQ(wrong_bytes.load(), 0) << "iteration " << it;
+  }
+}
+
+TEST(IpcBlockerPoolTest, DrainWaitsForQueuedAndRunningJobs) {
+  BlockerPool pool(3);
+  std::atomic<int> ran{0};
+  const int jobs = 200;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < jobs / 4; ++i) {
+        pool.submit([&] {
+          std::this_thread::yield();
+          ran.fetch_add(1);
+        });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.drain();
+  EXPECT_EQ(ran.load(), jobs);
+}
+
+TEST(IpcBlockerPoolTest, DestructorRunsAcceptedJobs) {
+  std::atomic<int> ran{0};
+  {
+    BlockerPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&] { ran.fetch_add(1); });
+    }
+  }  // drain-on-stop: accepted jobs run even while the pool shuts down
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(IpcEventLoopTest, DeferFromManyThreadsNeverLosesAWakeup) {
+  EventLoop loop;
+  std::thread runner([&] { loop.run(); });
+  std::atomic<int> ran{0};
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        loop.defer([&] { ran.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  // Every deferred closure must eventually run without further stimulus —
+  // this is exactly the lost-wakeup scenario the arm/disarm protocol
+  // exists for (see event_loop.hpp).
+  for (int spin = 0; spin < 2000 && ran.load() < kProducers * kPerProducer;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(ran.load(), kProducers * kPerProducer);
+  loop.stop();
+  runner.join();
+}
+
+TEST(IpcEventLoopTest, StopRunsFinalDrain) {
+  EventLoop loop;
+  std::thread runner([&] { loop.run(); });
+  std::atomic<bool> cleanup_ran{false};
+  loop.defer([&] { cleanup_ran.store(true); });
+  loop.stop();
+  runner.join();
+  // The closure was queued before (or racing) stop(); the final drain in
+  // run() guarantees it executed before the loop thread exited.
+  EXPECT_TRUE(cleanup_ran.load());
+}
+
+}  // namespace
+}  // namespace fanstore::ipc

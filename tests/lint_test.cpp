@@ -221,6 +221,43 @@ TEST_F(LintTest, CrcRuleSkipsEncodersAndOutOfScope) {
   EXPECT_TRUE(r.findings.empty());
 }
 
+TEST_F(LintTest, EventfdWakeupFlagsStoreAndAssignmentOnArmFlag) {
+  write("ipc/loop.cpp",
+        "namespace fanstore::ipc {\n"                               // line 1
+        "void f() {\n"                                              // line 2
+        "  wake_armed_.store(true);\n"                              // line 3
+        "  wake_armed_ = false;\n"                                  // line 4
+        "  if (armed_ == other) {}\n"       // comparison: fine     // line 5
+        "  bool was_armed = armed_.exchange(false);\n"  // fine     // line 6
+        "  (void)was_armed;\n"
+        "}\n"
+        "}\n");
+  const LintResult r = lint({"eventfd-wakeup"});
+  ASSERT_EQ(r.findings.size(), 2u);
+  EXPECT_EQ(r.findings[0].rule, "eventfd-wakeup");
+  EXPECT_EQ(r.findings[0].line, 3);
+  EXPECT_EQ(r.findings[1].line, 4);
+}
+
+TEST_F(LintTest, EventfdWakeupRequiresExchangeWhereEventfdIsCreated) {
+  // Creating an eventfd with no exchange() anywhere in the TU means the
+  // arm/disarm protocol is gone wholesale.
+  write("ipc/bare.cpp",
+        "namespace fanstore::ipc {\n"
+        "int f() { return eventfd(0, 0); }\n"
+        "}\n");
+  // Out of scope: the same pattern elsewhere is some other subsystem's
+  // business.
+  write("util/other.cpp",
+        "namespace fanstore::util {\n"
+        "int f() { return eventfd(0, 0); }\n"
+        "void g() { armed_.store(true); }\n"
+        "}\n");
+  const LintResult r = lint({"eventfd-wakeup"});
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].file, "ipc/bare.cpp");
+}
+
 TEST_F(LintTest, InlineSuppressionSilencesNamedRuleOnly) {
   write("mpi/supp.cpp",
         "namespace fanstore::mpi {\n"

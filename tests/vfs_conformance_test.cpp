@@ -11,6 +11,7 @@
 
 #include "compress/registry.hpp"
 #include "core/instance.hpp"
+#include "ipc/server.hpp"
 #include "ipc/uds_client.hpp"
 #include "ipc/uds_server.hpp"
 #include "posixfs/interceptor.hpp"
@@ -36,6 +37,7 @@ struct Backend {
   std::unique_ptr<mpi::World> world;
   std::unique_ptr<core::Instance> instance;
   std::unique_ptr<ipc::UdsServer> server;
+  std::unique_ptr<ipc::Server> event_server;
   std::unique_ptr<ipc::UdsClientVfs> client;
 };
 
@@ -89,6 +91,28 @@ std::unique_ptr<Backend> make_backend(const std::string& kind) {
     b->vfs = b->client.get();
     b->writable = false;  // read-only transport
     auto* server = b->server.get();
+    b->cleanup = [server] { server->stop(); };
+  } else if (kind == "EventUds" || kind == "EventTcp") {
+    // Same client, served by the event-driven epoll server (DESIGN.md
+    // §11) over each transport — the POSIX surface must be identical.
+    b->mem = std::make_unique<MemVfs>();
+    populate(*b->mem);
+    const ipc::Endpoint ep =
+        kind == "EventTcp"
+            ? ipc::Endpoint::tcp("127.0.0.1", 0)
+            : ipc::Endpoint::uds("/tmp/fanstore_conf_ev_" +
+                                 std::to_string(getpid()) + ".sock");
+    ipc::ServerOptions opt;
+    opt.shards = 2;
+    opt.blocker_threads = 2;
+    b->event_server = std::make_unique<ipc::Server>(
+        std::vector<ipc::Endpoint>{ep}, *b->mem, opt);
+    b->event_server->start();
+    b->client = std::make_unique<ipc::UdsClientVfs>(
+        b->event_server->endpoints().front().to_string());
+    b->vfs = b->client.get();
+    b->writable = false;  // read-only transport
+    auto* server = b->event_server.get();
     b->cleanup = [server] { server->stop(); };
   }
   return b;
@@ -187,7 +211,8 @@ TEST_P(VfsConformanceTest, WriteRoundTripWhereSupported) {
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, VfsConformanceTest,
                          ::testing::Values("MemVfs", "LocalVfs", "Interceptor",
-                                           "FanStoreFs", "UdsClientVfs"),
+                                           "FanStoreFs", "UdsClientVfs",
+                                           "EventUds", "EventTcp"),
                          [](const ::testing::TestParamInfo<std::string>& info) {
                            return info.param;
                          });

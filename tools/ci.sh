@@ -57,6 +57,8 @@ echo "==== [labels] ctest -L chunked ===="
 ctest --test-dir build --output-on-failure -j "$jobs" -L chunked
 echo "==== [labels] ctest -L plan ===="
 ctest --test-dir build --output-on-failure -j "$jobs" -L plan
+echo "==== [labels] ctest -L ipc ===="
+ctest --test-dir build --output-on-failure -j "$jobs" -L ipc
 echo "==== [labels] ctest -L lint ===="
 ctest --test-dir build --output-on-failure -j "$jobs" -L lint
 
@@ -94,6 +96,14 @@ build/bench/bench_chunked --quick --json "$repo_root/BENCH_chunked.json"
 # the recorded BENCH_clairvoyant.json numbers.
 echo "==== [bench] bench_clairvoyant --quick ===="
 build/bench/bench_clairvoyant --quick --json /tmp/BENCH_clairvoyant_quick.json
+
+# Socket front-door smoke (DESIGN.md §11): event-driven server vs the
+# thread-per-connection baseline at a few client counts over UDS. The >=2x
+# requests/s acceptance bar at 64+ clients is enforced only on hardware
+# with enough cores for the shard/blocker threads to actually run in
+# parallel. Run without --quick for the recorded BENCH_ipc.json numbers.
+echo "==== [bench] bench_ipc --quick ===="
+build/bench/bench_ipc --quick --json /tmp/BENCH_ipc_quick.json
 
 if [ "${1:-}" = "--tier1-only" ]; then
   echo "ci.sh: tier-1 pass complete (sanitizer matrix skipped)"

@@ -93,7 +93,8 @@ std::map<int, std::set<std::string>> collect_suppressions(
 const std::vector<std::string>& all_rule_ids() {
   static const std::vector<std::string> kIds = {
       "determinism", "raw-sync",  "guarded-by",
-      "metric-inventory", "codec-id", "crc-before-interpret"};
+      "metric-inventory", "codec-id", "crc-before-interpret",
+      "eventfd-wakeup"};
   return kIds;
 }
 
@@ -181,6 +182,7 @@ LintResult run_lint(const LintOptions& opts) {
     if (enabled.count("crc-before-interpret") != 0) {
       rule_crc_order(ctx, &found);
     }
+    if (enabled.count("eventfd-wakeup") != 0) rule_eventfd_wakeup(ctx, &found);
     if (metrics.enabled) rule_metric_inventory(ctx, &metrics, &found);
 
     const auto suppressed = collect_suppressions(toks);

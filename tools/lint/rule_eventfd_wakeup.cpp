@@ -1,0 +1,112 @@
+// eventfd-wakeup: guards the event loop's lost-wakeup-free arm/disarm
+// protocol (src/ipc/event_loop.hpp). The wakeup-arm flag only works when
+// both sides use read-modify-write transitions:
+//
+//   producer:  if (!armed.exchange(true)) write(eventfd)
+//   consumer:  armed.exchange(false);  // BEFORE swapping the queue out
+//
+// A plain .store() (or `flag = value` assignment, which compiles to one)
+// on the arm flag cannot observe the previous value, so the "only the
+// arming transition pays the syscall" and "late producers re-arm" halves
+// of the protocol silently break — the classic lost wakeup, visible only
+// as a rare stall under load. This rule bans non-exchange writes to any
+// armed-flag member in src/ipc/, and requires every ipc/ TU that creates
+// an eventfd to contain at least one exchange() (a wholesale rewrite of
+// the protocol must at least confront the suppression).
+#include "rules.hpp"
+
+namespace fanstore::lint {
+
+namespace {
+
+bool in_scope(const std::string& rel) { return rel.rfind("ipc/", 0) == 0; }
+
+// The arm flag by naming convention: a member-ish identifier mentioning
+// "armed" (wake_armed_, write_armed_, ...). Locals like `was_armed` are
+// not members (no trailing underscore) and stay out of the assignment
+// check so derived booleans are fine.
+bool names_arm_flag(const std::string& s) {
+  return s.find("armed") != std::string::npos;
+}
+
+bool is_member_name(const std::string& s) {
+  return !s.empty() && s.back() == '_';
+}
+
+}  // namespace
+
+void rule_eventfd_wakeup(const FileCtx& ctx, std::vector<Finding>* out) {
+  if (!in_scope(ctx.rel)) return;
+  const auto& toks = *ctx.tokens;
+  const auto& m = *ctx.model;
+
+  bool creates_eventfd = false;
+  bool has_exchange = false;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::kIdent) continue;
+
+    if (t.text == "eventfd") {
+      // Only the creation call counts (identifier followed by '('); the
+      // word in comments/strings is already skipped by the token kinds.
+      const std::size_t next = m.next_code(i);
+      if (next != TuModel::npos && toks[next].kind == Tok::kPunct &&
+          toks[next].text == "(") {
+        creates_eventfd = true;
+      }
+      continue;
+    }
+    if (t.text == "exchange") {
+      has_exchange = true;
+      continue;
+    }
+    if (!names_arm_flag(t.text)) continue;
+
+    const std::size_t next = m.next_code(i);
+    if (next == TuModel::npos || toks[next].kind != Tok::kPunct) continue;
+
+    // armed.store(...) / armed->store(...)
+    if (toks[next].text == "." || toks[next].text == "->") {
+      const std::size_t call = m.next_code(next);
+      if (call != TuModel::npos && toks[call].kind == Tok::kIdent &&
+          toks[call].text == "store") {
+        const std::size_t paren = m.next_code(call);
+        if (paren != TuModel::npos && toks[paren].kind == Tok::kPunct &&
+            toks[paren].text == "(") {
+          out->push_back(Finding{
+              "eventfd-wakeup", ctx.rel, t.line, t.col,
+              "plain .store() on wakeup-arm flag '" + t.text +
+                  "' cannot see the previous value and reintroduces the "
+                  "lost-wakeup race; use exchange() per the protocol in "
+                  "ipc/event_loop.hpp",
+              {}});
+        }
+      }
+      continue;
+    }
+    // armed_ = value (member assignment; "==" lexes as one token so this
+    // never matches comparisons).
+    if (toks[next].text == "=" && is_member_name(t.text)) {
+      out->push_back(Finding{
+          "eventfd-wakeup", ctx.rel, t.line, t.col,
+          "assignment to wakeup-arm flag '" + t.text +
+              "' compiles to a plain store and reintroduces the "
+              "lost-wakeup race; use exchange() per the protocol in "
+              "ipc/event_loop.hpp",
+          {}});
+    }
+  }
+
+  if (creates_eventfd && !has_exchange) {
+    out->push_back(Finding{
+        "eventfd-wakeup", ctx.rel, 1, 1,
+        "this TU creates an eventfd but never exchange()s an arm flag; "
+        "the wakeup protocol in ipc/event_loop.hpp requires "
+        "read-modify-write arm/disarm transitions (suppress here only "
+        "with a justification)",
+        {}});
+  }
+}
+
+}  // namespace fanstore::lint

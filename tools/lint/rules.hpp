@@ -16,6 +16,9 @@
 //                        below the chunked-container reserved bit range
 //   crc-before-interpret fetch-reply payload interpretation may not precede
 //                        the fetch_reply_crc_ok() call in the same function
+//   eventfd-wakeup       ipc/ event-loop arm flags must use exchange(), not
+//                        store()/assignment (lost-wakeup protection; see
+//                        the protocol comment in ipc/event_loop.hpp)
 #pragma once
 
 #include <map>
@@ -39,6 +42,7 @@ void rule_raw_sync(const FileCtx& ctx, std::vector<Finding>* out);
 void rule_guarded_by(const FileCtx& ctx, std::vector<Finding>* out);
 void rule_codec_ids(const FileCtx& ctx, std::vector<Finding>* out);
 void rule_crc_order(const FileCtx& ctx, std::vector<Finding>* out);
+void rule_eventfd_wakeup(const FileCtx& ctx, std::vector<Finding>* out);
 
 // metric-inventory accumulates cross-TU state: every registration site is
 // checked against the inventory as it is seen, and finalize() reports
