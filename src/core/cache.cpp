@@ -63,7 +63,8 @@ std::size_t PlainCache::shard_of(const std::string& path) const {
 }
 
 std::shared_ptr<CachedFile> PlainCache::insert_pinned_locked(
-    Shard& s, const std::string& path, std::shared_ptr<CachedFile> data) {
+    Shard& s, const std::string& path, std::shared_ptr<CachedFile> data,
+    std::vector<Demoted>* demoted) {
   Entry e;
   e.data = std::move(data);
   e.charged = e.data->charge_bytes();
@@ -75,8 +76,13 @@ std::shared_ptr<CachedFile> PlainCache::insert_pinned_locked(
   bytes_gauge_->add(static_cast<std::int64_t>(e.charged));
   auto result = e.data;
   s.entries.emplace(path, std::move(e));
-  evict_if_needed_locked(s);
+  evict_if_needed_locked(s, demoted);
   return result;
+}
+
+void PlainCache::fire_demotions(std::vector<Demoted>& demoted) {
+  for (auto& v : demoted) demote_(v.path, v.data);
+  demoted.clear();
 }
 
 std::shared_ptr<CachedFile> PlainCache::acquire_file(
@@ -84,18 +90,27 @@ std::shared_ptr<CachedFile> PlainCache::acquire_file(
     const std::function<std::shared_ptr<CachedFile>()>& loader, bool* loaded) {
   Shard& s = shard_for(path);
   std::shared_ptr<InFlight> flight;
+  std::vector<Demoted> demoted;
+  std::shared_ptr<CachedFile> result;
+  bool load_here = false;
   {
     sync::MutexLock lk(s.mu);
-    for (;;) {
+    while (result == nullptr && !load_here) {
       const auto it = s.entries.find(path);
       if (it != s.entries.end()) {
         it->second.open_count++;
         hits_->inc();
         if (loaded != nullptr) *loaded = false;
-        return it->second.data;
+        result = it->second.data;
+        break;
       }
       const auto fit = s.inflight.find(path);
-      if (fit == s.inflight.end()) break;  // we become the loader
+      if (fit == s.inflight.end()) {  // we become the loader
+        load_here = true;
+        flight = std::make_shared<InFlight>();
+        s.inflight.emplace(path, flight);
+        break;
+      }
       // Another thread is already loading this path: wait for it instead
       // of duplicating the fetch+decompress (single-flight).
       flight = fit->second;
@@ -107,15 +122,19 @@ std::shared_ptr<CachedFile> PlainCache::acquire_file(
       const auto again = s.entries.find(path);
       if (again != s.entries.end()) {
         again->second.open_count++;
-        return again->second.data;
+        result = again->second.data;
+        break;
       }
       // Narrow window: the loader's entry was already evicted (the loader's
       // caller released its pin before we woke). Re-admit the bytes we were
       // handed so pin/release stays balanced for this caller.
-      return insert_pinned_locked(s, path, flight->data);
+      result = insert_pinned_locked(s, path, flight->data, &demoted);
+      break;
     }
-    flight = std::make_shared<InFlight>();
-    s.inflight.emplace(path, flight);
+  }
+  if (!load_here) {
+    fire_demotions(demoted);
+    return result;
   }
   // Miss: run the (potentially slow) loader without holding any lock.
   std::shared_ptr<CachedFile> data;
@@ -130,13 +149,17 @@ std::shared_ptr<CachedFile> PlainCache::acquire_file(
     throw;
   }
   if (loaded != nullptr) *loaded = true;
-  sync::MutexLock lk(s.mu);
-  misses_->inc();
-  flight->data = data;
-  flight->done = true;
-  s.inflight.erase(path);
-  s.load_done.notify_all();
-  return insert_pinned_locked(s, path, std::move(data));
+  {
+    sync::MutexLock lk(s.mu);
+    misses_->inc();
+    flight->data = data;
+    flight->done = true;
+    s.inflight.erase(path);
+    s.load_done.notify_all();
+    result = insert_pinned_locked(s, path, std::move(data), &demoted);
+  }
+  fire_demotions(demoted);
+  return result;
 }
 
 std::shared_ptr<const Bytes> PlainCache::acquire(
@@ -156,26 +179,56 @@ std::shared_ptr<const Bytes> PlainCache::acquire(
 
 void PlainCache::recharge(const std::string& path) {
   Shard& s = shard_for(path);
-  sync::MutexLock lk(s.mu);
-  const auto it = s.entries.find(path);
-  if (it == s.entries.end()) return;
-  const std::size_t now = it->second.data->charge_bytes();
-  const std::size_t before = it->second.charged;
-  if (now == before) return;
-  it->second.charged = now;
-  s.bytes_used += now - before;  // size_t wrap-around is fine for shrink
-  bytes_gauge_->add(static_cast<std::int64_t>(now) -
-                    static_cast<std::int64_t>(before));
-  evict_if_needed_locked(s);
+  std::vector<Demoted> demoted;
+  {
+    sync::MutexLock lk(s.mu);
+    const auto it = s.entries.find(path);
+    if (it == s.entries.end()) return;
+    const std::size_t now = it->second.data->charge_bytes();
+    const std::size_t before = it->second.charged;
+    if (now == before) return;
+    it->second.charged = now;
+    s.bytes_used += now - before;  // size_t wrap-around is fine for shrink
+    bytes_gauge_->add(static_cast<std::int64_t>(now) -
+                      static_cast<std::int64_t>(before));
+    evict_if_needed_locked(s, &demoted);
+  }
+  fire_demotions(demoted);
 }
 
 void PlainCache::release(const std::string& path) {
   Shard& s = shard_for(path);
-  sync::MutexLock lk(s.mu);
-  const auto it = s.entries.find(path);
-  if (it == s.entries.end()) return;
-  if (it->second.open_count > 0) it->second.open_count--;
-  evict_if_needed_locked(s);
+  std::vector<Demoted> demoted;
+  {
+    sync::MutexLock lk(s.mu);
+    const auto it = s.entries.find(path);
+    if (it == s.entries.end()) return;
+    if (it->second.open_count > 0) it->second.open_count--;
+    evict_if_needed_locked(s, &demoted);
+  }
+  fire_demotions(demoted);
+}
+
+void PlainCache::drop(const std::string& path) {
+  Shard& s = shard_for(path);
+  std::vector<Demoted> demoted;
+  {
+    sync::MutexLock lk(s.mu);
+    const auto it = s.entries.find(path);
+    if (it == s.entries.end()) return;
+    if (it->second.open_count > 0) it->second.open_count--;
+    if (it->second.open_count > 0) {
+      // Other readers still hold pins: behave exactly like release().
+      evict_if_needed_locked(s, &demoted);
+    } else {
+      s.bytes_used -= it->second.charged;
+      bytes_gauge_->add(-static_cast<std::int64_t>(it->second.charged));
+      if (demote_) demoted.push_back({path, std::move(it->second.data)});
+      if (it->second.in_fifo) s.fifo.erase(it->second.fifo_pos);
+      s.entries.erase(it);
+    }
+  }
+  fire_demotions(demoted);
 }
 
 std::list<std::string>::iterator PlainCache::pick_policy_victim_locked(
@@ -205,7 +258,8 @@ std::list<std::string>::iterator PlainCache::pick_policy_victim_locked(
   return victim;
 }
 
-void PlainCache::evict_if_needed_locked(Shard& s) {
+void PlainCache::evict_if_needed_locked(Shard& s,
+                                        std::vector<Demoted>* demoted) {
   const EvictionPolicy* policy = policy_.load(std::memory_order_acquire);
   if (policy != nullptr) {
     // Belady / exact-future-reuse (DESIGN.md §10): repeatedly evict the
@@ -218,6 +272,7 @@ void PlainCache::evict_if_needed_locked(Shard& s) {
       bytes_gauge_->add(-static_cast<std::int64_t>(it->second.charged));
       evictions_->inc();
       plan_evictions_->inc();
+      if (demote_) demoted->push_back({*victim, std::move(it->second.data)});
       s.fifo.erase(victim);
       s.entries.erase(it);
     }
@@ -238,6 +293,7 @@ void PlainCache::evict_if_needed_locked(Shard& s) {
     s.bytes_used -= it->second.charged;
     bytes_gauge_->add(-static_cast<std::int64_t>(it->second.charged));
     evictions_->inc();
+    if (demote_) demoted->push_back({*pos, std::move(it->second.data)});
     pos = s.fifo.erase(pos);
     s.entries.erase(it);
   }

@@ -91,6 +91,23 @@ class PlainCache {
   /// capacity pressure evicts it.
   void release(const std::string& path);
 
+  /// Drops one pin like release(), then erases the entry outright once its
+  /// pin count reaches zero (firing the demotion hook). TieredCache uses
+  /// this for admit-to-compressed-only objects that must not linger in
+  /// plain RAM after their last close.
+  void drop(const std::string& path);
+
+  /// Demotion hook (DESIGN.md §12): receives every entry removed by
+  /// capacity pressure or drop() — never a pinned entry — so evicted bytes
+  /// can flow to the next cache tier instead of vanishing. Victims are
+  /// collected under the shard lock but the hook runs strictly after it is
+  /// released, so the hook may take its own locks and even re-enter this
+  /// cache. Install before concurrent use; with no hook installed every
+  /// code path is byte-identical to the classic cache.
+  using DemotionHook = std::function<void(
+      const std::string& path, const std::shared_ptr<CachedFile>& file)>;
+  void set_demotion_hook(DemotionHook hook) { demote_ = std::move(hook); }
+
   bool contains(const std::string& path) const;
   std::size_t bytes_used() const;
   std::size_t capacity() const { return capacity_; }
@@ -162,6 +179,13 @@ class PlainCache {
     std::size_t budget = 0;  // immutable after construction
   };
 
+  /// A victim collected under the shard lock for the demotion hook, fired
+  /// only after the lock is released.
+  struct Demoted {
+    std::string path;
+    std::shared_ptr<CachedFile> data;
+  };
+
   Shard& shard_for(const std::string& path) const;
   /// Belady scan for one victim: the unpinned entry with the farthest next
   /// planned use (FIFO position breaks ties). end() if everything is pinned.
@@ -169,9 +193,12 @@ class PlainCache {
       Shard& s, const EvictionPolicy& policy) REQUIRES(s.mu);
   /// Inserts a freshly loaded entry pinned once; applies FIFO pressure.
   std::shared_ptr<CachedFile> insert_pinned_locked(
-      Shard& s, const std::string& path, std::shared_ptr<CachedFile> data)
+      Shard& s, const std::string& path, std::shared_ptr<CachedFile> data,
+      std::vector<Demoted>* demoted) REQUIRES(s.mu);
+  void evict_if_needed_locked(Shard& s, std::vector<Demoted>* demoted)
       REQUIRES(s.mu);
-  void evict_if_needed_locked(Shard& s) REQUIRES(s.mu);
+  /// Runs the demotion hook over collected victims (no lock held).
+  void fire_demotions(std::vector<Demoted>& demoted);
 
   const std::size_t capacity_;
   std::size_t shard_mask_ = 0;
@@ -190,6 +217,10 @@ class PlainCache {
 
   /// Clairvoyant eviction advice; nullptr = classic FIFO (DESIGN.md §10).
   std::atomic<const EvictionPolicy*> policy_{nullptr};
+
+  /// Next-tier sink for evicted entries (DESIGN.md §12); empty = victims
+  /// are simply dropped, exactly the classic behavior.
+  DemotionHook demote_;
 };
 
 }  // namespace fanstore::core

@@ -90,6 +90,20 @@ class CachedFile {
   /// The full plain contents; only valid once fully_materialized().
   const Bytes& plain() const { return plain_; }
 
+  /// The retained compressed frame of a chunked entry (empty for
+  /// non-chunked entries). Immutable after construction — the tiered cache
+  /// demotes this form into the compressed-RAM tier without re-encoding.
+  const Bytes& compressed_bytes() const { return compressed_; }
+
+  /// Structural chunked-container id of this entry (0 for non-chunked):
+  /// the id that reconstructs an equivalent lazy entry from
+  /// compressed_bytes() + size().
+  compress::CompressorId container_id() const {
+    return chunk_count_ > 0
+               ? compress::chunked_id(frame_.inner_id(), frame_.chunk_size())
+               : 0;
+  }
+
   /// Bytes this entry occupies for cache-budget purposes: retained
   /// compressed frame + plain bytes of materialized chunks. Grows as
   /// chunks decode (PlainCache::recharge applies the delta).

@@ -39,6 +39,29 @@ FanStoreFs::IoMetrics::IoMetrics(obs::MetricsRegistry& m)
       parallel_decodes(m.counter("chunked.parallel_decodes")),
       decode_us(m.histogram("chunked.decode_us")) {}
 
+namespace {
+
+TieredCache::Options tier_options(const FanStoreFs::Options& o,
+                                  obs::MetricsRegistry* metrics) {
+  TieredCache::Options t;
+  t.plain_bytes = o.cache_bytes;
+  t.plain_shards = o.cache_shards;
+  t.compressed_bytes = o.compressed_cache_bytes;
+  t.spill_bytes = o.spill_bytes;
+  t.spill_fs = o.spill_fs;
+  t.spill_root = o.spill_root;
+  t.promote_after_hits = o.promote_after_hits;
+  t.plain_admit_max_bytes = o.plain_admit_max_bytes;
+  t.metrics = metrics;
+  t.clock = o.clock;
+  t.charge_costs = o.cost.enabled;
+  t.charge_decompress = o.cost.charge_decompress;
+  t.spill_storage = o.cost.spill_storage;
+  return t;
+}
+
+}  // namespace
+
 FanStoreFs::FanStoreFs(mpi::Comm comm, MetadataStore* meta,
                        CompressedBackend* backend, Options options)
     : comm_(comm),
@@ -50,7 +73,7 @@ FanStoreFs::FanStoreFs(mpi::Comm comm, MetadataStore* meta,
                          : std::make_unique<obs::MetricsRegistry>()),
       metrics_(options.metrics != nullptr ? options.metrics
                                           : owned_metrics_.get()),
-      cache_(options.cache_bytes, options.cache_shards, metrics_),
+      cache_(tier_options(options, metrics_)),
       io_(*metrics_) {
   if (options_.fetch_timeout_ms < 0) {
     throw std::invalid_argument(
@@ -81,6 +104,11 @@ FanStoreFs::FetchStatus FanStoreFs::fetch_from(int rank, const std::string& path
       if (!direct) return FetchStatus::kMiss;
       charge(options_.cost.network.transfer_time(direct->data.size(),
                                                  options_.cost.nodes));
+      if (options_.cost.charge_remote_service) {
+        // Owner-side service time (request handling + backend lookup): the
+        // measured local/remote gap beyond wire time (paper Tables III/VI).
+        charge(options_.cost.remote_service.file_read_time(direct->data.size()));
+      }
       io_.remote_fetches.inc();
       io_.direct_fetches.inc();
       io_.remote_bytes.inc(direct->data.size());
@@ -126,6 +154,9 @@ FanStoreFs::FetchStatus FanStoreFs::fetch_from(int rank, const std::string& path
                       reply->payload.end());
   if (raw_size != stat.size) return FetchStatus::kMiss;  // stale/other version
   charge(options_.cost.network.transfer_time(fetched.data.size(), options_.cost.nodes));
+  if (options_.cost.charge_remote_service) {
+    charge(options_.cost.remote_service.file_read_time(fetched.data.size()));
+  }
   io_.remote_fetches.inc();
   io_.remote_bytes.inc(fetched.data.size());
   *out = std::move(fetched);
@@ -182,30 +213,35 @@ std::size_t FanStoreFs::decode_threads() const {
   return hw == 0 ? 1 : hw;
 }
 
-std::shared_ptr<CachedFile> FanStoreFs::load_cached(
-    const std::string& path, const format::FileStat& stat) {
+ColdResult FanStoreFs::load_cached(const std::string& path,
+                                   const format::FileStat& stat) {
   obs::TraceSpan span("fs.load", options_.clock);
   WallTimer timer;
+  ColdResult result;
   std::optional<Blob> blob = backend_->get(path);
   if (!blob && static_cast<int>(stat.owner_rank) != comm_.rank()) {
     blob = fetch_remote(path, stat);
     if (!blob) {
       throw std::runtime_error("fanstore: remote fetch failed for " + path);
     }
+    result.source = ColdSource::kPeer;
   } else if (blob) {
     io_.local_misses.inc();
   }
   if (!blob) {
     throw std::runtime_error("fanstore: owner rank has no data for " + path);
   }
+  result.plain_crc = stat.crc;
   if (compress::is_chunked_id(blob->compressor)) {
     // Chunked frame: parse + validate now, decode nothing. Chunks decode
     // (and their cost is charged) exactly once each, wherever they first
-    // materialize — eager open, prefetch warm, or a pread range.
-    auto file = std::make_shared<CachedFile>(std::move(blob->data),
-                                             blob->compressor, stat.size);
+    // materialize — eager open, prefetch warm, or a pread range. The frame
+    // stays inside the CachedFile, so the tiered cache demotes it without
+    // a separate compressed copy here.
+    result.file = std::make_shared<CachedFile>(std::move(blob->data),
+                                               blob->compressor, stat.size);
     io_.load_us.record(static_cast<std::uint64_t>(timer.elapsed_us()));
-    return file;
+    return result;
   }
   const compress::Compressor* codec =
       compress::Registry::instance().by_id(blob->compressor);
@@ -220,8 +256,16 @@ std::shared_ptr<CachedFile> FanStoreFs::load_cached(
     charge(simnet::CodecSpeedTable::shared().decompress_seconds(blob->compressor,
                                                                 plain.size()));
   }
+  if (blob->compressor != 0 && cache_.wants_cold_compressed(stat.size)) {
+    // The tiered cache wants the flat compressed form for write-through
+    // admission (admit-to-compressed-only) — hand it over instead of
+    // discarding it.
+    result.compressed = std::move(blob->data);
+    result.compressor = blob->compressor;
+  }
   io_.load_us.record(static_cast<std::uint64_t>(timer.elapsed_us()));
-  return std::make_shared<CachedFile>(std::move(plain));
+  result.file = std::make_shared<CachedFile>(std::move(plain));
+  return result;
 }
 
 void FanStoreFs::charge_chunk_decode(const CachedFile& file,
@@ -290,7 +334,7 @@ bool FanStoreFs::prefetch_compressed(std::string_view path_in) {
   if (path.empty()) return false;
   const auto stat = meta_->lookup(path);
   if (!stat || stat->type != format::FileType::kRegular) return false;
-  if (cache_.contains(path)) return true;   // already decompressed
+  if (cache_.contains_any(path)) return true;  // resident in some local tier
   if (backend_->contains(path)) return true;  // compressed blob already local
   if (static_cast<int>(stat->owner_rank) == comm_.rank()) return false;
   try {

@@ -32,6 +32,7 @@
 #include "core/backend.hpp"
 #include "core/cache.hpp"
 #include "core/daemon.hpp"
+#include "core/tiered_cache.hpp"
 #include "core/metadata_store.hpp"
 #include "core/retry.hpp"
 #include "mpi/comm.hpp"
@@ -53,6 +54,16 @@ struct CostConfig {
   simnet::NetworkModel network = simnet::fdr_infiniband();
   int nodes = 1;
   bool charge_decompress = true;
+  /// Device model for the SSD spill tier (DESIGN.md §12): every spill
+  /// write/read is charged through this on the virtual clock.
+  simnet::StorageModel spill_storage = simnet::ssd_storage();
+  /// When true, each remote fetch additionally charges the owner daemon's
+  /// service time (request handling + backend lookup on the owner) through
+  /// `remote_service` — the paper's measured local/remote read gap beyond
+  /// raw wire time (Tables III/VI). Off by default so existing cost
+  /// calibrations are untouched.
+  bool charge_remote_service = false;
+  simnet::StorageModel remote_service = simnet::fanstore_remote_service();
 };
 
 class FanStoreFs final : public posixfs::Vfs {
@@ -95,6 +106,22 @@ class FanStoreFs final : public posixfs::Vfs {
     /// large objects stop paying whole-file decode). Default eager keeps
     /// the classic open-decompresses-everything behavior.
     bool lazy_chunked_open = false;
+    /// Tiered-cache budgets (DESIGN.md §12). Both zero (the default) keeps
+    /// the classic single-pool plain-RAM cache, byte for byte.
+    /// Compressed-RAM tier: plain-tier victims stay resident in chunked-
+    /// container form and re-decode per range on hit.
+    std::size_t compressed_cache_bytes = 0;
+    /// SSD-spill tier: crc-framed records on `spill_fs`, charged against
+    /// cost.spill_storage on the virtual clock.
+    std::size_t spill_bytes = 0;
+    /// Spill device; nullptr = an internal RAM-backed stand-in.
+    posixfs::Vfs* spill_fs = nullptr;
+    std::string spill_root = ".fanstore-spill";
+    /// Lower-tier hits before an entry's bytes move up a tier (min 1).
+    std::size_t promote_after_hits = 2;
+    /// Cold objects >= this size are admitted to the compressed tier only
+    /// (plain copy dropped at last close). 0 = always admit to plain RAM.
+    std::size_t plain_admit_max_bytes = 0;
   };
 
   /// Plain snapshot of the I/O counters (see stats()) — a read shim over
@@ -154,8 +181,14 @@ class FanStoreFs final : public posixfs::Vfs {
   }
 
   IoStats stats() const;
-  PlainCache& cache() { return cache_; }
-  const PlainCache& cache() const { return cache_; }
+  /// The plain-RAM tier (tier 0) — kept as the classic accessor so
+  /// pre-tiering callers compile unchanged.
+  PlainCache& cache() { return cache_.plain(); }
+  const PlainCache& cache() const { return cache_.plain(); }
+  /// The whole tier stack (introspection; pass-through when no tier
+  /// budgets are configured).
+  TieredCache& tiers() { return cache_; }
+  const TieredCache& tiers() const { return cache_; }
 
   /// The registry holding this fs's metrics (injected or private).
   obs::MetricsRegistry& metrics() const { return *metrics_; }
@@ -229,8 +262,11 @@ class FanStoreFs final : public posixfs::Vfs {
   /// decompressed here (decompress cost charged); chunked blobs come back
   /// as a lazy CachedFile with nothing decoded — materialize_entry() or a
   /// per-range read decodes (and charges) later, exactly once per chunk.
-  std::shared_ptr<CachedFile> load_cached(const std::string& path,
-                                          const format::FileStat& stat);
+  /// The ColdResult carries the fetch source (peer vs local backend) for
+  /// tier accounting, plus the flat compressed blob when the tiered cache
+  /// wants it for write-through admission.
+  ColdResult load_cached(const std::string& path,
+                         const format::FileStat& stat);
 
   /// Decodes every missing chunk of `file` with the configured decode
   /// pool, charges the parallel-makespan decompress cost for exactly the
@@ -267,7 +303,7 @@ class FanStoreFs final : public posixfs::Vfs {
   Options options_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // when not injected
   obs::MetricsRegistry* metrics_;
-  PlainCache cache_;
+  TieredCache cache_;
   IoMetrics io_;
 
   // Lock order (see DESIGN.md "Concurrency invariants"): fd_mu_, dir_mu_,

@@ -28,6 +28,10 @@ Instance::Instance(mpi::Comm comm, Options options)
         options_.fault->storage_multiplier(comm_.rank()));
     options_.fs.cost.network = options_.fs.cost.network.scaled(
         options_.fault->network_multiplier(comm_.rank()));
+    // The spill tier rides this rank's local SSD: a storage straggler sees
+    // slow spill I/O too.
+    options_.fs.cost.spill_storage = options_.fs.cost.spill_storage.scaled(
+        options_.fault->storage_multiplier(comm_.rank()));
   }
   options_.fs.cost.nodes = comm_.size();
   if (options_.peers != nullptr) {
@@ -187,7 +191,16 @@ std::string Instance::stats_report() const {
       static_cast<double>(backend_->bytes_used()) / 1e6,
       static_cast<unsigned long long>(daemon_->fetches_served()),
       static_cast<unsigned long long>(daemon_->meta_forwards_received()));
-  return buf;
+  std::string out = buf;
+  if (fs_->tiers().tiers_enabled()) {
+    char tier_buf[128];
+    std::snprintf(tier_buf, sizeof(tier_buf),
+                  " | tiers comp=%.1fMB spill=%.1fMB",
+                  static_cast<double>(fs_->tiers().compressed_bytes_used()) / 1e6,
+                  static_cast<double>(fs_->tiers().spill_bytes_used()) / 1e6);
+    out += tier_buf;
+  }
+  return out;
 }
 
 std::string Instance::metrics_dump(bool json) const {

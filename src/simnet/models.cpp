@@ -55,6 +55,14 @@ StorageModel fanstore_storage() {
   return StorageModel{"fanstore", 19e-6, 1e-6, 4.7e9};
 }
 
+StorageModel fanstore_remote_service() {
+  // The owner daemon's share of a remote read: request decode, backend
+  // lookup, reply framing — roughly one fanstore-local read path spent on
+  // the *owner's* core (Tables III/VI put remote reads a near-constant
+  // factor under local ones even when the wire is not the bottleneck).
+  return StorageModel{"fanstore-remote-svc", 19e-6, 1e-6, 4.7e9};
+}
+
 NetworkModel fdr_infiniband() {
   return NetworkModel{"fdr-ib", 1.2e-6, 56e9 / 8, 0.03};
 }

@@ -88,6 +88,15 @@ StorageModel lustre_storage();    // shared-FS client path (data plane)
 /// (Slightly below raw SSD per Table III: 71-99% of raw device speed.)
 StorageModel fanstore_storage();
 
+/// Owner-daemon service cost of one remote read: request decode, backend
+/// lookup, reply assembly on the *owner* rank — the measured gap between
+/// FanStore's local and remote reads beyond raw wire time (Tables III/VI
+/// show remote reads at a constant offset below local even on saturated
+/// fabrics). Charged per fetch when CostConfig::charge_remote_service is
+/// on; tier economics (DESIGN.md §12) rely on it to rank peer RAM below
+/// the node-local spill tiers.
+StorageModel fanstore_remote_service();
+
 NetworkModel fdr_infiniband();  // GTX & V100 clusters
 NetworkModel omnipath();        // CPU cluster (100 Gb/s fat tree)
 

@@ -6,10 +6,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <thread>
 #include <vector>
 
+#include "compress/chunked.hpp"
+#include "compress/registry.hpp"
 #include "core/cache.hpp"
+#include "core/tiered_cache.hpp"
 
 namespace fanstore::core {
 namespace {
@@ -288,6 +292,296 @@ TEST(SingleFlightTest, LoaderFailurePropagatesToAllWaiters) {
   auto ok = cache.acquire("bad", [] { return blob(10, 1); });
   EXPECT_EQ(ok->size(), 10u);
   cache.release("bad");
+}
+
+// ---- Tiered cache (DESIGN.md §12) --------------------------------------
+
+TEST(DemotionHookTest, EvictedVictimsFlowToHookAfterUnlock) {
+  PlainCache cache(250);
+  std::vector<std::string> demoted;
+  cache.set_demotion_hook(
+      [&](const std::string& path, const std::shared_ptr<CachedFile>& file) {
+        ASSERT_NE(file, nullptr);
+        // The hook may re-enter the cache: no shard lock is held here.
+        EXPECT_FALSE(cache.contains(path));
+        demoted.push_back(path);
+      });
+  cache.acquire("a", [] { return blob(100, 1); });
+  cache.release("a");
+  cache.acquire("b", [] { return blob(100, 2); });
+  cache.release("b");
+  cache.acquire("c", [] { return blob(100, 3); });  // pressure: evicts "a"
+  cache.release("c");
+  ASSERT_EQ(demoted.size(), 1u);
+  EXPECT_EQ(demoted[0], "a");
+  // drop() fires the hook too once the pin count reaches zero.
+  cache.drop("b");
+  ASSERT_EQ(demoted.size(), 2u);
+  EXPECT_EQ(demoted[1], "b");
+  EXPECT_FALSE(cache.contains("b"));
+  // The hook received usable bytes, not a husk.
+  EXPECT_EQ(cache.stats().evictions, 1u);  // drop() is not an eviction
+}
+
+/// A chunked cold object for tier tests: constant fill compresses well, so
+/// the frame is far smaller than the 16 KiB plain size.
+struct ChunkedObject {
+  compress::CompressorId id = 0;
+  Bytes plain;
+  Bytes compressed;
+};
+
+ChunkedObject make_chunked(std::uint8_t fill, std::size_t n = 16384) {
+  ChunkedObject o;
+  o.plain = blob(n, fill);
+  o.id = compress::chunked_id(
+      compress::Registry::instance().id_by_name("lz4"), 4096);
+  o.compressed =
+      compress::Registry::instance().by_id(o.id)->compress(as_view(o.plain));
+  return o;
+}
+
+TieredCache::ColdLoader cold_of(const ChunkedObject& o, int* calls = nullptr) {
+  return [&o, calls] {
+    if (calls != nullptr) ++*calls;
+    ColdResult r;
+    r.file = std::make_shared<CachedFile>(Bytes(o.compressed), o.id,
+                                          o.plain.size());
+    return r;
+  };
+}
+
+/// acquire + full materialization + budget resync — what FanStoreFs's eager
+/// open path does.
+std::shared_ptr<CachedFile> acquire_hot(TieredCache& tc,
+                                        const std::string& path,
+                                        const TieredCache::ColdLoader& cold) {
+  auto f = tc.acquire_file(path, cold);
+  f->materialize_all(1, nullptr);
+  tc.recharge(path);
+  return f;
+}
+
+TEST(TieredCacheTest, DemoteToCompressedHitAndPromoteOnSecondHit) {
+  // Plain budget holds exactly one materialized 16 KiB entry; the
+  // compressed tier is effectively unbounded; promote on second hit.
+  TieredCache::Options opt;
+  opt.plain_bytes = 20000;
+  opt.compressed_bytes = 1 << 20;
+  opt.promote_after_hits = 2;
+  TieredCache tc(opt);
+  auto& m = tc.metrics();
+  const auto a = make_chunked(1);
+  const auto b = make_chunked(2);
+  int cold_a = 0;
+  int cold_b = 0;
+
+  acquire_hot(tc, "a", cold_of(a, &cold_a));
+  tc.release("a");
+  acquire_hot(tc, "b", cold_of(b, &cold_b));  // recharge evicts "a" → tier 1
+  tc.release("b");
+  EXPECT_TRUE(tc.compressed_contains("a"));
+  EXPECT_FALSE(tc.plain().contains("a"));
+  EXPECT_EQ(m.counter("tier.compressed.demotes").value(), 1u);
+  EXPECT_EQ(tc.compressed_bytes_used(), a.compressed.size());
+
+  // First tier-1 hit: rebuilt into plain RAM, tier-1 copy retained.
+  auto fa = acquire_hot(tc, "a", cold_of(a, &cold_a));  // evicts "b" → tier 1
+  EXPECT_EQ(cold_a, 1);  // served from the compressed tier, not cold
+  EXPECT_TRUE(tc.compressed_contains("a"));
+  EXPECT_EQ(fa->plain(), a.plain);
+  tc.release("a");
+  EXPECT_TRUE(tc.compressed_contains("b"));
+
+  // First tier-1 hit for "b"; its insert demotes "a" again, which dedupes
+  // against the still-resident tier-1 copy.
+  acquire_hot(tc, "b", cold_of(b, &cold_b));
+  EXPECT_EQ(cold_b, 1);
+  tc.release("b");
+  EXPECT_TRUE(tc.compressed_contains("a"));
+
+  // Second tier-1 hit for "a": promoted — the tier-1 copy moves up.
+  auto fa2 = acquire_hot(tc, "a", cold_of(a, &cold_a));
+  EXPECT_EQ(cold_a, 1);
+  EXPECT_FALSE(tc.compressed_contains("a"));
+  EXPECT_EQ(fa2->plain(), a.plain);
+  tc.release("a");
+
+  EXPECT_EQ(m.counter("tier.compressed.hits").value(), 3u);
+  EXPECT_EQ(m.counter("tier.compressed.promotes").value(), 1u);
+  EXPECT_EQ(m.counter("tier.cold.loads").value(), 2u);
+  // Identity: every plain miss resolved exactly one tier below.
+  EXPECT_EQ(m.counter("cache.misses").value(),
+            m.counter("tier.compressed.hits").value() +
+                m.counter("tier.cold.loads").value());
+}
+
+TEST(TieredCacheTest, FlatEntriesSpillAndPromoteBack) {
+  // No compressed tier: flat victims go straight to the crc-framed spill
+  // device; promote on first hit so the round trip is observable.
+  TieredCache::Options opt;
+  opt.plain_bytes = 250;
+  opt.spill_bytes = 10000;
+  opt.promote_after_hits = 1;
+  TieredCache tc(opt);
+  auto& m = tc.metrics();
+  auto flat = [](std::uint8_t fill) -> TieredCache::ColdLoader {
+    return [fill] {
+      ColdResult r;
+      r.file = std::make_shared<CachedFile>(blob(100, fill));
+      return r;
+    };
+  };
+  tc.acquire_file("a", flat(1));
+  tc.release("a");
+  tc.acquire_file("b", flat(2));
+  tc.release("b");
+  tc.acquire_file("c", flat(3));  // evicts "a" → spill record (22 B header)
+  tc.release("c");
+  EXPECT_TRUE(tc.spill_contains("a"));
+  EXPECT_EQ(tc.spill_bytes_used(), 122u);
+  EXPECT_EQ(m.counter("tier.spill.demotes").value(), 1u);
+  EXPECT_EQ(m.counter("tier.spill.bytes_written").value(), 122u);
+
+  // Spill hit: crc-verified, promoted on first hit (record reclaimed); the
+  // re-insert pressure pushes "b" down in its place.
+  auto fa = tc.acquire_file("a", flat(1));
+  EXPECT_EQ(fa->plain(), blob(100, 1));
+  EXPECT_FALSE(tc.spill_contains("a"));
+  EXPECT_TRUE(tc.spill_contains("b"));
+  tc.release("a");
+  EXPECT_EQ(m.counter("tier.spill.hits").value(), 1u);
+  EXPECT_EQ(m.counter("tier.spill.promotes").value(), 1u);
+  EXPECT_EQ(m.counter("tier.spill.bytes_read").value(), 122u);
+  EXPECT_EQ(tc.spill_bytes_used(), 122u);  // only "b" remains
+  EXPECT_EQ(m.counter("cache.misses").value(),
+            m.counter("tier.spill.hits").value() +
+                m.counter("tier.cold.loads").value());
+}
+
+TEST(TieredCacheTest, CompressedOverflowSpillsOldestFrame) {
+  const auto a = make_chunked(1);
+  const auto b = make_chunked(2);
+  const auto c = make_chunked(3);
+  TieredCache::Options opt;
+  opt.plain_bytes = 20000;  // one materialized entry
+  // Holds one compressed frame but not two.
+  opt.compressed_bytes = a.compressed.size() + a.compressed.size() / 2;
+  opt.spill_bytes = 1 << 20;
+  TieredCache tc(opt);
+  acquire_hot(tc, "a", cold_of(a));
+  tc.release("a");
+  acquire_hot(tc, "b", cold_of(b));  // "a" → tier 1
+  tc.release("b");
+  EXPECT_TRUE(tc.compressed_contains("a"));
+  acquire_hot(tc, "c", cold_of(c));  // "b" → tier 1, which evicts "a" → spill
+  tc.release("c");
+  EXPECT_TRUE(tc.compressed_contains("b"));
+  EXPECT_FALSE(tc.compressed_contains("a"));
+  EXPECT_TRUE(tc.spill_contains("a"));
+  auto& m = tc.metrics();
+  EXPECT_EQ(m.counter("tier.compressed.evictions").value(), 1u);
+  EXPECT_EQ(m.counter("tier.spill.demotes").value(), 1u);
+  // The spilled frame still round-trips: a spill hit rebuilds "a" exactly.
+  auto fa = acquire_hot(tc, "a", cold_of(a));
+  EXPECT_EQ(fa->plain(), a.plain);
+  tc.release("a");
+}
+
+TEST(TieredCacheTest, AdmitToCompressedOnlyDropsPlainCopyAtLastClose) {
+  const auto a = make_chunked(7);
+  TieredCache::Options opt;
+  opt.plain_bytes = 1 << 20;
+  opt.compressed_bytes = 1 << 20;
+  opt.plain_admit_max_bytes = 1;  // everything is "large": compressed-only
+  opt.promote_after_hits = 2;
+  TieredCache tc(opt);
+  int cold_calls = 0;
+  auto f = tc.acquire_file("a", cold_of(a, &cold_calls));
+  // Write-through admission happened at load time.
+  EXPECT_TRUE(tc.compressed_contains("a"));
+  EXPECT_TRUE(tc.plain().contains("a"));  // pinned for this open
+  tc.release("a");
+  // Last close: the plain copy is dropped — the compressed frame is home.
+  EXPECT_FALSE(tc.plain().contains("a"));
+  EXPECT_TRUE(tc.compressed_contains("a"));
+  // Repeated hits re-decode from tier 1 and never promote it away.
+  for (int i = 0; i < 3; ++i) {
+    auto g = acquire_hot(tc, "a", cold_of(a, &cold_calls));
+    EXPECT_EQ(g->plain(), a.plain);
+    tc.release("a");
+    EXPECT_TRUE(tc.compressed_contains("a"));
+    EXPECT_FALSE(tc.plain().contains("a"));
+  }
+  EXPECT_EQ(cold_calls, 1);
+  EXPECT_EQ(tc.metrics().counter("tier.compressed.admits").value(), 1u);
+}
+
+class MapPolicy : public EvictionPolicy {
+ public:
+  std::map<std::string, std::uint64_t> distance;
+  std::uint64_t next_use_distance(const std::string& path) const override {
+    const auto it = distance.find(path);
+    return it == distance.end() ? kNever : it->second;
+  }
+};
+
+TEST(TieredCacheTest, BeladyPolicyAppliesPerTier) {
+  const auto a = make_chunked(1);
+  const auto b = make_chunked(2);
+  const auto c = make_chunked(3);
+  const auto d = make_chunked(4);
+  TieredCache::Options opt;
+  opt.plain_bytes = 20000;
+  opt.compressed_bytes = 2 * a.compressed.size() + a.compressed.size() / 2;
+  opt.spill_bytes = 1 << 20;
+  opt.promote_after_hits = 100;  // promotion out of the picture
+  TieredCache tc(opt);
+  // Fill tier 1 with {a, b} via plain-tier pressure.
+  acquire_hot(tc, "a", cold_of(a));
+  tc.release("a");
+  acquire_hot(tc, "b", cold_of(b));
+  tc.release("b");
+  acquire_hot(tc, "c", cold_of(c));
+  tc.release("c");
+  ASSERT_TRUE(tc.compressed_contains("a"));
+  ASSERT_TRUE(tc.compressed_contains("b"));
+  // Clairvoyant plan: "b" is needed farthest in the future.
+  MapPolicy policy;
+  policy.distance = {{"a", 5}, {"b", 10}, {"c", 1}, {"d", 2}};
+  tc.set_eviction_policy(&policy);
+  // "d" pushes "c" into tier 1; the tier-1 victim must be "b" (farthest
+  // next use), not "a" (FIFO head).
+  acquire_hot(tc, "d", cold_of(d));
+  tc.release("d");
+  EXPECT_TRUE(tc.compressed_contains("a"));
+  EXPECT_TRUE(tc.compressed_contains("c"));
+  EXPECT_FALSE(tc.compressed_contains("b"));
+  EXPECT_TRUE(tc.spill_contains("b"));
+  tc.set_eviction_policy(nullptr);
+}
+
+TEST(TieredCacheTest, NoTierBudgetsIsPassThrough) {
+  TieredCache::Options opt;
+  opt.plain_bytes = 250;
+  TieredCache tc(opt);
+  EXPECT_FALSE(tc.tiers_enabled());
+  int cold_calls = 0;
+  auto f = tc.acquire_file("a", [&] {
+    ++cold_calls;
+    ColdResult r;
+    r.file = std::make_shared<CachedFile>(blob(100, 1));
+    return r;
+  });
+  EXPECT_EQ(f->plain(), blob(100, 1));
+  tc.release("a");
+  EXPECT_EQ(cold_calls, 1);
+  // No tier metric was registered — the registry is untouched beyond the
+  // classic "cache.*" family.
+  const auto snap = tc.metrics().snapshot();
+  for (const auto& s : snap.entries) {
+    EXPECT_TRUE(s.name.rfind("tier.", 0) != 0) << s.name;
+  }
 }
 
 }  // namespace

@@ -469,6 +469,110 @@ TEST(ChaosTest, ManualDaemonKillAndRestartKeepsCacheIntact) {
   EXPECT_GT(inj.metrics().counter("fault.daemon_dropped").value(), 0u);
 }
 
+TEST(ChaosTest, SpillTierKeepsCacheIntactAcrossDaemonRestart) {
+  // The daemon-restart guarantee extended to the tiered stack: entries that
+  // have been demoted all the way to the SSD-spill tier must stay readable
+  // while their owner's daemon is dead (a spill hit is purely local), and a
+  // restart must bring cold paths back without disturbing spilled state.
+  // Three seeds reshuffle the lossy-link chaos around the kill/restart.
+  const std::uint64_t base = fault::fault_seed_from_env(0x5B111F5ull);
+  for (int round = 0; round < 3; ++round) {
+    const std::uint64_t seed = base + static_cast<std::uint64_t>(round) * 1000003ull;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    fault::FaultPlan plan;
+    plan.with_seed(seed).lossy_links(0.15);
+    fault::FaultInjector inj(plan);
+
+    constexpr int kSpillFiles = 6;
+    std::vector<Bytes> contents;
+    for (int i = 0; i < kSpillFiles; ++i) {
+      contents.push_back(testdata::runs_and_noise(3000, 700 + i));
+    }
+    const Bytes never_content = testdata::text_like(3000, 99);
+
+    mpi::run_world(
+        2,
+        [&](mpi::Comm& comm) {
+          core::Instance::Options opt;
+          opt.fs.fetch_timeout_ms = scale_ms(30);
+          opt.fs.failover_hops = 1;
+          opt.fs.retry.max_attempts = 8;
+          opt.fs.retry.base_delay_ms = 1;
+          opt.fs.retry.max_delay_ms = 4;
+          // Plain tier holds one decompressed file; everything else demotes
+          // through to the spill device.
+          opt.fs.cache_bytes = 4096;
+          opt.fs.spill_bytes = std::size_t{1} << 20;
+          opt.fs.promote_after_hits = 1;
+          opt.fault = &inj;
+          core::Instance inst(comm, opt);
+          if (comm.rank() == 1) {
+            format::PartitionWriter w;
+            const auto& reg = compress::Registry::instance();
+            const auto* codec = reg.by_name("lz4");
+            for (int i = 0; i < kSpillFiles; ++i) {
+              w.add(format::make_record("f" + std::to_string(i), *codec,
+                                        reg.id_of(*codec),
+                                        as_view(contents[static_cast<std::size_t>(i)])));
+            }
+            w.add(format::make_record("never", *codec, reg.id_of(*codec),
+                                      as_view(never_content)));
+            inst.load_partition_blob(as_view(w.serialize()), 0, 1);
+          }
+          inst.exchange_metadata();
+          inst.start_daemon();
+          comm.barrier();
+
+          if (comm.rank() == 0) {
+            // Warm pass: each read displaces its predecessor down the
+            // hierarchy, so f0..f4 end up in the spill tier.
+            for (int i = 0; i < kSpillFiles; ++i) {
+              const auto got =
+                  posixfs::read_file(inst.fs(), "f" + std::to_string(i));
+              ASSERT_TRUE(got.has_value()) << "warm read f" << i;
+              ASSERT_EQ(*got, contents[static_cast<std::size_t>(i)]);
+            }
+            ASSERT_TRUE(inst.fs().tiers().spill_contains("f0"));
+          }
+          comm.barrier();
+          inj.kill_daemon(1);
+          comm.barrier();
+          if (comm.rank() == 0) {
+            // Spilled entry: readable while the owner is dead — the crc-
+            // verified spill record is local, no daemon involved.
+            const auto spill_hits_before =
+                inst.metrics().counter("tier.spill.hits").value();
+            const auto got = posixfs::read_file(inst.fs(), "f0");
+            ASSERT_TRUE(got.has_value());
+            EXPECT_EQ(*got, contents[0]);
+            EXPECT_GT(inst.metrics().counter("tier.spill.hits").value(),
+                      spill_hits_before);
+            // A file in no local tier stays unreachable until restart.
+            EXPECT_EQ(inst.fs().open("never", posixfs::OpenMode::kRead), -EIO);
+          }
+          comm.barrier();
+          inj.revive_daemon(1);
+          comm.barrier();
+          if (comm.rank() == 0) {
+            const auto got = posixfs::read_file(inst.fs(), "never");
+            ASSERT_TRUE(got.has_value());
+            EXPECT_EQ(*got, never_content);
+            // Restart did not disturb spilled state: another spilled file
+            // still round-trips from its local record.
+            ASSERT_TRUE(inst.fs().tiers().spill_contains("f1") ||
+                        inst.fs().tiers().spill_contains("f2"));
+            const auto f1 = posixfs::read_file(inst.fs(), "f1");
+            ASSERT_TRUE(f1.has_value());
+            EXPECT_EQ(*f1, contents[1]);
+          }
+          comm.barrier();
+          inst.stop();
+        },
+        &inj);
+    EXPECT_GT(inj.metrics().counter("fault.daemon_dropped").value(), 0u);
+  }
+}
+
 // Determinism: identical (plan, traffic) -> identical canonical fault
 // schedule; a different seed reshuffles it. Traffic is a single scripted
 // sender so per-channel order is exactly reproducible.

@@ -6,8 +6,12 @@
 // arrives damaged from the shared FS or the interconnect.
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "compress/chunked.hpp"
 #include "compress/registry.hpp"
+#include "core/tiered_cache.hpp"
+#include "posixfs/mem_vfs.hpp"
 #include "tests/test_data.hpp"
 #include "util/rng.hpp"
 
@@ -130,6 +134,147 @@ TEST_F(ChunkedCorruptionTest, ChunkCountInconsistentWithSizeThrows) {
     mutated[11] = count;
     expect_corrupt(mutated);
   }
+}
+
+// --- SSD-spill record corruption classes ---------------------------------
+//
+// The tiered cache's spill tier frames every record with a leading crc32
+// that covers all later bytes (DESIGN.md §12), so any torn write or media
+// bit-flip must surface as CorruptDataError before a single field is
+// interpreted — and, end to end, a damaged spill file must never be served
+// as a cache hit.
+
+class SpillRecordCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    payload_ = testdata::runs_and_noise(300, 42);
+    record_ = core::encode_spill_record(/*compressor=*/7,
+                                        /*original_size=*/12345,
+                                        /*plain_crc=*/0xdeadbeef,
+                                        as_view(payload_));
+    // Sanity: the intact record round-trips.
+    const core::SpillRecord r = core::decode_spill_record(as_view(record_));
+    ASSERT_EQ(r.compressor, 7u);
+    ASSERT_EQ(r.original_size, 12345u);
+    ASSERT_EQ(r.plain_crc, 0xdeadbeefu);
+    ASSERT_EQ(r.payload, payload_);
+  }
+
+  Bytes payload_;
+  Bytes record_;
+};
+
+TEST_F(SpillRecordCorruptionTest, EveryTruncationThrows) {
+  // Any prefix — mid-header or mid-payload — breaks the frame crc (or the
+  // minimum-length check) and must throw, never return partial bytes.
+  for (std::size_t n = 0; n < record_.size(); ++n) {
+    Bytes mutated(record_.begin(),
+                  record_.begin() + static_cast<std::ptrdiff_t>(n));
+    EXPECT_THROW((void)core::decode_spill_record(as_view(mutated)),
+                 CorruptDataError)
+        << "prefix length " << n;
+  }
+}
+
+TEST_F(SpillRecordCorruptionTest, EverySingleBitFlipThrows) {
+  // The crc covers everything after itself and the crc field itself is
+  // compared verbatim, so no single-bit flip anywhere can decode.
+  Rng rng(99);
+  for (std::size_t i = 0; i < record_.size(); ++i) {
+    Bytes mutated = record_;
+    mutated[i] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    EXPECT_THROW((void)core::decode_spill_record(as_view(mutated)),
+                 CorruptDataError)
+        << "byte " << i;
+  }
+}
+
+TEST_F(SpillRecordCorruptionTest, OverwriteRunsThrow) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes mutated = record_;
+    const std::size_t start = rng.next_below(mutated.size());
+    const std::size_t len =
+        std::min<std::size_t>(mutated.size() - start, 1 + rng.next_below(64));
+    bool changed = false;
+    for (std::size_t i = 0; i < len; ++i) {
+      const auto b = static_cast<std::uint8_t>(rng.next_u64());
+      changed |= mutated[start + i] != b;
+      mutated[start + i] = b;
+    }
+    if (!changed) continue;  // overwrite happened to be a no-op
+    EXPECT_THROW((void)core::decode_spill_record(as_view(mutated)),
+                 CorruptDataError);
+  }
+}
+
+// End to end: a corrupt spill file is treated as a device failure — the
+// slot is reclaimed, the read falls through to the cold loader, and the
+// damaged bytes are never served as a hit.
+class SpillTierCorruptionTest : public ::testing::Test {
+ protected:
+  void corrupt_and_reload(const std::function<void(Bytes&)>& mutate) {
+    posixfs::MemVfs spill_fs;
+    core::TieredCache::Options opt;
+    opt.plain_bytes = 150;  // holds exactly one 100-byte entry
+    opt.spill_bytes = 10000;
+    opt.promote_after_hits = 1;
+    opt.spill_fs = &spill_fs;
+    opt.spill_root = "spill";
+    core::TieredCache tc(opt);
+    const Bytes x_bytes = testdata::random_bytes(100, 1);
+    int cold_x = 0;
+    auto cold = [&] {
+      ++cold_x;
+      core::ColdResult r;
+      r.file = std::make_shared<core::CachedFile>(Bytes(x_bytes));
+      return r;
+    };
+    tc.acquire_file("x", cold);
+    tc.release("x");
+    tc.acquire_file("y", [&] {
+      core::ColdResult r;
+      r.file = std::make_shared<core::CachedFile>(Bytes(100, 9));
+      return r;
+    });  // evicts "x" → spill
+    ASSERT_TRUE(tc.spill_contains("x"));
+    ASSERT_EQ(cold_x, 1);
+
+    // Damage the one spill record on the device, in place.
+    const int h = spill_fs.opendir("spill");
+    ASSERT_GE(h, 0);
+    std::vector<std::string> names;
+    while (auto e = spill_fs.readdir(h)) names.push_back(e->name);
+    spill_fs.closedir(h);
+    ASSERT_EQ(names.size(), 1u);
+    const std::string rec_path = "spill/" + names[0];
+    auto raw = posixfs::read_file(spill_fs, rec_path);
+    ASSERT_TRUE(raw.has_value());
+    mutate(*raw);
+    ASSERT_EQ(posixfs::write_file(spill_fs, rec_path, as_view(*raw)), 0);
+
+    // The re-acquire must detect the damage, fall through to cold, and
+    // never surface the corrupt payload.
+    auto f = tc.acquire_file("x", cold);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->plain(), x_bytes);
+    EXPECT_EQ(cold_x, 2);  // served cold, not from the damaged record
+    EXPECT_EQ(tc.metrics().counter("tier.spill.corrupt").value(), 1u);
+    EXPECT_EQ(tc.metrics().counter("tier.spill.hits").value(), 0u);
+    tc.release("x");
+  }
+};
+
+TEST_F(SpillTierCorruptionTest, BitFlippedSpillFileFallsToCold) {
+  corrupt_and_reload([](Bytes& raw) { raw[raw.size() / 2] ^= 0x10; });
+}
+
+TEST_F(SpillTierCorruptionTest, TruncatedSpillFileFallsToCold) {
+  corrupt_and_reload([](Bytes& raw) { raw.resize(raw.size() / 3); });
+}
+
+TEST_F(SpillTierCorruptionTest, EmptySpillFileFallsToCold) {
+  corrupt_and_reload([](Bytes& raw) { raw.clear(); });
 }
 
 std::vector<CompressorId> all_ids() {

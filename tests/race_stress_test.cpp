@@ -12,9 +12,11 @@
 #include <thread>
 #include <vector>
 
+#include "compress/chunked.hpp"
 #include "compress/registry.hpp"
 #include "core/cache.hpp"
 #include "core/instance.hpp"
+#include "core/tiered_cache.hpp"
 #include "fault/injector.hpp"
 #include "tests/sanitizer_env.hpp"
 #include "ipc/uds_client.hpp"
@@ -155,6 +157,97 @@ TEST(RaceStressTest, ChunkedPartialMaterializationRace) {
   EXPECT_TRUE(file->fully_materialized());
   EXPECT_EQ(file->plain(), original);
   cache.release("big");
+}
+
+TEST(RaceStressTest, TieredPromoteDemoteAcrossShards) {
+  // Eight threads over a 16-path working set in an 8-shard tiered stack
+  // whose per-shard plain budget holds at most one entry: every acquire
+  // either demotes a victim (chunked frames → compressed RAM, flat blobs →
+  // spill, compressed overflow → spill) or promotes a lower-tier copy back
+  // up (promote_after_hits=1 maximizes churn). TSan sees shard locks,
+  // comp_mu_, spill_mu_, single-flight slots, and the per-chunk decode
+  // protocol interleave; every read must still return perfect bytes.
+  constexpr int kPaths = 16;
+  constexpr int kThreads = 8;
+  const int kIters = testsupport::kUnderSanitizer ? 60 : 150;
+
+  const auto& reg = compress::Registry::instance();
+  const compress::CompressorId chunked_id =
+      compress::chunked_id(reg.id_by_name("lz4"), 4096);
+  // Even paths are chunked 8 KiB objects (demote to compressed RAM); odd
+  // paths are flat 4 KiB blobs (demote straight to the spill device).
+  std::vector<Bytes> plains;
+  std::vector<Bytes> frames;
+  for (int i = 0; i < kPaths; ++i) {
+    const auto fill = static_cast<std::uint8_t>(i + 1);
+    plains.emplace_back(i % 2 == 0 ? 8192 : 4096, fill);
+    frames.push_back(i % 2 == 0
+                         ? reg.by_id(chunked_id)->compress(as_view(plains.back()))
+                         : Bytes{});
+  }
+
+  core::TieredCache::Options opt;
+  opt.plain_bytes = 96 * 1024;
+  opt.plain_shards = 8;
+  opt.compressed_bytes = 4096;  // a handful of frames, then overflow → spill
+  opt.spill_bytes = std::size_t{1} << 20;
+  opt.promote_after_hits = 1;
+  core::TieredCache tc(opt);
+  ASSERT_EQ(tc.plain().shard_count(), 8u);
+
+  std::atomic<std::uint64_t> cold_loads{0};
+  auto cold = [&](int i) -> core::TieredCache::ColdLoader {
+    return [&, i] {
+      cold_loads.fetch_add(1, std::memory_order_relaxed);
+      core::ColdResult r;
+      if (i % 2 == 0) {
+        r.file = std::make_shared<core::CachedFile>(Bytes(frames[i]),
+                                                    chunked_id,
+                                                    plains[i].size());
+      } else {
+        r.file = std::make_shared<core::CachedFile>(Bytes(plains[i]));
+      }
+      return r;
+    };
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int it = 0; it < kIters; ++it) {
+        const int i = (t * 7 + it) % kPaths;
+        const std::string path = "tier" + std::to_string(i);
+        const auto file = tc.acquire_file(path, cold(i));
+        ASSERT_NE(file, nullptr);
+        file->materialize_all(1, nullptr);
+        tc.recharge(path);  // eviction pressure → demotion into lower tiers
+        const Bytes& got = file->plain();
+        ASSERT_EQ(got.size(), plains[static_cast<std::size_t>(i)].size());
+        ASSERT_EQ(got.front(), static_cast<std::uint8_t>(i + 1));
+        ASSERT_EQ(got.back(), static_cast<std::uint8_t>(i + 1));
+        if (it % 3 == 0) tc.contains_any(path);
+        if (it % 5 == 0) tc.compressed_bytes_used();
+        if (it % 7 == 0) tc.spill_bytes_used();
+        tc.release(path);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Accounting identity holds even under maximal churn: every plain-tier
+  // miss resolved in exactly one lower tier (or went cold).
+  auto& m = tc.metrics();
+  EXPECT_EQ(m.counter("cache.misses").value(),
+            m.counter("tier.compressed.hits").value() +
+                m.counter("tier.spill.hits").value() +
+                m.counter("tier.peer.hits").value() +
+                m.counter("tier.cold.loads").value());
+  EXPECT_EQ(m.counter("tier.cold.loads").value(), cold_loads.load());
+  EXPECT_GE(cold_loads.load(), static_cast<std::uint64_t>(kPaths));
+  // With every pin dropped, each tier has settled back under its budget.
+  EXPECT_LE(tc.plain().bytes_used(), tc.plain().capacity());
+  EXPECT_LE(tc.compressed_bytes_used(), opt.compressed_bytes);
+  EXPECT_LE(tc.spill_bytes_used(), opt.spill_bytes);
 }
 
 TEST(RaceStressTest, MailboxSendRecvAcrossRankThreads) {

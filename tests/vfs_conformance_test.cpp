@@ -81,6 +81,31 @@ std::unique_ptr<Backend> make_backend(const std::string& kind) {
     b->instance->load_partition_blob(as_view(blob), 0);
     b->instance->exchange_metadata();
     b->vfs = &b->instance->fs();
+  } else if (kind == "TieredFanStoreFs") {
+    // Same facade with the tiered cache stack underneath, budgeted so the
+    // dataset is 10x the plain-RAM tier: most reads are served by
+    // decompressing a compressed-RAM frame or re-reading a crc-framed
+    // spill record, and must still be byte-identical.
+    b->world = std::make_unique<mpi::World>(1);
+    core::Instance::Options opt;
+    opt.fs.cache_bytes = (content_a().size() + content_b().size()) / 10;
+    opt.fs.compressed_cache_bytes = 4096;
+    opt.fs.spill_bytes = std::size_t{1} << 20;
+    opt.fs.promote_after_hits = 2;
+    b->instance =
+        std::make_unique<core::Instance>(b->world->comm(0), std::move(opt));
+    const auto& reg = compress::Registry::instance();
+    const auto* chunked = reg.by_name("chunked-16k+lz4");
+    const auto* flat = reg.by_name("lz4hc");
+    format::PartitionWriter w;
+    w.add(format::make_record("tree/a.txt", *chunked, reg.id_of(*chunked),
+                              as_view(content_a())));
+    w.add(format::make_record("tree/sub/b.bin", *flat, reg.id_of(*flat),
+                              as_view(content_b())));
+    const Bytes blob = w.serialize();
+    b->instance->load_partition_blob(as_view(blob), 0);
+    b->instance->exchange_metadata();
+    b->vfs = &b->instance->fs();
   } else if (kind == "UdsClientVfs") {
     b->mem = std::make_unique<MemVfs>();
     populate(*b->mem);
@@ -211,8 +236,9 @@ TEST_P(VfsConformanceTest, WriteRoundTripWhereSupported) {
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, VfsConformanceTest,
                          ::testing::Values("MemVfs", "LocalVfs", "Interceptor",
-                                           "FanStoreFs", "UdsClientVfs",
-                                           "EventUds", "EventTcp"),
+                                           "FanStoreFs", "TieredFanStoreFs",
+                                           "UdsClientVfs", "EventUds",
+                                           "EventTcp"),
                          [](const ::testing::TestParamInfo<std::string>& info) {
                            return info.param;
                          });

@@ -59,6 +59,8 @@ echo "==== [labels] ctest -L plan ===="
 ctest --test-dir build --output-on-failure -j "$jobs" -L plan
 echo "==== [labels] ctest -L ipc ===="
 ctest --test-dir build --output-on-failure -j "$jobs" -L ipc
+echo "==== [labels] ctest -L tiered ===="
+ctest --test-dir build --output-on-failure -j "$jobs" -L tiered
 echo "==== [labels] ctest -L lint ===="
 ctest --test-dir build --output-on-failure -j "$jobs" -L lint
 
@@ -104,6 +106,15 @@ build/bench/bench_clairvoyant --quick --json /tmp/BENCH_clairvoyant_quick.json
 # parallel. Run without --quick for the recorded BENCH_ipc.json numbers.
 echo "==== [bench] bench_ipc --quick ===="
 build/bench/bench_ipc --quick --json /tmp/BENCH_ipc_quick.json
+
+# Tiered-cache smoke (DESIGN.md §12): plain-RAM-only vs the four-tier stack
+# across RAM-budget fractions in virtual time. The tier accounting identity
+# is enforced on every run; the "tiered beats plain at cache = 1/8 dataset"
+# epoch-time gate is enforced only on hardware with >= 8 cores (recorded in
+# the JSON either way, like BENCH_ipc.json). Run without --quick for the
+# recorded BENCH_tiered.json numbers.
+echo "==== [bench] bench_tiered --quick ===="
+build/bench/bench_tiered --quick --json /tmp/BENCH_tiered_quick.json
 
 if [ "${1:-}" = "--tier1-only" ]; then
   echo "ci.sh: tier-1 pass complete (sanitizer matrix skipped)"
