@@ -1,0 +1,72 @@
+#include "cluster/hash_ring.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "cluster/shard_store.hpp"
+#include "util/hash.hpp"
+
+namespace fanstore::cluster {
+
+std::uint32_t shard_of(std::string_view path, std::uint32_t nshards) {
+  if (nshards == 0) return 0;
+  return static_cast<std::uint32_t>(util::stable_hash64(path) % nshards);
+}
+
+HashRing::HashRing(const std::vector<int>& members, int replication_factor,
+                   int vnodes) {
+  members_ = members;
+  std::sort(members_.begin(), members_.end());
+  members_.erase(std::unique(members_.begin(), members_.end()), members_.end());
+  rf_ = replication_factor < 1 ? 1 : replication_factor;
+  if (vnodes < 1) vnodes = 1;
+  points_.reserve(members_.size() * static_cast<std::size_t>(vnodes));
+  for (const int rank : members_) {
+    // Vnode points derive from (rank, vnode index) only, so a member's
+    // points are identical in every ring that contains it — the property
+    // that makes membership changes move O(1/members) of the shards.
+    const std::uint64_t base =
+        util::mix64(0x9E3779B97F4A7C15ull ^ static_cast<std::uint64_t>(
+                                                static_cast<std::uint32_t>(rank)));
+    for (int v = 0; v < vnodes; ++v) {
+      points_.emplace_back(util::mix64(base + static_cast<std::uint64_t>(v)),
+                           rank);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::vector<int> HashRing::shard_owners(std::uint32_t shard) const {
+  std::vector<int> out;
+  if (points_.empty()) return out;
+  const std::size_t want =
+      std::min(static_cast<std::size_t>(rf_), members_.size());
+  const std::uint64_t h = util::mix64(0xC1A57E12D00Dull + shard);
+  auto it = std::lower_bound(points_.begin(), points_.end(),
+                             std::make_pair(h, std::numeric_limits<int>::min()));
+  for (std::size_t scanned = 0; scanned < points_.size() && out.size() < want;
+       ++scanned, ++it) {
+    if (it == points_.end()) it = points_.begin();
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+std::vector<int> HashRing::owners(std::string_view path,
+                                  std::uint32_t nshards) const {
+  return shard_owners(shard_of(path, nshards));
+}
+
+bool HashRing::is_owner(int rank, std::uint32_t shard) const {
+  const auto o = shard_owners(shard);
+  return std::find(o.begin(), o.end(), rank) != o.end();
+}
+
+int HashRing::primary(std::uint32_t shard) const {
+  const auto o = shard_owners(shard);
+  return o.empty() ? -1 : o.front();
+}
+
+}  // namespace fanstore::cluster

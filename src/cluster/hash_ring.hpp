@@ -1,0 +1,48 @@
+// Consistent-hash ring with virtual nodes (the Hoard-style placement
+// layer). Each member rank contributes `vnodes` points; a shard's owners
+// are the first `replication_factor` *distinct* ranks clockwise from the
+// shard's hash.
+//
+// Determinism contract: ownership is a pure function of
+// (sorted member set, replication_factor, vnodes) — no RNG, no ambient
+// state — so any two ranks holding the same converged MembershipView
+// compute identical owner lists without communicating.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fanstore::cluster {
+
+class HashRing {
+ public:
+  /// An empty ring owns nothing (owners() returns {}).
+  HashRing() = default;
+
+  /// `members` need not be sorted or unique; the ring canonicalizes.
+  HashRing(const std::vector<int>& members, int replication_factor,
+           int vnodes = 32);
+
+  /// The owner ranks of `shard`, primary first: min(replication_factor,
+  /// members) distinct ranks clockwise from hash(shard).
+  std::vector<int> shard_owners(std::uint32_t shard) const;
+
+  /// Convenience: owners of the shard `path` maps to.
+  std::vector<int> owners(std::string_view path, std::uint32_t nshards) const;
+
+  bool is_owner(int rank, std::uint32_t shard) const;
+  int primary(std::uint32_t shard) const;  // -1 on an empty ring
+
+  const std::vector<int>& members() const { return members_; }
+  int replication_factor() const { return rf_; }
+  bool empty() const { return points_.empty(); }
+
+ private:
+  std::vector<std::pair<std::uint64_t, int>> points_;  // sorted by hash
+  std::vector<int> members_;                           // sorted, unique
+  int rf_ = 1;
+};
+
+}  // namespace fanstore::cluster

@@ -1,0 +1,123 @@
+#include "cluster/membership.hpp"
+
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace fanstore::cluster {
+
+const char* to_string(MemberState s) {
+  switch (s) {
+    case MemberState::kJoined: return "joined";
+    case MemberState::kLeaving: return "leaving";
+    case MemberState::kDead: return "dead";
+  }
+  return "?";
+}
+
+namespace {
+// Merge partial order: does `a` supersede `b`?
+bool supersedes(const MemberInfo& a, const MemberInfo& b) {
+  if (a.incarnation != b.incarnation) return a.incarnation > b.incarnation;
+  return static_cast<std::uint8_t>(a.state) > static_cast<std::uint8_t>(b.state);
+}
+}  // namespace
+
+bool MembershipView::apply(int rank, MemberInfo info) {
+  const auto it = entries_.find(rank);
+  if (it == entries_.end()) {
+    entries_.emplace(rank, info);
+    return true;
+  }
+  if (!supersedes(info, it->second)) return false;
+  it->second = info;
+  return true;
+}
+
+bool MembershipView::merge(const MembershipView& other) {
+  bool changed = false;
+  for (const auto& [rank, info] : other.entries_) {
+    changed |= apply(rank, info);
+  }
+  return changed;
+}
+
+std::vector<int> MembershipView::ring_members() const {
+  std::vector<int> out;
+  for (const auto& [rank, info] : entries_) {
+    if (info.state == MemberState::kJoined) out.push_back(rank);
+  }
+  return out;
+}
+
+std::vector<int> MembershipView::serving_members() const {
+  std::vector<int> out;
+  for (const auto& [rank, info] : entries_) {
+    if (info.state != MemberState::kDead) out.push_back(rank);
+  }
+  return out;
+}
+
+MemberInfo MembershipView::get(int rank) const {
+  const auto it = entries_.find(rank);
+  return it == entries_.end() ? MemberInfo{0, MemberState::kDead} : it->second;
+}
+
+std::uint64_t MembershipView::digest() const {
+  // XOR-fold of per-entry mixes; entries_ is a sorted map but the fold is
+  // order-independent anyway, so digests survive any serialization order.
+  std::uint64_t h = 0x5EED0000 + entries_.size();
+  for (const auto& [rank, info] : entries_) {
+    h ^= util::mix64((static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank))
+                      << 40) ^
+                     (static_cast<std::uint64_t>(info.incarnation) << 8) ^
+                     static_cast<std::uint64_t>(info.state));
+  }
+  return h;
+}
+
+Bytes MembershipView::serialize() const {
+  Bytes out;
+  append_le<std::uint32_t>(out, static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& [rank, info] : entries_) {
+    append_le<std::int32_t>(out, rank);
+    append_le<std::uint32_t>(out, info.incarnation);
+    out.push_back(static_cast<std::uint8_t>(info.state));
+  }
+  return out;
+}
+
+MembershipView MembershipView::deserialize(ByteView blob) {
+  MembershipView view;
+  if (blob.size() < 4) {
+    throw std::invalid_argument("MembershipView: truncated blob");
+  }
+  const std::uint32_t count = load_le<std::uint32_t>(blob.data());
+  std::size_t pos = 4;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (pos + 9 > blob.size()) {
+      throw std::invalid_argument("MembershipView: truncated entry");
+    }
+    const auto rank = load_le<std::int32_t>(blob.data() + pos);
+    const auto inc = load_le<std::uint32_t>(blob.data() + pos + 4);
+    const auto state = blob.data()[pos + 8];
+    if (state > static_cast<std::uint8_t>(MemberState::kDead)) {
+      throw std::invalid_argument("MembershipView: bad member state");
+    }
+    pos += 9;
+    view.apply(rank, MemberInfo{inc, static_cast<MemberState>(state)});
+  }
+  return view;
+}
+
+std::string MembershipView::debug_string() const {
+  std::string out = "{";
+  for (const auto& [rank, info] : entries_) {
+    out += " " + std::to_string(rank) + ":" + to_string(info.state) + "@" +
+           std::to_string(info.incarnation);
+  }
+  out += " }";
+  return out;
+}
+
+}  // namespace fanstore::cluster

@@ -1,0 +1,73 @@
+// Versioned cluster membership (the elastic half of the sharded metadata
+// service). Each rank's liveness is an entry (incarnation, state) under a
+// commutative, idempotent merge:
+//
+//   higher incarnation wins; equal incarnations resolve to the more severe
+//   state (Dead > Leaving > Joined)
+//
+// so gossip applied in any order converges every rank to the same view —
+// the same trick rethinkdb's vector-clocked directory and SWIM's
+// incarnation numbers use. A node refutes a false death by re-announcing
+// itself with a bumped incarnation.
+//
+// Ring ownership derives from ring_members(): Joined ranks only. A Leaving
+// rank keeps serving reads while its shards drain; a Dead rank is excluded
+// from everything.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace fanstore::cluster {
+
+enum class MemberState : std::uint8_t { kJoined = 0, kLeaving = 1, kDead = 2 };
+
+const char* to_string(MemberState s);
+
+struct MemberInfo {
+  std::uint32_t incarnation = 0;
+  MemberState state = MemberState::kJoined;
+
+  bool operator==(const MemberInfo&) const = default;
+};
+
+class MembershipView {
+ public:
+  /// Applies one entry under the merge rule. Returns true when the view
+  /// changed (the caller rebuilds its ring / re-gossips only then).
+  bool apply(int rank, MemberInfo info);
+
+  /// Merges an entire serialized view; returns true on any change.
+  bool merge(const MembershipView& other);
+
+  /// Ranks eligible for ring ownership (state == kJoined), sorted.
+  std::vector<int> ring_members() const;
+
+  /// Ranks that still answer requests (kJoined or kLeaving), sorted.
+  std::vector<int> serving_members() const;
+
+  const std::map<int, MemberInfo>& entries() const { return entries_; }
+  MemberInfo get(int rank) const;
+  bool contains(int rank) const { return entries_.count(rank) > 0; }
+
+  /// Order-independent digest over the canonical entry list; two ranks
+  /// whose digests match hold byte-identical views.
+  std::uint64_t digest() const;
+
+  /// Wire format: [u32 count] then per entry [i32 rank][u32 inc][u8 state].
+  Bytes serialize() const;
+  static MembershipView deserialize(ByteView blob);
+
+  std::string debug_string() const;
+
+  bool operator==(const MembershipView&) const = default;
+
+ private:
+  std::map<int, MemberInfo> entries_;  // sorted by rank: canonical order
+};
+
+}  // namespace fanstore::cluster

@@ -1,0 +1,723 @@
+#include "cluster/node.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "fault/injector.hpp"
+#include "format/file_stat.hpp"
+#include "util/crc32.hpp"
+
+namespace fanstore::cluster {
+
+namespace {
+
+/// Appends crc32(body) so receivers can reject corrupted replies.
+Bytes seal(Bytes body) {
+  const std::uint32_t crc = crc32(as_view(body));
+  append_le<std::uint32_t>(body, crc);
+  return body;
+}
+
+/// Validates and strips the trailing crc; nullopt on mismatch/truncation.
+std::optional<Bytes> unseal(const Bytes& payload) {
+  if (payload.size() < 4) return std::nullopt;
+  const std::size_t n = payload.size() - 4;
+  const std::uint32_t want = load_le<std::uint32_t>(payload.data() + n);
+  if (crc32(ByteView{payload.data(), n}) != want) return std::nullopt;
+  return Bytes(payload.begin(), payload.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+bool is_cluster_request(const mpi::Message& m) {
+  return m.tag >= kTagGossip && m.tag <= kTagMetaPush;
+}
+
+/// Appends `extra` to `out`, keeping order and skipping duplicates — the
+/// candidate lists stay small (<= members), so linear scans beat a set.
+void append_unique(std::vector<int>& out, const std::vector<int>& extra) {
+  for (const int r : extra) {
+    if (std::find(out.begin(), out.end(), r) == out.end()) out.push_back(r);
+  }
+}
+
+}  // namespace
+
+ClusterNode::Metrics::Metrics(obs::MetricsRegistry& m)
+    : gossip_sent(m.counter("cluster.gossip_sent")),
+      gossip_merged(m.counter("cluster.gossip_merged")),
+      view_changes(m.counter("cluster.view_changes")),
+      ring_rebuilds(m.counter("cluster.ring_rebuilds")),
+      meta_served(m.counter("cluster.meta_served")),
+      lookups_remote(m.counter("cluster.lookups_remote")),
+      lookup_misses(m.counter("cluster.lookup_misses")),
+      sync_rounds(m.counter("cluster.sync_rounds")),
+      shards_pulled(m.counter("cluster.shards_pulled")),
+      sync_bytes(m.counter("cluster.sync_bytes")),
+      shards_dropped(m.counter("cluster.shards_dropped")),
+      push_bytes(m.counter("cluster.push_bytes")),
+      merge_skipped(m.counter("cluster.merge_skipped")) {}
+
+ClusterNode::ClusterNode(mpi::Comm comm, ShardStore* store, NodeOptions options)
+    : comm_(comm),
+      store_(store),
+      options_(std::move(options)),
+      sharded_(options_.replication_factor < comm_.size()),
+      owned_metrics_(options_.metrics != nullptr
+                         ? nullptr
+                         : std::make_unique<obs::MetricsRegistry>()),
+      m_(options_.metrics != nullptr ? *options_.metrics : *owned_metrics_) {
+  if (store_ == nullptr) throw std::invalid_argument("ClusterNode: null store");
+  if (options_.nshards == 0) {
+    throw std::invalid_argument("ClusterNode: nshards must be positive");
+  }
+  if (options_.rpc_timeout_ms <= 0) {
+    throw std::invalid_argument("ClusterNode: rpc_timeout_ms must be positive");
+  }
+  if (options_.replication_factor < 1) options_.replication_factor = 1;
+}
+
+ClusterNode::~ClusterNode() { stop(); }
+
+// --- lifecycle -------------------------------------------------------------
+
+void ClusterNode::start() {
+  if (options_.pump) {
+    throw std::logic_error("ClusterNode: manual (pump) mode has no thread; drive poll()");
+  }
+  sync::MutexLock lock(lifecycle_mu_);
+  if (running_.load()) return;
+  running_.store(true);
+  thread_ = std::thread([this] { serve(); });
+}
+
+void ClusterNode::stop() {
+  sync::MutexLock lock(lifecycle_mu_);
+  if (!running_.load()) return;
+  comm_.send(comm_.rank(), kTagClusterStop, Bytes{});
+  thread_.join();
+  running_.store(false);
+}
+
+void ClusterNode::serve() {
+  while (true) {
+    const mpi::Message msg = comm_.recv_if(is_cluster_request);
+    if (msg.tag == kTagClusterStop) return;
+    handle(msg);
+  }
+}
+
+int ClusterNode::poll() {
+  int handled = 0;
+  while (auto msg = comm_.try_recv_if(is_cluster_request)) {
+    if (msg->tag != kTagClusterStop) handle(*msg);
+    ++handled;
+  }
+  return handled;
+}
+
+bool ClusterNode::service_dead() const {
+  return options_.fault != nullptr &&
+         !options_.fault->daemon_alive(comm_.rank(), /*vnow=*/-1.0);
+}
+
+void ClusterNode::handle(const mpi::Message& msg) {
+  // Process-crash semantics: a rank whose daemon the fault script killed
+  // answers nothing — clients fail over to the shard's other owners.
+  if (service_dead()) return;
+  switch (msg.tag) {
+    case kTagGossip: handle_gossip(msg); break;
+    case kTagMetaLookup: handle_meta_lookup(msg); break;
+    case kTagShardDigest: handle_shard_digest(msg); break;
+    case kTagShardPull: handle_shard_pull(msg); break;
+    case kTagListPaths: handle_list_paths(msg); break;
+    case kTagListDir: handle_list_dir(msg); break;
+    case kTagMetaPush: handle_meta_push(msg); break;
+    default: break;  // unknown cluster tag: ignore (forward compatibility)
+  }
+}
+
+// --- view / ring maintenance ----------------------------------------------
+
+void ClusterNode::rebuild_ring_locked() {
+  prev_ring_ = ring_;
+  ring_ = HashRing(view_.ring_members(), options_.replication_factor,
+                   options_.vnodes);
+  m_.ring_rebuilds.inc();
+}
+
+bool ClusterNode::merge_view(const MembershipView& incoming) {
+  sync::MutexLock lock(mu_);
+  const auto before = view_.ring_members();
+  if (!view_.merge(incoming)) return false;
+  m_.view_changes.inc();
+  if (view_.ring_members() != before) rebuild_ring_locked();
+  return true;
+}
+
+void ClusterNode::bootstrap(const std::vector<int>& members) {
+  sync::MutexLock lock(mu_);
+  for (const int r : members) {
+    view_.apply(r, MemberInfo{1, MemberState::kJoined});
+  }
+  rebuild_ring_locked();
+  prev_ring_ = ring_;  // no older placement exists at bootstrap
+}
+
+void ClusterNode::gossip_now() {
+  Bytes blob;
+  std::vector<int> targets;
+  {
+    sync::MutexLock lock(mu_);
+    blob = view_.serialize();
+    targets = view_.serving_members();
+  }
+  Bytes payload;
+  payload.push_back(0);  // want_reply = no
+  append_le<std::uint32_t>(payload, 0);
+  payload.insert(payload.end(), blob.begin(), blob.end());
+  for (const int dest : targets) {
+    if (dest == comm_.rank()) continue;
+    comm_.send(dest, kTagGossip, payload);
+    m_.gossip_sent.inc();
+  }
+}
+
+bool ClusterNode::join(const std::vector<int>& seeds) {
+  Bytes announce;
+  {
+    sync::MutexLock lock(mu_);
+    const MemberInfo self = view_.get(comm_.rank());
+    // Bumping past any prior incarnation also refutes a false/stale death.
+    view_.apply(comm_.rank(),
+                MemberInfo{self.incarnation + 1, MemberState::kJoined});
+    rebuild_ring_locked();
+    announce = view_.serialize();
+  }
+  m_.view_changes.inc();
+  bool reached = false;
+  for (const int seed : seeds) {
+    if (seed == comm_.rank()) continue;
+    Bytes body;
+    body.push_back(1);  // want_reply: push-pull — learn the seed's view
+    const auto reply = rpc(seed, kTagGossip, announce, /*prefixed=*/&body);
+    m_.gossip_sent.inc();
+    if (!reply) continue;
+    reached = true;
+    try {
+      merge_view(MembershipView::deserialize(as_view(*reply)));
+    } catch (const std::invalid_argument&) {
+      // corrupted view blob: ignore; another seed or gossip round fixes it
+    }
+  }
+  if (!reached) return false;
+  rebalance(/*drop_unowned=*/false);
+  gossip_now();  // non-seed members learn about us
+  return true;
+}
+
+void ClusterNode::leave() {
+  {
+    sync::MutexLock lock(mu_);
+    const MemberInfo self = view_.get(comm_.rank());
+    view_.apply(comm_.rank(),
+                MemberInfo{self.incarnation + 1, MemberState::kLeaving});
+    rebuild_ring_locked();
+  }
+  m_.view_changes.inc();
+  gossip_now();
+}
+
+void ClusterNode::declare(int rank, MemberState state) {
+  bool changed = false;
+  {
+    sync::MutexLock lock(mu_);
+    const MemberInfo cur = view_.get(rank);
+    // Same incarnation + severity merge: the subject can always refute a
+    // false accusation by re-announcing at incarnation + 1.
+    changed = view_.apply(rank, MemberInfo{cur.incarnation, state});
+    if (changed) {
+      m_.view_changes.inc();
+      rebuild_ring_locked();
+    }
+  }
+  if (changed) gossip_now();
+}
+
+MembershipView ClusterNode::view() const {
+  sync::MutexLock lock(mu_);
+  return view_;
+}
+
+std::uint64_t ClusterNode::view_digest() const {
+  sync::MutexLock lock(mu_);
+  return view_.digest();
+}
+
+std::vector<int> ClusterNode::shard_owners(std::uint32_t shard) const {
+  sync::MutexLock lock(mu_);
+  return ring_.shard_owners(shard);
+}
+
+bool ClusterNode::owns_shard(std::uint32_t shard) const {
+  sync::MutexLock lock(mu_);
+  return ring_.is_owner(comm_.rank(), shard);
+}
+
+// --- sharded metadata ------------------------------------------------------
+
+void ClusterNode::exchange_initial() {
+  if (running_.load()) {
+    throw std::logic_error("ClusterNode: exchange_initial after start()");
+  }
+  std::vector<int> members;
+  HashRing ring;
+  {
+    sync::MutexLock lock(mu_);
+    members = view_.ring_members();
+    ring = ring_;
+  }
+  const bool participant =
+      std::find(members.begin(), members.end(), comm_.rank()) != members.end();
+  if (!participant || members.size() < 2) return;
+
+  // Serialize each local shard once, then concatenate per destination.
+  std::vector<Bytes> shard_blobs(options_.nshards);
+  for (std::uint32_t s = 0; s < options_.nshards; ++s) {
+    shard_blobs[s] = store_->serialize_shard(s, options_.nshards);
+  }
+  for (const int dest : members) {
+    if (dest == comm_.rank()) continue;
+    Bytes body;
+    std::uint32_t count = 0;
+    append_le<std::uint32_t>(body, 0);  // patched below
+    for (std::uint32_t s = 0; s < options_.nshards; ++s) {
+      // An empty shard serializes to just its [u32 count=0] header.
+      if (shard_blobs[s].size() <= 4) continue;
+      if (!ring.is_owner(dest, s)) continue;
+      append_le<std::uint32_t>(body, s);
+      append_le<std::uint32_t>(body, static_cast<std::uint32_t>(shard_blobs[s].size()));
+      body.insert(body.end(), shard_blobs[s].begin(), shard_blobs[s].end());
+      ++count;
+    }
+    store_le<std::uint32_t>(body.data(), count);
+    m_.push_bytes.inc(body.size());
+    comm_.send(dest, kTagMetaPush, std::move(body));
+  }
+  // Symmetric: every participant pushed to every other, so exactly
+  // members-1 pushes are inbound. Blocking-recv them (no collective — a
+  // world may hold spare ranks that are not members yet).
+  for (std::size_t i = 0; i + 1 < members.size(); ++i) {
+    const mpi::Message msg = comm_.recv(mpi::kAnySource, kTagMetaPush);
+    merge_push_body(as_view(msg.payload));
+  }
+}
+
+std::size_t ClusterNode::merge_push_body(ByteView body) {
+  if (body.size() < 4) return 0;
+  const std::uint32_t count = load_le<std::uint32_t>(body.data());
+  std::size_t pos = 4;
+  std::size_t applied_total = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (pos + 8 > body.size()) return applied_total;  // truncated: stop
+    const std::uint32_t len = load_le<std::uint32_t>(body.data() + pos + 4);
+    pos += 8;
+    if (pos + len > body.size()) return applied_total;
+    const ByteView blob = body.subspan(pos, len);
+    pos += len;
+    std::size_t applied = 0;
+    try {
+      applied = store_->merge_shard(blob);
+    } catch (const std::invalid_argument&) {
+      continue;  // corrupted shard blob: anti-entropy re-pulls it intact
+    }
+    applied_total += applied;
+    const std::uint32_t entries = len >= 4 ? load_le<std::uint32_t>(blob.data()) : 0;
+    if (entries > applied) m_.merge_skipped.inc(entries - applied);
+  }
+  return applied_total;
+}
+
+SyncStats ClusterNode::anti_entropy() {
+  SyncStats st;
+  std::vector<std::uint32_t> owned;
+  std::vector<int> peers;
+  {
+    sync::MutexLock lock(mu_);
+    for (std::uint32_t s = 0; s < options_.nshards; ++s) {
+      if (ring_.is_owner(comm_.rank(), s)) owned.push_back(s);
+    }
+    peers = view_.serving_members();
+  }
+  m_.sync_rounds.inc();
+  if (owned.empty()) return st;
+  for (const int peer : peers) {
+    if (peer == comm_.rank()) continue;
+    const auto digests = rpc(peer, kTagShardDigest, Bytes{});
+    ++st.digest_rpcs;
+    if (!digests || digests->size() < 4) continue;
+    const std::uint32_t remote_n = load_le<std::uint32_t>(digests->data());
+    if (remote_n != options_.nshards ||
+        digests->size() < 4 + 8 * static_cast<std::size_t>(remote_n)) {
+      continue;  // mismatched shard count: differently configured peer
+    }
+    // Delta selection: pull only owned shards whose remote digest is
+    // nonzero and differs from ours — recomputed against the merges from
+    // earlier peers so the same delta is never transferred twice.
+    Bytes req;
+    std::vector<std::uint32_t> want;
+    for (const std::uint32_t s : owned) {
+      const std::uint64_t theirs = load_le<std::uint64_t>(digests->data() + 4 + 8 * s);
+      if (theirs == 0) continue;
+      if (theirs == store_->shard_digest(s, options_.nshards)) continue;
+      want.push_back(s);
+    }
+    if (want.empty()) continue;
+    append_le<std::uint32_t>(req, static_cast<std::uint32_t>(want.size()));
+    for (const std::uint32_t s : want) append_le<std::uint32_t>(req, s);
+    const auto pulled = rpc(peer, kTagShardPull, req);
+    if (!pulled) continue;
+    st.bytes_pulled += pulled->size();
+    m_.sync_bytes.inc(pulled->size());
+    const std::size_t applied = merge_push_body(as_view(*pulled));
+    st.entries_applied += applied;
+    st.shards_pulled += want.size();
+    m_.shards_pulled.inc(want.size());
+  }
+  st.changed = st.entries_applied > 0;
+  return st;
+}
+
+RebalanceStats ClusterNode::rebalance(bool drop_unowned) {
+  RebalanceStats rs;
+  rs.sync = anti_entropy();
+  if (!drop_unowned) return rs;
+  HashRing ring;
+  {
+    sync::MutexLock lock(mu_);
+    ring = ring_;
+  }
+  for (std::uint32_t s = 0; s < options_.nshards; ++s) {
+    if (ring.is_owner(comm_.rank(), s)) continue;
+    if (store_->shard_digest(s, options_.nshards) == 0) continue;
+    // Push-then-drop: hand the shard to each current owner first, so the
+    // drop can never lose the only copy of an entry (merges are
+    // idempotent — owners that already converged apply nothing).
+    const Bytes blob = store_->serialize_shard(s, options_.nshards);
+    Bytes body;
+    append_le<std::uint32_t>(body, 1);
+    append_le<std::uint32_t>(body, s);
+    append_le<std::uint32_t>(body, static_cast<std::uint32_t>(blob.size()));
+    body.insert(body.end(), blob.begin(), blob.end());
+    bool handed_off = false;
+    for (const int owner : ring.shard_owners(s)) {
+      if (owner == comm_.rank()) continue;
+      comm_.send(owner, kTagMetaPush, body);
+      m_.push_bytes.inc(body.size());
+      handed_off = true;
+    }
+    if (!handed_off) continue;  // no live owner: keep the shard
+    // Drop the whole shard, convenience copies included: any entry left
+    // behind would keep this shard's digest nonzero and differing from the
+    // owners' forever, so anti-entropy would re-transfer the same bytes
+    // every round. The converged invariant is exact: a shard's entries
+    // live on its `replication_factor` owners and nowhere else.
+    store_->drop_shard(s, options_.nshards, /*keep_owner_rank=*/-1);
+    ++rs.shards_dropped;
+    m_.shards_dropped.inc();
+  }
+  return rs;
+}
+
+std::vector<std::string> ClusterNode::enumerate_paths() {
+  HashRing ring;
+  std::vector<int> peers;
+  {
+    sync::MutexLock lock(mu_);
+    ring = ring_;
+    peers = view_.serving_members();
+  }
+  std::vector<std::string> out;
+  for (std::uint32_t s = 0; s < options_.nshards; ++s) {
+    if (ring.primary(s) == comm_.rank()) {
+      const auto mine = store_->shard_paths(s, options_.nshards);
+      out.insert(out.end(), mine.begin(), mine.end());
+    }
+  }
+  for (const int peer : peers) {
+    if (peer == comm_.rank()) continue;
+    const auto reply = rpc(peer, kTagListPaths, Bytes{});
+    if (!reply || reply->size() < 4) continue;
+    const std::uint32_t count = load_le<std::uint32_t>(reply->data());
+    std::size_t pos = 4;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (pos + 2 > reply->size()) break;
+      const std::uint16_t len = load_le<std::uint16_t>(reply->data() + pos);
+      pos += 2;
+      if (pos + len > reply->size()) break;
+      out.emplace_back(reinterpret_cast<const char*>(reply->data() + pos), len);
+      pos += len;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// --- MetaResolver ----------------------------------------------------------
+
+bool ClusterNode::sharded() const { return sharded_; }
+
+std::vector<int> ClusterNode::meta_owners(const std::string& path) {
+  sync::MutexLock lock(mu_);
+  return ring_.owners(path, options_.nshards);
+}
+
+std::optional<VersionedStat> ClusterNode::resolve(const std::string& path) {
+  const std::uint32_t shard = shard_of(path, options_.nshards);
+  std::vector<int> candidates;
+  MembershipView view;
+  {
+    sync::MutexLock lock(mu_);
+    candidates = ring_.shard_owners(shard);
+    // Mid-rebalance a new owner may not have pulled the shard yet; the
+    // previous placement still holds it. Any serving rank last: directory
+    // entries are synthesized on whichever ranks index the children.
+    append_unique(candidates, prev_ring_.shard_owners(shard));
+    append_unique(candidates, view_.serving_members());
+    view = view_;
+  }
+  m_.lookups_remote.inc();
+  Bytes body = to_bytes(path);
+  for (const int dest : candidates) {
+    if (dest == comm_.rank()) continue;
+    if (view.get(dest).state == MemberState::kDead) continue;
+    const auto reply = rpc(dest, kTagMetaLookup, body);
+    if (!reply || reply->empty()) continue;
+    const std::uint8_t status = (*reply)[0];
+    if (status != kMetaOk ||
+        reply->size() < 1 + 8 + 4 + format::kStatBytes) {
+      continue;  // not found there (or malformed): try the next candidate
+    }
+    VersionedStat vs;
+    vs.version = load_le<std::uint64_t>(reply->data() + 1);
+    vs.writer = load_le<std::uint32_t>(reply->data() + 9);
+    vs.stat = format::FileStat::deserialize(reply->data() + 13);
+    return vs;
+  }
+  m_.lookup_misses.inc();
+  return std::nullopt;
+}
+
+std::vector<posixfs::Dirent> ClusterNode::list_union(const std::string& dir) {
+  std::vector<posixfs::Dirent> out = store_->list_local(dir);
+  std::vector<int> peers;
+  {
+    sync::MutexLock lock(mu_);
+    peers = view_.serving_members();
+  }
+  auto have = [&out](const std::string& name) {
+    return std::any_of(out.begin(), out.end(),
+                       [&name](const posixfs::Dirent& d) { return d.name == name; });
+  };
+  for (const int peer : peers) {
+    if (peer == comm_.rank()) continue;
+    const auto reply = rpc(peer, kTagListDir, to_bytes(dir));
+    if (!reply || reply->size() < 5) continue;
+    const std::uint32_t count = load_le<std::uint32_t>(reply->data() + 1);
+    std::size_t pos = 5;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (pos + 3 > reply->size()) break;
+      const std::uint16_t len = load_le<std::uint16_t>(reply->data() + pos);
+      const bool is_dir = reply->data()[pos + 2] != 0;
+      pos += 3;
+      if (pos + len > reply->size()) break;
+      std::string name(reinterpret_cast<const char*>(reply->data() + pos), len);
+      pos += len;
+      if (!have(name)) {
+        out.push_back(posixfs::Dirent{
+            std::move(name),
+            is_dir ? format::FileType::kDirectory : format::FileType::kRegular});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const posixfs::Dirent& a, const posixfs::Dirent& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+bool ClusterNode::dir_exists_union(const std::string& dir) {
+  if (store_->dir_exists_local(dir)) return true;
+  std::vector<int> peers;
+  {
+    sync::MutexLock lock(mu_);
+    peers = view_.serving_members();
+  }
+  for (const int peer : peers) {
+    if (peer == comm_.rank()) continue;
+    const auto reply = rpc(peer, kTagListDir, to_bytes(dir));
+    if (reply && !reply->empty() && (*reply)[0] != 0) return true;
+  }
+  return false;
+}
+
+// --- request handlers ------------------------------------------------------
+
+void ClusterNode::handle_gossip(const mpi::Message& msg) {
+  if (msg.payload.size() < 5) return;
+  const bool want_reply = msg.payload[0] != 0;
+  const std::uint32_t reply_tag = load_le<std::uint32_t>(msg.payload.data() + 1);
+  MembershipView incoming;
+  try {
+    incoming = MembershipView::deserialize(
+        ByteView{msg.payload.data() + 5, msg.payload.size() - 5});
+  } catch (const std::invalid_argument&) {
+    return;  // corrupted gossip: a later round carries the same state
+  }
+  if (merge_view(incoming)) m_.gossip_merged.inc();
+  if (want_reply) {
+    Bytes view_blob;
+    {
+      sync::MutexLock lock(mu_);
+      view_blob = view_.serialize();
+    }
+    comm_.send(msg.source, static_cast<int>(reply_tag), seal(std::move(view_blob)));
+  }
+}
+
+void ClusterNode::handle_meta_lookup(const mpi::Message& msg) {
+  if (msg.payload.size() < 4) return;
+  const std::uint32_t reply_tag = load_le<std::uint32_t>(msg.payload.data());
+  const std::string path(reinterpret_cast<const char*>(msg.payload.data() + 4),
+                         msg.payload.size() - 4);
+  m_.meta_served.inc();
+  Bytes body;
+  std::optional<VersionedStat> found = store_->lookup_versioned(path);
+  if (!found) {
+    // Directories are synthesized, not stored: any rank indexing children
+    // of `path` can answer with an unversioned directory stat.
+    if (const auto any = store_->lookup_any(path)) {
+      found = VersionedStat{*any, 0, 0};
+    }
+  }
+  if (!found) {
+    body.push_back(kMetaNotFound);
+  } else {
+    body.push_back(kMetaOk);
+    append_le<std::uint64_t>(body, found->version);
+    append_le<std::uint32_t>(body, found->writer);
+    const std::size_t at = body.size();
+    body.resize(at + format::kStatBytes);
+    found->stat.serialize(body.data() + at);
+  }
+  comm_.send(msg.source, static_cast<int>(reply_tag), seal(std::move(body)));
+}
+
+void ClusterNode::handle_shard_digest(const mpi::Message& msg) {
+  if (msg.payload.size() < 4) return;
+  const std::uint32_t reply_tag = load_le<std::uint32_t>(msg.payload.data());
+  Bytes body;
+  append_le<std::uint32_t>(body, options_.nshards);
+  for (std::uint32_t s = 0; s < options_.nshards; ++s) {
+    append_le<std::uint64_t>(body, store_->shard_digest(s, options_.nshards));
+  }
+  comm_.send(msg.source, static_cast<int>(reply_tag), seal(std::move(body)));
+}
+
+void ClusterNode::handle_shard_pull(const mpi::Message& msg) {
+  if (msg.payload.size() < 8) return;
+  const std::uint32_t reply_tag = load_le<std::uint32_t>(msg.payload.data());
+  std::uint32_t count = load_le<std::uint32_t>(msg.payload.data() + 4);
+  const std::uint32_t listed =
+      static_cast<std::uint32_t>((msg.payload.size() - 8) / 4);
+  count = std::min(count, listed);
+  Bytes body;
+  std::uint32_t emitted = 0;
+  append_le<std::uint32_t>(body, 0);  // patched below
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t s = load_le<std::uint32_t>(msg.payload.data() + 8 + 4 * i);
+    if (s >= options_.nshards) continue;
+    const Bytes blob = store_->serialize_shard(s, options_.nshards);
+    append_le<std::uint32_t>(body, s);
+    append_le<std::uint32_t>(body, static_cast<std::uint32_t>(blob.size()));
+    body.insert(body.end(), blob.begin(), blob.end());
+    ++emitted;
+  }
+  store_le<std::uint32_t>(body.data(), emitted);
+  comm_.send(msg.source, static_cast<int>(reply_tag), seal(std::move(body)));
+}
+
+void ClusterNode::handle_list_paths(const mpi::Message& msg) {
+  if (msg.payload.size() < 4) return;
+  const std::uint32_t reply_tag = load_le<std::uint32_t>(msg.payload.data());
+  HashRing ring;
+  {
+    sync::MutexLock lock(mu_);
+    ring = ring_;
+  }
+  Bytes body;
+  std::uint32_t count = 0;
+  append_le<std::uint32_t>(body, 0);  // patched below
+  for (std::uint32_t s = 0; s < options_.nshards; ++s) {
+    if (ring.primary(s) != comm_.rank()) continue;
+    for (const std::string& p : store_->shard_paths(s, options_.nshards)) {
+      append_le<std::uint16_t>(body, static_cast<std::uint16_t>(p.size()));
+      body.insert(body.end(), p.begin(), p.end());
+      ++count;
+    }
+  }
+  store_le<std::uint32_t>(body.data(), count);
+  comm_.send(msg.source, static_cast<int>(reply_tag), seal(std::move(body)));
+}
+
+void ClusterNode::handle_list_dir(const mpi::Message& msg) {
+  if (msg.payload.size() < 4) return;
+  const std::uint32_t reply_tag = load_le<std::uint32_t>(msg.payload.data());
+  const std::string dir(reinterpret_cast<const char*>(msg.payload.data() + 4),
+                        msg.payload.size() - 4);
+  Bytes body;
+  body.push_back(store_->dir_exists_local(dir) ? 1 : 0);
+  const auto entries = store_->list_local(dir);
+  append_le<std::uint32_t>(body, static_cast<std::uint32_t>(entries.size()));
+  for (const posixfs::Dirent& d : entries) {
+    append_le<std::uint16_t>(body, static_cast<std::uint16_t>(d.name.size()));
+    body.push_back(d.type == format::FileType::kDirectory ? 1 : 0);
+    body.insert(body.end(), d.name.begin(), d.name.end());
+  }
+  comm_.send(msg.source, static_cast<int>(reply_tag), seal(std::move(body)));
+}
+
+void ClusterNode::handle_meta_push(const mpi::Message& msg) {
+  merge_push_body(as_view(msg.payload));
+}
+
+// --- RPC client ------------------------------------------------------------
+
+std::optional<Bytes> ClusterNode::rpc(int dest, int tag, const Bytes& body,
+                                      const Bytes* prefix) {
+  const int reply_tag =
+      kClusterReplyTagBase + static_cast<int>(reply_seq_.fetch_add(1) % 1000000u);
+  Bytes payload;
+  if (prefix != nullptr) payload.insert(payload.end(), prefix->begin(), prefix->end());
+  append_le<std::uint32_t>(payload, static_cast<std::uint32_t>(reply_tag));
+  payload.insert(payload.end(), body.begin(), body.end());
+  comm_.send(dest, tag, std::move(payload));
+  std::optional<mpi::Message> reply;
+  if (options_.pump) {
+    // Deterministic wait: each pump() lets the simulation advance its
+    // virtual clock and poll every live node once; the budget is the
+    // manual-mode timeout.
+    for (int i = 0; i < options_.pump_budget && !reply; ++i) {
+      reply = comm_.try_recv(dest, reply_tag);
+      if (!reply) options_.pump();
+    }
+    if (!reply) reply = comm_.try_recv(dest, reply_tag);
+  } else {
+    reply = comm_.recv_timeout(dest, reply_tag, options_.rpc_timeout_ms);
+  }
+  if (!reply) return std::nullopt;
+  return unseal(reply->payload);
+}
+
+}  // namespace fanstore::cluster

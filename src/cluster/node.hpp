@@ -1,0 +1,238 @@
+// ClusterNode: one rank's membership + sharded-metadata service (DESIGN.md
+// §13). It replaces the "allgather the whole namespace" model with:
+//
+//   membership  — a MembershipView merged via incarnation-versioned gossip
+//                 (push on change; push-pull on join), so every rank
+//                 converges to the same member set without coordination
+//   placement   — a HashRing over the Joined members; metadata shards have
+//                 `replication_factor` owners each
+//   lookups     — a local miss resolves against the shard's owners over
+//                 new tagged request/reply messages on the same mpi::Comm
+//                 the fetch protocol uses (tags 110..117, replies >= 2e6)
+//   anti-entropy— per-shard digests; a joiner/rebalancer pulls only the
+//                 shards whose digest differs (delta-only, byte-accounted
+//                 in "cluster.sync_bytes")
+//   rebalance   — on membership change: pull newly owned shards, push-then-
+//                 drop shards no longer owned
+//
+// Two execution modes share one handler path:
+//   threaded — start() spawns a service thread (recv_if on the cluster
+//              tags), like core::Daemon; client ops wait via recv_timeout.
+//   manual   — no thread; a single-threaded simulation drives every node
+//              deterministically by calling poll(), and client ops drain
+//              the world through NodeOptions::pump instead of blocking
+//              (the membership-churn test suite runs this way on a
+//              ManualTimeSource world).
+//
+// Compatibility mode: replication_factor >= world size makes sharded()
+// false — Instance then keeps the classic allgather exchange byte for byte
+// and the resolver is never consulted.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "cluster/hash_ring.hpp"
+#include "cluster/membership.hpp"
+#include "cluster/resolver.hpp"
+#include "cluster/shard_store.hpp"
+#include "mpi/comm.hpp"
+#include "obs/metrics.hpp"
+#include "util/sync.hpp"
+
+namespace fanstore::fault {
+class FaultInjector;
+}
+
+namespace fanstore::cluster {
+
+// Cluster tag space — disjoint from the daemon's fetch protocol (100..103,
+// replies >= 1000). fault/fault_plan.hpp mirrors the bounds; keep in sync.
+constexpr int kTagGossip = 110;
+constexpr int kTagMetaLookup = 111;
+constexpr int kTagShardDigest = 112;
+constexpr int kTagShardPull = 113;
+constexpr int kTagListPaths = 114;
+constexpr int kTagListDir = 115;
+constexpr int kTagClusterStop = 116;  // self-addressed by stop()
+constexpr int kTagMetaPush = 117;     // one-way shard merge (exchange/drop)
+constexpr int kClusterReplyTagBase = 2000000;
+
+// Metadata-lookup reply status codes.
+constexpr std::uint8_t kMetaOk = 0;
+constexpr std::uint8_t kMetaNotFound = 1;
+constexpr std::uint8_t kMetaMalformed = 2;
+
+struct NodeOptions {
+  /// Distinct owner ranks per metadata shard. >= world size selects the
+  /// full-replication compatibility mode (sharded() == false).
+  int replication_factor = 1;
+  int vnodes = 32;
+  std::uint32_t nshards = 64;
+  /// Reply deadline for cluster RPCs in threaded mode (must be > 0).
+  int rpc_timeout_ms = 2000;
+  /// Manual mode: how many pump() iterations an RPC waits before giving
+  /// up — the deterministic stand-in for the timeout.
+  int pump_budget = 4096;
+  /// Registry for the "cluster.*" metrics; nullptr = private registry.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Liveness script: when the injector says this rank's daemon is dead,
+  /// the metadata service drops requests too (process-crash semantics).
+  fault::FaultInjector* fault = nullptr;
+  /// Manual mode: invoked repeatedly while an RPC waits for its reply;
+  /// the simulation advances the virtual clock and polls every live node.
+  /// Unset = threaded mode (blocking waits).
+  std::function<void()> pump;
+};
+
+/// One anti-entropy round's accounting (delta-only sync is asserted by the
+/// churn suite straight off these numbers / the matching "cluster.*"
+/// counters).
+struct SyncStats {
+  std::uint64_t digest_rpcs = 0;
+  std::uint64_t shards_pulled = 0;
+  std::uint64_t bytes_pulled = 0;
+  std::uint64_t entries_applied = 0;
+  bool changed = false;
+};
+
+struct RebalanceStats {
+  SyncStats sync;
+  std::uint64_t shards_dropped = 0;
+};
+
+class ClusterNode final : public MetaResolver {
+ public:
+  ClusterNode(mpi::Comm comm, ShardStore* store, NodeOptions options);
+  ~ClusterNode() override;
+
+  ClusterNode(const ClusterNode&) = delete;
+  ClusterNode& operator=(const ClusterNode&) = delete;
+
+  // --- lifecycle --------------------------------------------------------
+  void start() EXCLUDES(lifecycle_mu_);
+  void stop() EXCLUDES(lifecycle_mu_);
+  /// Manual mode: handles every pending cluster request now; returns how
+  /// many messages were processed.
+  int poll();
+
+  // --- membership -------------------------------------------------------
+  /// Seeds the view with `members` all Joined at incarnation 1 — the
+  /// coordinated startup path (no messages sent). Every initial member
+  /// must bootstrap with the same list.
+  void bootstrap(const std::vector<int>& members);
+  /// Elastic join: announce self (bumped incarnation), push-pull the view
+  /// with each seed, pull owned shards, gossip the merged view. Returns
+  /// false when no seed answered (the joiner stays isolated).
+  bool join(const std::vector<int>& seeds);
+  /// Graceful exit: mark self Leaving (drops out of ring ownership but
+  /// keeps answering) and gossip.
+  void leave();
+  /// Failure-detector/admin hook: locally re-state `rank` at its current
+  /// incarnation (severity merge: Dead > Leaving > Joined) and gossip.
+  void declare(int rank, MemberState state);
+  /// Pushes the current view to every serving member once.
+  void gossip_now();
+
+  MembershipView view() const EXCLUDES(mu_);
+  std::uint64_t view_digest() const EXCLUDES(mu_);
+
+  // --- ring -------------------------------------------------------------
+  std::uint32_t nshards() const { return options_.nshards; }
+  std::vector<int> shard_owners(std::uint32_t shard) const EXCLUDES(mu_);
+  bool owns_shard(std::uint32_t shard) const EXCLUDES(mu_);
+
+  // --- sharded metadata -------------------------------------------------
+  /// Collective replacement for the metadata allgather: every bootstrap
+  /// member pushes each of its local shards to that shard's owners
+  /// (point-to-point, one message per peer) and merges the members-1
+  /// pushes it receives. Must run before start() (the service thread also
+  /// handles kTagMetaPush).
+  void exchange_initial();
+  /// One pull round: fetch peers' shard digests, pull every owned shard
+  /// whose digest differs. Convergence loops call this until !changed.
+  SyncStats anti_entropy();
+  /// anti_entropy plus (optionally) push-then-drop of shards this rank no
+  /// longer owns under the current ring.
+  RebalanceStats rebalance(bool drop_unowned = true);
+  /// Sharded namespace enumeration: this rank's primary shards locally +
+  /// one list RPC per serving peer (each contributes the shards it is
+  /// primary for). Sorted, deduplicated.
+  std::vector<std::string> enumerate_paths();
+
+  // --- MetaResolver (consumed by core::FanStoreFs) ----------------------
+  bool sharded() const override;
+  std::optional<VersionedStat> resolve(const std::string& path) override;
+  std::vector<int> meta_owners(const std::string& path) override;
+  std::vector<posixfs::Dirent> list_union(const std::string& dir) override;
+  bool dir_exists_union(const std::string& dir) override;
+
+ private:
+  struct Metrics {
+    explicit Metrics(obs::MetricsRegistry& m);
+    obs::Counter& gossip_sent;
+    obs::Counter& gossip_merged;
+    obs::Counter& view_changes;
+    obs::Counter& ring_rebuilds;
+    obs::Counter& meta_served;
+    obs::Counter& lookups_remote;
+    obs::Counter& lookup_misses;
+    obs::Counter& sync_rounds;
+    obs::Counter& shards_pulled;
+    obs::Counter& sync_bytes;
+    obs::Counter& shards_dropped;
+    obs::Counter& push_bytes;
+    obs::Counter& merge_skipped;
+  };
+
+  void serve();
+  void handle(const mpi::Message& msg);
+  void handle_gossip(const mpi::Message& msg);
+  void handle_meta_lookup(const mpi::Message& msg);
+  void handle_shard_digest(const mpi::Message& msg);
+  void handle_shard_pull(const mpi::Message& msg);
+  void handle_list_paths(const mpi::Message& msg);
+  void handle_list_dir(const mpi::Message& msg);
+  void handle_meta_push(const mpi::Message& msg);
+
+  /// True when the fault script says this rank's process is down — the
+  /// metadata service then drops requests exactly like the data daemon.
+  bool service_dead() const;
+
+  /// Merges `incoming` into the view; rebuilds the ring on change.
+  bool merge_view(const MembershipView& incoming) EXCLUDES(mu_);
+  void rebuild_ring_locked() REQUIRES(mu_);
+
+  /// Sends [prefix?][u32 reply_tag][body] and waits for the crc-checked
+  /// reply body (blocking with timeout in threaded mode, pump-bounded in
+  /// manual mode). nullopt on timeout/corruption.
+  std::optional<Bytes> rpc(int dest, int tag, const Bytes& body,
+                           const Bytes* prefix = nullptr);
+  std::size_t merge_push_body(ByteView body);
+
+  mpi::Comm comm_;
+  ShardStore* store_;  // internally synchronized
+  NodeOptions options_;
+  bool sharded_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // when not injected
+  Metrics m_;
+
+  // Leaf lock: held only for view/ring reads and merges, never across
+  // comm_ or store_ calls (DESIGN.md §6).
+  mutable sync::Mutex mu_{"cluster.node.mu"};
+  MembershipView view_ GUARDED_BY(mu_);
+  HashRing ring_ GUARDED_BY(mu_);
+  HashRing prev_ring_ GUARDED_BY(mu_);  // lookup fallback mid-rebalance
+
+  // Serializes start()/stop(), mirroring core::Daemon.
+  sync::Mutex lifecycle_mu_{"cluster.node.lifecycle_mu"};
+  std::thread thread_ GUARDED_BY(lifecycle_mu_);
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint32_t> reply_seq_{0};
+};
+
+}  // namespace fanstore::cluster

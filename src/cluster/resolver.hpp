@@ -1,0 +1,39 @@
+// What the POSIX face needs from the metadata cluster when a local lookup
+// misses: resolve a path from its remote shard owners, know who those
+// owners are (write-meta replication targets), and union directory
+// listings across serving ranks. ClusterNode implements this; FanStoreFs
+// consumes it through a pointer so core never depends on the cluster
+// service's wire details.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/shard_store.hpp"
+#include "posixfs/vfs.hpp"
+
+namespace fanstore::cluster {
+
+class MetaResolver {
+ public:
+  virtual ~MetaResolver() = default;
+
+  /// False in the replication_factor >= nranks compatibility mode: every
+  /// rank holds the full namespace, so the fs never consults the resolver
+  /// and behaves byte-identically to the classic allgather build.
+  virtual bool sharded() const = 0;
+
+  /// Remote metadata lookup: current shard owners first, previous-ring
+  /// owners mid-rebalance, then any serving rank (directory synthesis).
+  virtual std::optional<VersionedStat> resolve(const std::string& path) = 0;
+
+  /// The ranks that must hold `path`'s metadata (write replication set).
+  virtual std::vector<int> meta_owners(const std::string& path) = 0;
+
+  /// Union of list_local(dir) across serving ranks (deduplicated).
+  virtual std::vector<posixfs::Dirent> list_union(const std::string& dir) = 0;
+  virtual bool dir_exists_union(const std::string& dir) = 0;
+};
+
+}  // namespace fanstore::cluster

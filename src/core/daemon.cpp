@@ -53,6 +53,14 @@ Bytes encode_write_meta(std::string_view path, const format::FileStat& stat) {
   return out;
 }
 
+Bytes encode_write_meta_versioned(std::string_view path,
+                                  const cluster::VersionedStat& entry) {
+  Bytes out = encode_write_meta(path, entry.stat);
+  append_le<std::uint64_t>(out, entry.version);
+  append_le<std::uint32_t>(out, entry.writer);
+  return out;
+}
+
 Daemon::Daemon(mpi::Comm comm, MetadataStore* meta, CompressedBackend* backend,
                obs::MetricsRegistry* metrics, fault::FaultInjector* injector,
                simnet::VirtualClock* clock)
@@ -149,6 +157,10 @@ void Daemon::handle_fetch(const mpi::Message& msg) {
                encode_fetch_reply(kFetchNotFound, nullptr, 0));
     return;
   }
+  // Under sharded metadata this daemon may hold the blob without the
+  // path's metadata shard; raw_size 0 tells the requester "size unknown"
+  // (FanStoreFs skips its staleness check for it, zero-byte files
+  // included — their payload is empty either way).
   const auto stat = meta_->lookup(path);
   const std::uint64_t raw_size = stat ? stat->size : 0;
   fetch_bytes_->inc(blob->data.size());
@@ -171,7 +183,18 @@ void Daemon::handle_write_meta(const mpi::Message& msg) {
   }
   const std::string path(reinterpret_cast<const char*>(msg.payload.data()) + 2, len);
   const auto stat = format::FileStat::deserialize(msg.payload.data() + 2 + len);
-  meta_->insert(path, stat);
+  // A 12-byte suffix marks the versioned (sharded-replication) variant;
+  // the classic home-rank forward applies unconditionally as before.
+  if (msg.payload.size() >= 2u + len + format::kStatBytes + 12u) {
+    cluster::VersionedStat entry;
+    entry.stat = stat;
+    entry.version = load_le<std::uint64_t>(msg.payload.data() + 2 + len + format::kStatBytes);
+    entry.writer =
+        load_le<std::uint32_t>(msg.payload.data() + 2 + len + format::kStatBytes + 8);
+    meta_->insert_versioned(path, entry);
+  } else {
+    meta_->insert(path, stat);
+  }
   meta_received_->inc();
 }
 

@@ -6,6 +6,8 @@
 //   reply_tag      rsp : [u8 status][u16 compressor][u64 raw_size]
 //                        [u32 crc][data…]
 //   kTagWriteMeta  one-way: [u16 path_len][path][144 B stat]
+//                  (+ optional [u64 version][u32 writer] suffix when the
+//                   sharded metadata cluster replicates a write)
 //   kTagShutdown   one-way, self-addressed by stop()
 //
 // Both directions carry a CRC-32 so a corrupted message is *detected* and
@@ -60,6 +62,12 @@ bool fetch_reply_crc_ok(ByteView payload);
 
 /// Encodes a write-metadata forward.
 Bytes encode_write_meta(std::string_view path, const format::FileStat& stat);
+
+/// Versioned variant for sharded-metadata replication: the classic payload
+/// plus a [u64 version][u32 writer] suffix, applied via deterministic
+/// last-writer-wins at the receiving shard owner.
+Bytes encode_write_meta_versioned(std::string_view path,
+                                  const cluster::VersionedStat& entry);
 
 class Daemon {
  public:

@@ -152,7 +152,12 @@ FanStoreFs::FetchStatus FanStoreFs::fetch_from(int rank, const std::string& path
   const std::uint64_t raw_size = load_le<std::uint64_t>(reply->payload.data() + 3);
   fetched.data.assign(reply->payload.begin() + kFetchReplyHeaderBytes,
                       reply->payload.end());
-  if (raw_size != stat.size) return FetchStatus::kMiss;  // stale/other version
+  // raw_size == 0 means the serving daemon has no metadata for this path.
+  // That is normal under sharded metadata (§13): data placement and
+  // metadata placement are decoupled, so the rank holding the blob may not
+  // own the path's metadata shard. Only a *known* differing size marks the
+  // blob as a stale/other version.
+  if (raw_size != 0 && raw_size != stat.size) return FetchStatus::kMiss;
   charge(options_.cost.network.transfer_time(fetched.data.size(), options_.cost.nodes));
   if (options_.cost.charge_remote_service) {
     charge(options_.cost.remote_service.file_read_time(fetched.data.size()));
@@ -293,10 +298,18 @@ void FanStoreFs::materialize_entry(const std::string& path, CachedFile& file) {
   cache_.recharge(path);
   // Whole-file crc check happens here, when the last chunk lands (the
   // per-chunk compressed crcs already caught corruption chunk-wise).
-  const auto stat = meta_->lookup(path);
+  const auto stat = stat_of(path);
   if (stat && stat->crc != 0 && crc32(as_view(file.plain())) != stat->crc) {
     throw std::runtime_error("fanstore: CRC mismatch for " + path);
   }
+}
+
+std::optional<format::FileStat> FanStoreFs::stat_of(const std::string& path) {
+  if (const auto local = meta_->lookup(path)) return local;
+  if (!sharded_meta()) return std::nullopt;
+  const auto remote = options_.meta_resolver->resolve(path);
+  if (!remote) return std::nullopt;
+  return remote->stat;
 }
 
 bool FanStoreFs::warm_file(std::string_view path) {
@@ -332,7 +345,7 @@ int FanStoreFs::materialize(int fd) {
 bool FanStoreFs::prefetch_compressed(std::string_view path_in) {
   const std::string path = posixfs::normalize_path(path_in);
   if (path.empty()) return false;
-  const auto stat = meta_->lookup(path);
+  const auto stat = stat_of(path);
   if (!stat || stat->type != format::FileType::kRegular) return false;
   if (cache_.contains_any(path)) return true;  // resident in some local tier
   if (backend_->contains(path)) return true;  // compressed blob already local
@@ -358,8 +371,10 @@ int FanStoreFs::open(std::string_view path_in, posixfs::OpenMode mode) {
   charge_metadata();
 
   if (mode == posixfs::OpenMode::kWrite) {
-    // Multi-read/single-write model: write-once, one writer at a time.
-    if (meta_->lookup(path) && meta_->lookup(path)->type == format::FileType::kRegular) {
+    // Multi-read/single-write model: write-once, one writer at a time
+    // (under sharded metadata the existence check spans the shard owners).
+    const auto existing = stat_of(path);
+    if (existing && existing->type == format::FileType::kRegular) {
       return -EEXIST;
     }
     {
@@ -375,7 +390,7 @@ int FanStoreFs::open(std::string_view path_in, posixfs::OpenMode mode) {
     return fd;
   }
 
-  const auto stat = meta_->lookup(path);
+  const auto stat = stat_of(path);
   if (!stat) return -ENOENT;
   if (stat->type == format::FileType::kDirectory) return -EISDIR;
   charge(options_.cost.read_path.per_op_s);
@@ -452,12 +467,28 @@ int FanStoreFs::close(int fd) {
 
   charge(options_.cost.read_path.file_write_time(blob.data.size()));
   backend_->put(of->path, std::move(blob));
-  meta_->insert(of->path, stat);
-  const int home = home_rank(of->path);
-  if (home != comm_.rank()) {
-    comm_.send(home, kTagWriteMeta, encode_write_meta(of->path, stat));
-    charge(options_.cost.network.transfer_time(of->path.size() + format::kStatBytes,
-                                               options_.cost.nodes));
+  if (sharded_meta()) {
+    // Sharded model (§13): the metadata replicates to every shard owner
+    // with a (version, writer) tag; concurrent writers of one path resolve
+    // by deterministic last-writer-wins at each replica, no home-rank
+    // forwarding hop.
+    const cluster::VersionedStat entry{stat, 1,
+                                       static_cast<std::uint32_t>(comm_.rank())};
+    meta_->insert_versioned(of->path, entry);
+    for (const int owner : options_.meta_resolver->meta_owners(of->path)) {
+      if (owner == comm_.rank()) continue;
+      comm_.send(owner, kTagWriteMeta, encode_write_meta_versioned(of->path, entry));
+      charge(options_.cost.network.transfer_time(
+          of->path.size() + format::kStatBytes + 12, options_.cost.nodes));
+    }
+  } else {
+    meta_->insert(of->path, stat);
+    const int home = home_rank(of->path);
+    if (home != comm_.rank()) {
+      comm_.send(home, kTagWriteMeta, encode_write_meta(of->path, stat));
+      charge(options_.cost.network.transfer_time(of->path.size() + format::kStatBytes,
+                                                 options_.cost.nodes));
+    }
   }
   {
     sync::MutexLock lk(writer_mu_);
@@ -600,7 +631,7 @@ std::int64_t FanStoreFs::lseek(int fd, std::int64_t offset, posixfs::Whence when
 int FanStoreFs::stat(std::string_view path_in, format::FileStat* out) {
   const std::string path = posixfs::normalize_path(path_in);
   charge_metadata();
-  const auto st = meta_->lookup(path);
+  const auto st = stat_of(path);
   if (!st) return -ENOENT;
   *out = *st;
   return 0;
@@ -609,8 +640,16 @@ int FanStoreFs::stat(std::string_view path_in, format::FileStat* out) {
 int FanStoreFs::opendir(std::string_view path_in) {
   const std::string path = posixfs::normalize_path(path_in);
   charge_metadata();
-  if (!meta_->dir_exists(path)) return -ENOENT;
-  auto entries = meta_->list(path);
+  std::vector<posixfs::Dirent> entries;
+  if (sharded_meta()) {
+    // Sharded namespace: the local store only indexes directories whose
+    // children hash here, so existence and listing union across ranks.
+    if (!options_.meta_resolver->dir_exists_union(path)) return -ENOENT;
+    entries = options_.meta_resolver->list_union(path);
+  } else {
+    if (!meta_->dir_exists(path)) return -ENOENT;
+    entries = meta_->list(path);
+  }
   sync::MutexLock lk(dir_mu_);
   const int h = next_dir_++;
   open_dirs_[h] = OpenDir{std::move(entries), 0};

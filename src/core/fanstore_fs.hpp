@@ -29,6 +29,7 @@
 #include <memory>
 #include <set>
 
+#include "cluster/resolver.hpp"
 #include "core/backend.hpp"
 #include "core/cache.hpp"
 #include "core/daemon.hpp"
@@ -122,6 +123,13 @@ class FanStoreFs final : public posixfs::Vfs {
     /// Cold objects >= this size are admitted to the compressed tier only
     /// (plain copy dropped at last close). 0 = always admit to plain RAM.
     std::size_t plain_admit_max_bytes = 0;
+    /// Sharded-metadata resolver (cluster::ClusterNode; DESIGN.md §13).
+    /// When set and sharded(), a local metadata miss consults the shard's
+    /// owners, directory listings union across serving ranks, and write
+    /// metadata replicates to every owner instead of one home rank.
+    /// nullptr (or the replication_factor == nranks compatibility mode)
+    /// keeps the classic full-replication behavior byte for byte.
+    cluster::MetaResolver* meta_resolver = nullptr;
   };
 
   /// Plain snapshot of the I/O counters (see stats()) — a read shim over
@@ -280,6 +288,18 @@ class FanStoreFs final : public posixfs::Vfs {
                            std::size_t threads);
 
   std::size_t decode_threads() const;
+
+  /// True when a sharded metadata resolver is active (DESIGN.md §13); the
+  /// compatibility mode (rf >= nranks) and classic builds are both false.
+  bool sharded_meta() const {
+    return options_.meta_resolver != nullptr && options_.meta_resolver->sharded();
+  }
+
+  /// Metadata lookup honoring the sharded resolver: local shard store
+  /// first, then the path's remote shard owners. Remote entries are not
+  /// cached locally — shard digests stay a pure function of ownership, so
+  /// anti-entropy never re-transfers convenience copies.
+  std::optional<format::FileStat> stat_of(const std::string& path);
 
   /// Outcome of one fetch attempt. kMiss is definitive for that rank (it
   /// answered "not found"); kTimeout and kBadReply (CRC-rejected or

@@ -3,13 +3,15 @@
 //
 //   1. load partitions p with p % nranks == rank from the shared FS
 //   2. optionally replicate neighbour partitions around a virtual ring
-//   3. allgather metadata so every lookup is node-local afterwards
-//   4. start the daemon and serve
+//   3. exchange metadata — allgather (full replication) or, with a sharded
+//      metadata cluster configured, per-shard pushes to the shard owners
+//   4. start the daemon (and the cluster's metadata service) and serve
 #pragma once
 
 #include <memory>
 #include <string>
 
+#include "cluster/node.hpp"
 #include "core/daemon.hpp"
 #include "core/fanstore_fs.hpp"
 #include "format/partition.hpp"
@@ -50,6 +52,25 @@ class Instance {
     std::vector<std::string> serve_endpoints;
     /// listen(2) backlog for those endpoints.
     int serve_backlog = 64;
+    /// Sharded metadata cluster (cluster/node.hpp, DESIGN.md §13).
+    struct ClusterConfig {
+      /// 0 = classic full replication, no cluster node at all (the
+      /// pre-cluster behavior). >= nranks = a cluster node exists but runs
+      /// the byte-identical allgather compatibility mode. Anything in
+      /// between shards the namespace with this many owners per shard.
+      int replication_factor = 0;
+      int vnodes = 32;
+      std::uint32_t nshards = 64;
+      int rpc_timeout_ms = 2000;
+      /// Ranks bootstrapped as Joined members; empty = every world rank.
+      /// A rank outside this list (member == false or just not listed) is
+      /// a *spare*: its instance runs but owns nothing until join().
+      std::vector<int> initial_members;
+      /// Whether this rank bootstraps as a member (spares set false and
+      /// call cluster().join() later).
+      bool member = true;
+    };
+    ClusterConfig cluster;
   };
   // Observability: set `fs.metrics` to inject a registry; otherwise the
   // Instance creates one per rank and shares it across fs + cache + daemon
@@ -80,8 +101,16 @@ class Instance {
   /// into local hits. Collective: all ranks must call with equal `rounds`.
   void replicate_ring(int rounds = 1);
 
-  /// Collective: allgather local metadata into the global view.
+  /// Collective among bootstrap members: allgather local metadata into the
+  /// global view (classic / compatibility mode), or the sharded
+  /// point-to-point push exchange when the cluster shards the namespace.
   void exchange_metadata();
+
+  /// Every dataset path this rank can enumerate: the sharded listing union
+  /// when the cluster shards the namespace, the local (fully replicated)
+  /// namespace otherwise. The trainer's enumeration step — callers bcast
+  /// one rank's result when all ranks must agree on ordering.
+  std::vector<std::string> dataset_paths();
 
   void start_daemon();
   void stop();
@@ -105,6 +134,8 @@ class Instance {
   MetadataStore& metadata() { return meta_; }
   CompressedBackend& backend() { return *backend_; }
   Daemon& daemon() { return *daemon_; }
+  /// The metadata cluster node; null when cluster.replication_factor == 0.
+  cluster::ClusterNode* cluster_node() { return cluster_.get(); }
   mpi::Comm comm() const { return comm_; }
 
   /// The socket front door, running iff start_daemon() has run and
@@ -118,6 +149,7 @@ class Instance {
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // when not injected
   MetadataStore meta_;
   std::unique_ptr<CompressedBackend> backend_;
+  std::unique_ptr<cluster::ClusterNode> cluster_;  // before fs_: fs points at it
   std::unique_ptr<FanStoreFs> fs_;
   std::unique_ptr<Daemon> daemon_;
   std::unique_ptr<ipc::Server> server_;  // socket front door; may be null

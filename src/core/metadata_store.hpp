@@ -1,6 +1,16 @@
-// In-RAM metadata store (§IV-C1): every node holds the full namespace in a
-// hash table after one allgather, so the metadata storms of §II-B1 (millions
-// of stat() calls from dozens of I/O threads) never leave the node.
+// In-RAM metadata store (§IV-C1): the per-rank shard-local namespace. In
+// the classic full-replication mode every node holds the complete
+// namespace after one allgather; under the sharded metadata cluster
+// (cluster/node.hpp, DESIGN.md §13) each rank holds only the shards the
+// hash ring assigns it (plus entries it authored), and misses resolve
+// against the shard's owners. Either way the metadata storms of §II-B1
+// (millions of stat() calls from dozens of I/O threads) are answered from
+// RAM, not the PFS.
+//
+// Entries carry a (version, writer) pair with a deterministic
+// last-writer-wins merge so replicas converge without owner forwarding;
+// the classic insert()/serialize() surface is preserved byte for byte for
+// the replication_factor == nranks compatibility mode.
 #pragma once
 
 #include <optional>
@@ -9,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/shard_store.hpp"
 #include "format/file_stat.hpp"
 #include "posixfs/vfs.hpp"
 #include "util/bytes.hpp"
@@ -16,10 +27,12 @@
 
 namespace fanstore::core {
 
-class MetadataStore {
+class MetadataStore final : public cluster::ShardStore {
  public:
-  /// Inserts or replaces the entry for `path` (normalized, dataset-rooted).
-  /// Parent directories become visible automatically.
+  /// Inserts or replaces the entry for `path` (normalized, dataset-rooted)
+  /// unconditionally at version 0 — the load-time path (partition
+  /// manifests, allgather merge). Parent directories become visible
+  /// automatically.
   void insert(const std::string& path, const format::FileStat& stat) EXCLUDES(mu_);
 
   std::optional<format::FileStat> lookup(const std::string& path) const EXCLUDES(mu_);
@@ -34,17 +47,42 @@ class MetadataStore {
   /// All file paths, sorted (tests and the trainer's enumeration step).
   std::vector<std::string> all_paths() const EXCLUDES(mu_);
 
-  /// Serializes every entry for the metadata allgather.
+  /// Serializes every entry for the metadata allgather (classic wire
+  /// format, no version fields — byte-compatible with pre-cluster builds).
   Bytes serialize() const EXCLUDES(mu_);
 
   /// Merges entries from another rank's serialize() output.
   void merge_serialized(ByteView blob) EXCLUDES(mu_);
 
+  // --- cluster::ShardStore ----------------------------------------------
+  bool insert_versioned(const std::string& path,
+                        const cluster::VersionedStat& entry) override EXCLUDES(mu_);
+  std::optional<cluster::VersionedStat> lookup_versioned(
+      const std::string& path) const override EXCLUDES(mu_);
+  std::optional<format::FileStat> lookup_any(
+      const std::string& path) const override EXCLUDES(mu_);
+  std::vector<posixfs::Dirent> list_local(
+      const std::string& dir) const override EXCLUDES(mu_);
+  bool dir_exists_local(const std::string& dir) const override EXCLUDES(mu_);
+  std::uint64_t shard_digest(std::uint32_t shard,
+                             std::uint32_t nshards) const override EXCLUDES(mu_);
+  Bytes serialize_shard(std::uint32_t shard,
+                        std::uint32_t nshards) const override EXCLUDES(mu_);
+  std::size_t merge_shard(ByteView blob) override EXCLUDES(mu_);
+  void drop_shard(std::uint32_t shard, std::uint32_t nshards,
+                  int keep_owner_rank) override EXCLUDES(mu_);
+  std::vector<std::string> shard_paths(std::uint32_t shard,
+                                       std::uint32_t nshards) const override
+      EXCLUDES(mu_);
+
  private:
+  bool insert_locked(const std::string& path, const cluster::VersionedStat& entry,
+                     bool versioned) REQUIRES(mu_);
   void index_parents_locked(const std::string& path) REQUIRES(mu_);
+  void reindex_locked() REQUIRES(mu_);
 
   mutable sync::Mutex mu_{"metadata_store.mu"};
-  std::unordered_map<std::string, format::FileStat> files_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, cluster::VersionedStat> files_ GUARDED_BY(mu_);
   // dir -> immediate children (name, is_dir)
   std::unordered_map<std::string, std::set<std::pair<std::string, bool>>> children_
       GUARDED_BY(mu_);

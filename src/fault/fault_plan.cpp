@@ -19,6 +19,22 @@ void push_fetch_scoped(std::vector<MessageRule>& out, MessageRule proto) {
   out.push_back(proto);
   proto.tag = kAnyTag;
   proto.tag_min = kFetchReplyTagMin;
+  // Capped below the cluster reply space so fetch-scoped chaos never
+  // bleeds into the metadata cluster's replies (which have their own
+  // churn builder).
+  proto.tag_max = kClusterReplyTagMin - 1;
+  out.push_back(proto);
+}
+
+// Emits `proto` twice, scoped to the metadata-cluster protocol: requests
+// (gossip .. list-dir; NOT the one-way shard push or the stop token, see
+// fault_plan.hpp) and the cluster reply tag space.
+void push_cluster_scoped(std::vector<MessageRule>& out, MessageRule proto) {
+  proto.tag = kAnyTag;
+  proto.tag_min = kClusterTagMin;
+  proto.tag_max = kClusterTagMax;
+  out.push_back(proto);
+  proto.tag_min = kClusterReplyTagMin;
   proto.tag_max = std::numeric_limits<int>::max();
   out.push_back(proto);
 }
@@ -134,6 +150,44 @@ FaultPlan FaultPlan::chaos_from_seed(std::uint64_t seed, int nranks) {
       const int dead = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(nranks)));
       plan.kill_daemon_after(dead, 3 + rng.next_below(8));
     }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::membership_churn_from_seed(std::uint64_t seed, int nranks) {
+  Rng rng(seed ^ 0xC1A57E55ull);
+  FaultPlan plan;
+  plan.seed = seed;
+  (void)nranks;  // the mix is rank-agnostic; kept for signature symmetry
+  // Delays and duplicates across the whole cluster protocol: handlers are
+  // idempotent and clients fail over, so reordering cannot wedge anything.
+  {
+    MessageRule r;
+    r.delay_prob = 0.15 + 0.25 * rng.next_double();
+    r.delay_ms = 1 + static_cast<int>(rng.next_below(5));
+    push_cluster_scoped(plan.messages, r);
+  }
+  {
+    MessageRule r;
+    r.dup_prob = 0.05 + 0.15 * rng.next_double();
+    push_cluster_scoped(plan.messages, r);
+  }
+  // Gossip may vanish outright: the membership view is a CRDT and every
+  // later round re-carries the full state.
+  {
+    MessageRule r;
+    r.tag = kClusterTagMin;  // kTagGossip
+    r.drop_prob = 0.10 + 0.20 * rng.next_double();
+    plan.messages.push_back(r);
+  }
+  // Corrupted cluster replies are rejected by the rpc seal and surface as
+  // timeouts — the client tries the next replica.
+  {
+    MessageRule r;
+    r.tag_min = kClusterReplyTagMin;
+    r.tag_max = std::numeric_limits<int>::max();
+    r.corrupt_prob = 0.05 * rng.next_double();
+    plan.messages.push_back(r);
   }
   return plan;
 }

@@ -35,6 +35,17 @@ constexpr int kAnyTag = -1;
 constexpr int kFetchProtocolTag = 100;
 constexpr int kFetchReplyTagMin = 1000;
 
+/// Metadata-cluster tag space, mirroring cluster/node.hpp (kTagGossip ..
+/// kTagListDir and kClusterReplyTagBase — keep in sync). The cluster's
+/// request/reply traffic is retried, idempotent, and crc-sealed, so churn
+/// plans may drop/delay/duplicate/corrupt it; the one-way shard hand-off
+/// (kTagMetaPush, 117) and the self-addressed stop token (116) are
+/// excluded — exchange_initial() receives pushes with a blocking recv and
+/// rebalance relies on a push landing before its shard is dropped.
+constexpr int kClusterTagMin = 110;
+constexpr int kClusterTagMax = 115;
+constexpr int kClusterReplyTagMin = 2000000;
+
 /// One scripted behaviour for point-to-point messages crossing the mailbox
 /// boundary. All matching rules apply independently (their draws use
 /// distinct streams). Self-addressed messages (src == dest, e.g. the
@@ -144,6 +155,14 @@ struct FaultPlan {
   /// ring placement plus failover_hops >= 2 and a couple of retries always
   /// reach the data.
   static FaultPlan chaos_from_seed(std::uint64_t seed, int nranks);
+
+  /// A survivable randomized adversary for the membership-churn suite,
+  /// fully determined by (seed, nranks): delayed + duplicated cluster
+  /// requests and replies, outright-dropped gossip (the view is a CRDT —
+  /// later rounds re-carry the same state), and lightly corrupted cluster
+  /// replies (rejected by the rpc seal, surfacing as timeouts). Data-path
+  /// and setup traffic is untouched.
+  static FaultPlan membership_churn_from_seed(std::uint64_t seed, int nranks);
 };
 
 /// Reads FANSTORE_FAULT_SEED from the environment; `fallback` when unset

@@ -37,6 +37,11 @@ Message Comm::recv_if(const std::function<bool(const Message&)>& pred) const {
   return *world_->take_matching(rank_, pred, /*block=*/true);
 }
 
+std::optional<Message> Comm::try_recv_if(
+    const std::function<bool(const Message&)>& pred) const {
+  return world_->take_matching(rank_, pred, /*block=*/false);
+}
+
 std::optional<Message> Comm::recv_timeout(int source, int tag, int timeout_ms) const {
   return world_->take_matching(rank_, match_source_tag(source, tag), /*block=*/true,
                                timeout_ms);

@@ -63,6 +63,12 @@ class Comm {
   /// stealing each other's messages.
   Message recv_if(const std::function<bool(const Message&)>& pred) const;
 
+  /// Non-blocking recv_if — the drain primitive behind single-threaded
+  /// simulations (cluster::ClusterNode::poll): nullopt when no due message
+  /// satisfies `pred`.
+  std::optional<Message> try_recv_if(
+      const std::function<bool(const Message&)>& pred) const;
+
   /// Like recv(), but gives up after `timeout_ms` and returns nullopt —
   /// the failure-detection primitive used for replica failover (a dead
   /// daemon never answers).

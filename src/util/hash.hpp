@@ -1,0 +1,35 @@
+// Stable 64-bit hashing for cross-rank data placement.
+//
+// std::hash gives no cross-implementation (or even cross-run, with
+// libstdc++'s sip-hash variants) stability guarantee, so anything that two
+// ranks must agree on — consistent-hash ring points, shard assignment,
+// anti-entropy digests — hashes through these functions instead. FNV-1a is
+// deliberately boring: the cluster layer needs agreement and spread, not
+// adversarial collision resistance.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace fanstore::util {
+
+/// FNV-1a 64-bit over the bytes of `s`. Identical on every rank, build,
+/// and platform — the property the placement layer actually relies on.
+inline std::uint64_t stable_hash64(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer: a cheap stateless bit mixer for combining already-
+/// hashed values (ring vnode points, digest folding).
+inline std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace fanstore::util

@@ -164,6 +164,71 @@ TEST(FanStoreIntegrationTest, MetadataFullyReplicatedAfterExchange) {
   });
 }
 
+TEST(FanStoreIntegrationTest, RfEqualsNranksMatchesClassicAllgather) {
+  // replication_factor == nranks is the compatibility mode (DESIGN.md §13):
+  // every rank owns every shard, so the sharded push exchange must converge
+  // to the same fully replicated metadata as the classic allgather —
+  // byte-identical canonical (sorted per-shard) serialization and the
+  // identical namespace on every rank. serialize() itself iterates the
+  // hash map in insertion order, so the canonical form is the concatenation
+  // of serialize_shard() over all shards, which sorts within each shard.
+  constexpr int kRanks = 3;
+  constexpr std::uint32_t kShards = 64;
+  std::vector<Bytes> classic_blob(kRanks), sharded_blob(kRanks);
+  std::vector<std::vector<std::string>> classic_paths(kRanks);
+
+  auto canonical = [](Instance& inst) {
+    Bytes out;
+    for (std::uint32_t s = 0; s < kShards; ++s) {
+      const Bytes shard = inst.metadata().serialize_shard(s, kShards);
+      out.insert(out.end(), shard.begin(), shard.end());
+    }
+    return out;
+  };
+
+  auto load_files = [](Instance& inst, int rank) {
+    std::vector<std::pair<std::string, Bytes>> files;
+    for (int i = 0; i < 3; ++i) {
+      files.emplace_back(
+          "compat/r" + std::to_string(rank) + "/f" + std::to_string(i),
+          testdata::random_bytes(64 + static_cast<std::size_t>(i),
+                                 static_cast<std::uint64_t>(rank * 10 + i)));
+    }
+    inst.load_partition_blob(as_view(make_partition(files, "store")),
+                             static_cast<std::uint32_t>(rank));
+  };
+
+  mpi::run_world(kRanks, [&](mpi::Comm& comm) {
+    Instance inst(comm, {});
+    load_files(inst, comm.rank());
+    inst.exchange_metadata();
+    classic_blob[static_cast<std::size_t>(comm.rank())] = canonical(inst);
+    classic_paths[static_cast<std::size_t>(comm.rank())] =
+        inst.metadata().all_paths();
+  });
+  mpi::run_world(kRanks, [&](mpi::Comm& comm) {
+    Instance::Options opt;
+    opt.cluster.replication_factor = kRanks;
+    Instance inst(comm, std::move(opt));
+    load_files(inst, comm.rank());
+    inst.exchange_metadata();
+    auto* node = inst.cluster_node();
+    ASSERT_NE(node, nullptr);
+    for (std::uint32_t s = 0; s < node->nshards(); ++s) {
+      EXPECT_TRUE(node->owns_shard(s)) << "shard " << s;
+    }
+    sharded_blob[static_cast<std::size_t>(comm.rank())] = canonical(inst);
+    EXPECT_EQ(inst.metadata().all_paths(),
+              classic_paths[static_cast<std::size_t>(comm.rank())]);
+  });
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(sharded_blob[static_cast<std::size_t>(r)],
+              classic_blob[static_cast<std::size_t>(r)])
+        << "rank " << r;
+    EXPECT_EQ(classic_blob[static_cast<std::size_t>(r)], classic_blob[0]);
+  }
+}
+
 TEST(FanStoreIntegrationTest, CacheHitOnSecondOpen) {
   mpi::run_world(1, [&](mpi::Comm& comm) {
     Instance inst(comm, {});

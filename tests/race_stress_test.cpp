@@ -12,9 +12,11 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/node.hpp"
 #include "compress/chunked.hpp"
 #include "compress/registry.hpp"
 #include "core/cache.hpp"
+#include "format/partition.hpp"
 #include "core/instance.hpp"
 #include "core/tiered_cache.hpp"
 #include "fault/injector.hpp"
@@ -490,6 +492,128 @@ TEST(RaceStressTest, ChaosDaemonKillRestartDuringConcurrentReads) {
       &inj);
   EXPECT_EQ(good_reads.load(),
             static_cast<std::uint64_t>(kReaders) * static_cast<std::uint64_t>(kIters));
+}
+
+TEST(RaceStressTest, ClusterLookupsAndInsertsDuringRebalance) {
+  // Sharded-metadata cluster (rf=2 over 3 ranks) under concurrent load:
+  // on every rank, reader threads resolve the whole namespace through the
+  // cluster resolver (ring lookups + remote meta RPCs) and a writer thread
+  // keeps inserting fresh versioned entries, while the main thread drives
+  // lockstep rebalance rounds that serialize, push, and drop whole shards.
+  // TSan sees cluster.node.mu (view/ring reads racing rebuilds), the shard
+  // store mutex (insert vs serialize_shard vs drop_shard), and the service
+  // thread's merge path racing client-side lookups.
+  constexpr int kRanks = 3;
+  constexpr int kFilesPerRank = 8;
+  constexpr int kWriterKeys = 8;
+  const int kRounds = testsupport::kUnderSanitizer ? 4 : 8;
+
+  std::vector<std::string> all_paths;
+  std::vector<std::size_t> sizes;
+  for (int r = 0; r < kRanks; ++r) {
+    for (int i = 0; i < kFilesPerRank; ++i) {
+      all_paths.push_back("c/r" + std::to_string(r) + "/f" + std::to_string(i));
+      sizes.push_back(1000u + static_cast<std::size_t>(r) * kFilesPerRank + i);
+    }
+  }
+
+  mpi::run_world(kRanks, [&](mpi::Comm& comm) {
+    core::Instance::Options opt;
+    opt.cluster.replication_factor = 2;
+    core::Instance inst(comm, opt);
+    const auto& reg = compress::Registry::instance();
+    const auto* codec = reg.by_name("lz4");
+    format::PartitionWriter w;
+    for (int i = 0; i < kFilesPerRank; ++i) {
+      const std::size_t idx =
+          static_cast<std::size_t>(comm.rank()) * kFilesPerRank +
+          static_cast<std::size_t>(i);
+      w.add(format::make_record(all_paths[idx], *codec, reg.id_of(*codec),
+                                as_view(testdata::runs_and_noise(
+                                    sizes[idx], 900 + static_cast<int>(idx)))));
+    }
+    const Bytes part = w.serialize();
+    inst.load_partition_blob(as_view(part), comm.rank());
+    inst.exchange_metadata();
+    inst.start_daemon();
+    comm.barrier();
+
+    auto* node = inst.cluster_node();
+    ASSERT_NE(node, nullptr);
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> resolved{0};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 2; ++t) {
+      workers.emplace_back([&, t] {
+        std::size_t i = static_cast<std::size_t>(t);
+        while (!stop.load(std::memory_order_acquire)) {
+          const std::size_t idx = i % all_paths.size();
+          // Mid-rebalance a resolve may transiently miss or time out — the
+          // coarse invariant is "never wrong, never crashed": a hit must
+          // carry the exact size the loader registered.
+          if (const auto got = node->resolve(all_paths[idx])) {
+            ASSERT_EQ(got->stat.size, sizes[idx]) << all_paths[idx];
+            resolved.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (i % 5 == 0) node->view_digest();
+          if (i % 7 == 0) {
+            node->owns_shard(static_cast<std::uint32_t>(i) % node->nshards());
+          }
+          ++i;
+        }
+      });
+    }
+    workers.emplace_back([&] {
+      // Writer: churn versioned entries on this rank's private key space so
+      // inserts race shard serialization/drops without cross-rank conflicts.
+      std::uint64_t version = 0;
+      format::FileStat st;
+      st.owner_rank = static_cast<std::uint32_t>(comm.rank());
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::string p = "c/w" + std::to_string(comm.rank()) + "/x" +
+                              std::to_string(version % kWriterKeys);
+        st.size = 10 + version;
+        st.compressed_size = st.size;
+        inst.metadata().insert_versioned(
+            p, {st, ++version, static_cast<std::uint32_t>(comm.rank())});
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+
+    for (int round = 0; round < kRounds; ++round) {
+      (void)node->rebalance();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      comm.barrier();
+    }
+    stop.store(true, std::memory_order_release);
+    for (auto& th : workers) th.join();
+    comm.barrier();
+
+    // Quiesce: two more lockstep rounds push the writers' last entries to
+    // their owners and drop stragglers, then everything must resolve from
+    // every rank.
+    for (int round = 0; round < 2; ++round) {
+      (void)node->rebalance();
+      comm.barrier();
+    }
+    for (std::size_t idx = 0; idx < all_paths.size(); ++idx) {
+      const auto got = node->resolve(all_paths[idx]);
+      ASSERT_TRUE(got.has_value()) << all_paths[idx];
+      EXPECT_EQ(got->stat.size, sizes[idx]) << all_paths[idx];
+    }
+    for (int r = 0; r < kRanks; ++r) {
+      for (int k = 0; k < kWriterKeys; ++k) {
+        const std::string p =
+            "c/w" + std::to_string(r) + "/x" + std::to_string(k);
+        const auto got = node->resolve(p);
+        ASSERT_TRUE(got.has_value()) << p;
+        EXPECT_EQ(got->writer, static_cast<std::uint32_t>(r)) << p;
+      }
+    }
+    EXPECT_GT(resolved.load(), 0u);
+    comm.barrier();
+    inst.stop();
+  });
 }
 
 }  // namespace

@@ -8,6 +8,8 @@
 
 #include <filesystem>
 #include <functional>
+#include <thread>
+#include <vector>
 
 #include "compress/registry.hpp"
 #include "core/instance.hpp"
@@ -36,6 +38,10 @@ struct Backend {
   std::unique_ptr<Interceptor> shim;
   std::unique_ptr<mpi::World> world;
   std::unique_ptr<core::Instance> instance;
+  // ShardedMetadataFanStoreFs: the other ranks of the metadata cluster.
+  // Their daemon + cluster service threads answer rank 0's remote lookups
+  // for the duration of the test.
+  std::vector<std::unique_ptr<core::Instance>> cluster_peers;
   std::unique_ptr<ipc::UdsServer> server;
   std::unique_ptr<ipc::Server> event_server;
   std::unique_ptr<ipc::UdsClientVfs> client;
@@ -105,6 +111,52 @@ std::unique_ptr<Backend> make_backend(const std::string& kind) {
     const Bytes blob = w.serialize();
     b->instance->load_partition_blob(as_view(blob), 0);
     b->instance->exchange_metadata();
+    b->vfs = &b->instance->fs();
+  } else if (kind == "ShardedMetadataFanStoreFs") {
+    // The same facade over a 3-rank metadata cluster with
+    // replication_factor 2 < nranks (DESIGN.md §13). The data is loaded on
+    // rank 0, but after the rebalance round rank 0 keeps only the metadata
+    // shards it owns — stat/open/readdir of the rest must transparently
+    // resolve against the owner ranks, byte-identical to every other
+    // backend.
+    b->world = std::make_unique<mpi::World>(3);
+    std::vector<std::unique_ptr<core::Instance>> insts(3);
+    auto setup = [&](int r) {
+      core::Instance::Options opt;
+      opt.cluster.replication_factor = 2;
+      insts[static_cast<std::size_t>(r)] =
+          std::make_unique<core::Instance>(b->world->comm(r), opt);
+      core::Instance& inst = *insts[static_cast<std::size_t>(r)];
+      if (r == 0) {
+        const auto& reg = compress::Registry::instance();
+        const auto* codec = reg.by_name("lz4hc");
+        format::PartitionWriter w;
+        w.add(format::make_record("tree/a.txt", *codec, reg.id_of(*codec),
+                                  as_view(content_a())));
+        w.add(format::make_record("tree/sub/b.bin", *codec, reg.id_of(*codec),
+                                  as_view(content_b())));
+        const Bytes blob = w.serialize();
+        inst.load_partition_blob(as_view(blob), 0);
+      }
+      inst.exchange_metadata();
+      inst.start_daemon();
+      inst.comm().barrier();
+      // Two lockstep rebalance rounds: the first moves shards to their
+      // owners and drops the rest from rank 0; the second's digest RPCs
+      // guarantee every push has been merged before the tests run.
+      for (int round = 0; round < 2; ++round) {
+        (void)inst.cluster_node()->rebalance();
+        inst.comm().barrier();
+      }
+    };
+    std::thread t1(setup, 1);
+    std::thread t2(setup, 2);
+    setup(0);
+    t1.join();
+    t2.join();
+    b->instance = std::move(insts[0]);
+    b->cluster_peers.push_back(std::move(insts[1]));
+    b->cluster_peers.push_back(std::move(insts[2]));
     b->vfs = &b->instance->fs();
   } else if (kind == "UdsClientVfs") {
     b->mem = std::make_unique<MemVfs>();
@@ -237,6 +289,7 @@ TEST_P(VfsConformanceTest, WriteRoundTripWhereSupported) {
 INSTANTIATE_TEST_SUITE_P(AllBackends, VfsConformanceTest,
                          ::testing::Values("MemVfs", "LocalVfs", "Interceptor",
                                            "FanStoreFs", "TieredFanStoreFs",
+                                           "ShardedMetadataFanStoreFs",
                                            "UdsClientVfs", "EventUds",
                                            "EventTcp"),
                          [](const ::testing::TestParamInfo<std::string>& info) {

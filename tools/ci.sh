@@ -2,7 +2,9 @@
 # One-command CI matrix:
 #   1. tier-1: default configure + build + ctest (the ROADMAP verify step)
 #   2. chaos: the fault-injection suite (`ctest -L chaos`) over 10 fixed
-#      FANSTORE_FAULT_SEED values; repeated under TSan in pass 4
+#      FANSTORE_FAULT_SEED values, plus the membership-churn suite
+#      (`ctest -L churn`) over 5 fixed FANSTORE_CHURN_SEED values; both
+#      repeated under TSan in pass 4
 #   3. ASan/UBSan: FANSTORE_SANITIZE=address;undefined configure + ctest
 #   4. TSan: FANSTORE_SANITIZE=thread + FANSTORE_DEBUG_LOCKORDER=ON + ctest
 #      + the chaos seed sweep again under TSan
@@ -44,9 +46,29 @@ run_chaos_seeds() {
   done
 }
 
+# Membership-churn suite over fixed seeds: each seed drives a different
+# (deterministic) join/leave/kill schedule plus fault-plan adversity in the
+# churn sweep test. On failure the seed is printed — replay it with
+#   FANSTORE_CHURN_SEED=<seed> ctest --test-dir <dir> -L churn
+churn_seeds=(1 7 42 1999 31337)
+run_churn_seeds() {
+  local name="$1" dir="$2"
+  for seed in "${churn_seeds[@]}"; do
+    echo "==== [$name] ctest -L churn (FANSTORE_CHURN_SEED=$seed) ===="
+    if ! FANSTORE_CHURN_SEED="$seed" \
+        ctest --test-dir "$dir" --output-on-failure -j "$jobs" -L churn; then
+      echo "ci.sh: churn suite FAILED under FANSTORE_CHURN_SEED=$seed ($name)" >&2
+      echo "ci.sh: replay with: FANSTORE_CHURN_SEED=$seed ctest --test-dir $dir -L churn" >&2
+      exit 1
+    fi
+  done
+}
+
 run_pass "tier-1" build -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 
 run_chaos_seeds "chaos" build
+
+run_churn_seeds "churn" build
 
 # Labeled quick passes: the observability + stress subset (`ctest -L obs` /
 # `-L stress`) and the chunked-container subset (`ctest -L chunked`) on their
@@ -61,6 +83,8 @@ echo "==== [labels] ctest -L ipc ===="
 ctest --test-dir build --output-on-failure -j "$jobs" -L ipc
 echo "==== [labels] ctest -L tiered ===="
 ctest --test-dir build --output-on-failure -j "$jobs" -L tiered
+echo "==== [labels] ctest -L cluster ===="
+ctest --test-dir build --output-on-failure -j "$jobs" -L cluster
 echo "==== [labels] ctest -L lint ===="
 ctest --test-dir build --output-on-failure -j "$jobs" -L lint
 
@@ -116,6 +140,14 @@ build/bench/bench_ipc --quick --json /tmp/BENCH_ipc_quick.json
 echo "==== [bench] bench_tiered --quick ===="
 build/bench/bench_tiered --quick --json /tmp/BENCH_tiered_quick.json
 
+# Sharded-metadata smoke (DESIGN.md §13): classic allgather vs the
+# consistent-hash-sharded exchange at 8 and 64 ranks in-process (512 ranks
+# modeled analytically). The per-rank exchange-bytes gate is enforced on
+# every run; the wall-clock gate only on hardware with >= 8 cores. Refreshes
+# the committed BENCH_cluster.json at the repo root.
+echo "==== [bench] bench_cluster --quick ===="
+build/bench/bench_cluster --quick --json "$repo_root/BENCH_cluster.json"
+
 if [ "${1:-}" = "--tier1-only" ]; then
   echo "ci.sh: tier-1 pass complete (sanitizer matrix skipped)"
   exit 0
@@ -134,6 +166,11 @@ TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
 # kill/restart and delayed-delivery paths are the interesting interleavings).
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   run_chaos_seeds "tsan-chaos" build-tsan
+
+# And the membership-churn sweep with TSan watching the cluster service
+# threads, rebalance pushes, and client-side resolves interleave.
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  run_churn_seeds "tsan-churn" build-tsan
 
 tools/run-clang-tidy.sh build
 

@@ -12,7 +12,7 @@ namespace fanstore::lint {
 namespace {
 
 const std::set<std::string> kScopedDirs = {"simnet/", "fault/", "mpi/",
-                                           "core/", "plan/"};
+                                           "core/", "plan/", "cluster/"};
 
 // Files inside the scoped dirs that are allowed ambient time/RNG. Currently
 // empty: timeouts were routed through util::TimeSource (mpi/comm.cpp) and
